@@ -1,0 +1,99 @@
+package imtao
+
+import (
+	"errors"
+	"fmt"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// Builder assembles custom CMCTA instances entity by entity — the entry
+// point for applications that bring their own centers, workers and tasks
+// instead of the paper's generated datasets.
+//
+// Coordinates are in arbitrary distance units; Speed converts them to time
+// (units per hour), and task expiries are in hours. Build partitions the
+// scene: each worker and task is attached to its nearest center, exactly as
+// the platform of the paper operates.
+type Builder struct {
+	width, height float64
+	speed         float64
+	centers       []geo.Point
+	tasks         []model.Task
+	workers       []model.Worker
+	err           error
+}
+
+// NewBuilder starts a scenario over a width×height service area with the
+// given uniform travel speed in distance units per hour.
+func NewBuilder(width, height, speed float64) *Builder {
+	b := &Builder{speed: speed}
+	if width <= 0 || height <= 0 {
+		b.err = errors.New("imtao: service area must have positive dimensions")
+	}
+	if speed <= 0 {
+		b.err = errors.New("imtao: speed must be positive")
+	}
+	b.width, b.height = width, height
+	return b
+}
+
+// AddCenter registers a distribution center and returns its ID.
+func (b *Builder) AddCenter(x, y float64) CenterID {
+	id := CenterID(len(b.centers))
+	b.centers = append(b.centers, geo.Pt(x, y))
+	return id
+}
+
+// AddTask registers a spatial task with a delivery location, an expiration
+// deadline in hours, and a reward. It returns the task's ID.
+func (b *Builder) AddTask(x, y, expiryHours, reward float64) TaskID {
+	id := TaskID(len(b.tasks))
+	if expiryHours <= 0 && b.err == nil {
+		b.err = fmt.Errorf("imtao: task %d has non-positive expiry", id)
+	}
+	b.tasks = append(b.tasks, model.Task{
+		ID: id, Center: model.NoCenter, Loc: geo.Pt(x, y), Expiry: expiryHours, Reward: reward,
+	})
+	return id
+}
+
+// AddWorker registers a worker with a current location and a capacity
+// (maximum number of tasks per delivery run). It returns the worker's ID.
+func (b *Builder) AddWorker(x, y float64, maxT int) WorkerID {
+	id := WorkerID(len(b.workers))
+	if maxT < 0 && b.err == nil {
+		b.err = fmt.Errorf("imtao: worker %d has negative capacity", id)
+	}
+	b.workers = append(b.workers, model.Worker{
+		ID: id, Home: model.NoCenter, Loc: geo.Pt(x, y), MaxT: maxT,
+	})
+	return id
+}
+
+// Build validates the scenario, partitions it across centers (paper
+// Algorithm 1) and returns the ready-to-run instance.
+func (b *Builder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.centers) == 0 {
+		return nil, errors.New("imtao: scenario needs at least one center")
+	}
+	in := &model.Instance{
+		Tasks:   append([]model.Task(nil), b.tasks...),
+		Workers: append([]model.Worker(nil), b.workers...),
+		Speed:   b.speed,
+		Bounds:  geo.NewRect(geo.Pt(0, 0), geo.Pt(b.width, b.height)),
+	}
+	for i, loc := range b.centers {
+		in.Centers = append(in.Centers, model.Center{ID: CenterID(i), Loc: loc})
+	}
+	out, _, err := core.Partition(in)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

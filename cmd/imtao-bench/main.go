@@ -1,0 +1,255 @@
+// Command imtao-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	imtao-bench -experiment fig3              # one figure, Seq methods
+//	imtao-bench -experiment fig7 -methods all # include the Opt methods
+//	imtao-bench -experiment fig11             # convergence trace (Fig. 11)
+//	imtao-bench -experiment table1            # print Table I
+//	imtao-bench -all                          # every figure, Seq methods
+//	imtao-bench -all -seeds 1,2,3,4,5         # more seeds per point
+//
+// Output is a per-figure table (assigned tasks, unfairness, CPU time, one
+// row per method, one column per swept value) followed by ASCII plots of
+// the same series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"imtao/internal/core"
+	"imtao/internal/experiments"
+	"imtao/internal/workload"
+)
+
+func main() {
+	var (
+		expID    = flag.String("experiment", "", "experiment id: table1, fig3..fig11, or an ablation id (empty with -all runs everything)")
+		all      = flag.Bool("all", false, "run every experiment")
+		methods  = flag.String("methods", "seq", `method set: "seq", "all", or a comma list like "Seq-BDC,Opt-w/o-C"`)
+		seeds    = flag.String("seeds", "1,2,3", "comma-separated dataset seeds to average over")
+		budget   = flag.Duration("opt-budget", 200*time.Millisecond, "per-center time budget for the Opt assigner")
+		plots    = flag.Bool("plots", true, "render ASCII plots after each table")
+		verbose  = flag.Bool("v", false, "print one progress line per run")
+		convSeed = flag.Int64("conv-seed", 1, "seed for the fig11 convergence run")
+		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
+		report   = flag.String("report", "", "run a fresh reproduction pass and write a markdown report to this file")
+		parallel = flag.Int("parallel", 1, "concurrent sweep cells per experiment")
+	)
+	flag.Parse()
+
+	if *report != "" {
+		seedList, err := parseSeeds(*seeds)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opt := experiments.ReportOptions{
+			Seeds:              seedList,
+			IncludeConvergence: true,
+			IncludeHeadroom:    true,
+		}
+		if *verbose {
+			opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+		}
+		if err := experiments.WriteReport(f, opt); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
+		return
+	}
+
+	if !*all && *expID == "" {
+		fmt.Fprintln(os.Stderr, "imtao-bench: pass -experiment <id> or -all; known ids:")
+		fmt.Fprintln(os.Stderr, "  table1, fig11, defaults, dynamic, headroom, capacity,")
+		for _, e := range experiments.Registry() {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID+",", e.Title)
+		}
+		fmt.Fprintf(os.Stderr, "  ablations: %v\n", experiments.Ablations())
+		os.Exit(2)
+	}
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fatal(err)
+	}
+	methodList, err := parseMethods(*methods)
+	if err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{Seeds: seedList, Methods: methodList, OptBudget: *budget, Parallel: *parallel}
+	if *verbose {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	ids := []string{*expID}
+	if *all {
+		ids = []string{"table1"}
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+		ids = append(ids, "fig11", "defaults", "dynamic", "headroom", "capacity")
+		ids = append(ids, experiments.Ablations()...)
+	}
+
+	for _, id := range ids {
+		switch id {
+		case "table1":
+			fmt.Println(experiments.TableI())
+		case "capacity":
+			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+				res, err := experiments.RunCapacitySweep(d, seedList)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(res.Table())
+			}
+		case "headroom":
+			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+				res, err := experiments.RunHeadroom(d, seedList, 0)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(res.Table())
+			}
+		case "dynamic":
+			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+				res, err := experiments.RunDynamicSweep(d, seedList)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(res.Table())
+			}
+		case "defaults":
+			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+				res, err := experiments.RunDefaults(d, methodList, seedList, *budget)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(res.Table())
+			}
+		case "fig11":
+			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+				res, err := experiments.Convergence(d, *convSeed)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(res.Render())
+				if *csvDir != "" {
+					writeCSVFile(*csvDir, fmt.Sprintf("fig11_%s.csv", d), res.WriteCSV)
+				}
+			}
+		default:
+			if isAblation(id) {
+				for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+					res, err := experiments.RunAblation(id, d, seedList)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Println(res.Table())
+					if *csvDir != "" {
+						writeCSVFile(*csvDir, fmt.Sprintf("%s_%s.csv", id, d), res.WriteCSV)
+					}
+				}
+				continue
+			}
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			res, err := experiments.Run(e, opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Table())
+			if *csvDir != "" {
+				writeCSVFile(*csvDir, id+".csv", res.WriteCSV)
+			}
+			if *plots {
+				fmt.Println(res.Plots())
+			}
+			if seqMean, optMean, haveOpt := res.CPUSplit(); haveOpt {
+				fmt.Printf("CPU split: Seq methods mean %.4fs, Opt methods mean %.4fs (%.0fx)\n\n",
+					seqMean, optMean, optMean/seqMean)
+			}
+		}
+	}
+}
+
+// writeCSVFile writes one result CSV into dir, creating it if needed.
+func writeCSVFile(dir, name string, write func(io.Writer) error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+}
+
+func isAblation(id string) bool {
+	for _, a := range experiments.Ablations() {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return out, nil
+}
+
+func parseMethods(s string) ([]core.Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "seq", "":
+		return experiments.SeqMethods(), nil
+	case "all":
+		return experiments.AllMethods(), nil
+	}
+	var out []core.Method
+	for _, part := range strings.Split(s, ",") {
+		m, err := core.ParseMethod(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtao-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"imtao/internal/core"
+)
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseSeeds = %v, %v", got, err)
+	}
+	if _, err := parseSeeds(""); err == nil {
+		t.Error("empty seeds must fail")
+	}
+	if _, err := parseSeeds("1,x"); err == nil {
+		t.Error("bad seed must fail")
+	}
+}
+
+func TestParseMethods(t *testing.T) {
+	got, err := parseMethods("seq")
+	if err != nil || len(got) != 4 {
+		t.Fatalf("seq: %v, %v", got, err)
+	}
+	got, err = parseMethods("all")
+	if err != nil || len(got) != 8 {
+		t.Fatalf("all: %v, %v", got, err)
+	}
+	got, err = parseMethods("Seq-BDC, Opt-w/o-C")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("list: %v, %v", got, err)
+	}
+	if got[0] != (core.Method{Assigner: core.Seq, Collab: core.BDC}) {
+		t.Errorf("first method = %v", got[0])
+	}
+	if _, err := parseMethods("Seq-XYZ"); err == nil {
+		t.Error("bad method must fail")
+	}
+}
+
+func TestIsAblation(t *testing.T) {
+	if !isAblation("worker-order") || isAblation("fig3") {
+		t.Error("isAblation misclassifies")
+	}
+}
+
+func TestBenchCLITable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "imtao-bench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-experiment", "table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Table I") {
+		t.Errorf("missing Table I:\n%s", out)
+	}
+	// No experiment selected: usage with the known ids on stderr, exit 2.
+	err = exec.Command(bin).Run()
+	if err == nil {
+		t.Error("bare invocation must exit non-zero")
+	}
+}

@@ -1,0 +1,91 @@
+// Command imtao-datagen generates CMCTA datasets (paper §VI-A) and writes
+// them to JSON or CSV for later runs with imtao-sim -load.
+//
+// Usage:
+//
+//	imtao-datagen -dataset gm  -out gm.json
+//	imtao-datagen -dataset syn -tasks 800 -format csv -out syn800.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"imtao"
+	"imtao/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "syn", "dataset generator: gm or syn")
+		tasks   = flag.Int("tasks", 400, "number of tasks |S|")
+		workers = flag.Int("workers", 100, "number of workers |W|")
+		centers = flag.Int("centers", 20, "number of centers |C|")
+		expiry  = flag.Float64("expiry", 1.0, "task expiration time e in hours")
+		maxT    = flag.Int("maxt", 4, "worker capacity maxT")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		preset  = flag.String("preset", "", "topology preset instead of a dataset: corridor, twincities, ringroad")
+		format  = flag.String("format", "json", "output format: json or csv")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	d, err := workload.ParseDataset(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	p := imtao.DefaultParams(d)
+	p.NumTasks, p.NumWorkers, p.NumCenters = *tasks, *workers, *centers
+	p.Expiry, p.MaxT, p.Seed = *expiry, *maxT, *seed
+	var in *imtao.Instance
+	if *preset != "" {
+		var pr workload.Preset
+		switch *preset {
+		case "corridor":
+			pr = workload.Corridor
+		case "twincities":
+			pr = workload.TwinCities
+		case "ringroad":
+			pr = workload.RingRoad
+		default:
+			fatal(fmt.Errorf("unknown preset %q", *preset))
+		}
+		in, err = workload.GeneratePreset(pr, p)
+	} else {
+		in, err = imtao.Generate(p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = workload.WriteJSON(w, in)
+	case "csv":
+		err = workload.WriteCSV(w, in)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s: %d centers, %d workers, %d tasks\n",
+			*out, len(in.Centers), len(in.Workers), len(in.Tasks))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtao-datagen:", err)
+	os.Exit(1)
+}

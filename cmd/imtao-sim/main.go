@@ -1,0 +1,158 @@
+// Command imtao-sim runs a single CMCTA scenario end to end and prints a
+// detailed report: per-center statistics after each phase, the workforce
+// transfers of the collaboration game, and the final metrics.
+//
+// Usage:
+//
+//	imtao-sim -dataset syn -tasks 400 -workers 100 -centers 20 -method Seq-BDC
+//	imtao-sim -load scene.json -method Seq-BDC   # instance from imtao-datagen
+//	imtao-sim -dataset gm -trace                 # print every game iteration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"imtao"
+	"imtao/internal/render"
+	"imtao/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "syn", "dataset generator: gm or syn")
+		tasks   = flag.Int("tasks", 400, "number of tasks |S|")
+		workers = flag.Int("workers", 100, "number of workers |W|")
+		centers = flag.Int("centers", 20, "number of centers |C|")
+		expiry  = flag.Float64("expiry", 1.0, "task expiration time e in hours")
+		maxT    = flag.Int("maxt", 4, "worker capacity maxT")
+		seed    = flag.Int64("seed", 1, "generator / RBDC seed")
+		method  = flag.String("method", "Seq-BDC", "method, e.g. Seq-BDC, Opt-w/o-C")
+		budget  = flag.Duration("opt-budget", time.Second, "per-center budget for Opt methods")
+		load    = flag.String("load", "", "load an instance JSON file instead of generating")
+		save    = flag.String("save", "", "write the final solution to a JSON file")
+		svg     = flag.String("svg", "", "render the solution (cells, routes, transfers) to an SVG file")
+		trace   = flag.Bool("trace", false, "print every collaboration game iteration")
+	)
+	flag.Parse()
+
+	m, err := imtao.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+
+	var raw *imtao.Instance
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		raw, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d, err := workload.ParseDataset(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		p := imtao.DefaultParams(d)
+		p.NumTasks, p.NumWorkers, p.NumCenters = *tasks, *workers, *centers
+		p.Expiry, p.MaxT, p.Seed = *expiry, *maxT, *seed
+		raw, err = imtao.Generate(p)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	in, err := imtao.Partition(raw)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d centers, %d workers, %d tasks, speed %.0f units/h\n",
+		len(in.Centers), len(in.Workers), len(in.Tasks), in.Speed)
+	fmt.Println("\nper-center load after Voronoi partition:")
+	fmt.Printf("  %-8s %-8s %-8s\n", "center", "tasks", "workers")
+	for _, c := range in.Centers {
+		fmt.Printf("  %-8d %-8d %-8d\n", c.ID, len(c.Tasks), len(c.Workers))
+	}
+
+	rep, err := imtao.Run(in, m, imtao.WithSeed(*seed), imtao.WithOptBudget(*budget))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nphase 1 (center-independent %s): assigned %d/%d, U_rho %.4f, %s\n",
+		m.Assigner, rep.Phase1Assigned, len(in.Tasks), rep.Phase1Unfairness, rep.Phase1Time)
+	fmt.Printf("phase 2 (%s): %d game iterations, %d transfers, %s\n",
+		m.Collab, rep.Iterations, rep.Transfers, rep.Phase2Time)
+
+	if *trace {
+		fmt.Println("\ngame iterations:")
+		fmt.Printf("  %-5s %-9s %-7s %-7s %-9s %-9s %-9s %-9s\n",
+			"iter", "recipient", "worker", "from", "accepted", "rho", "assigned", "U_rho")
+		for _, s := range rep.Trace {
+			fmt.Printf("  %-5d %-9d %-7d %-7d %-9v %.3f→%.3f %-9d %-9.4f\n",
+				s.Iteration, s.Recipient, s.Worker, s.Source, s.Accepted,
+				s.RhoBefore, s.RhoAfter, s.Assigned, s.Unfairness)
+		}
+	}
+
+	if len(rep.Solution.Transfers) > 0 {
+		fmt.Println("\nworkforce transfers:")
+		for _, t := range rep.Solution.Transfers {
+			fmt.Printf("  worker %d: center %d → center %d\n", t.Worker, t.Src, t.Dst)
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteSolutionJSON(f, rep.Solution); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nsolution written to %s\n", *save)
+	}
+
+	fmt.Printf("\nfinal: assigned %d/%d (%.1f%%), unfairness U_rho %.4f\n",
+		rep.Assigned, len(in.Tasks), 100*float64(rep.Assigned)/float64(len(in.Tasks)),
+		rep.Unfairness)
+	fmt.Println("\nper-center assignment ratios:")
+	for ci, r := range rep.Ratios {
+		fmt.Printf("  center %-3d rho = %.3f\n", ci, r)
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		err = render.Instance(f, in, rep.Solution, render.Options{
+			ShowCells: true, ShowRoutes: true, ShowTransfers: true,
+		})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nSVG written to %s\n", *svg)
+	}
+
+	u := imtao.ComputeUtilization(in, rep.Solution)
+	fmt.Printf("\nworkforce utilization: %d/%d workers active, %d dispatched\n",
+		u.Active, u.Workers, u.Dispatched)
+	fmt.Printf("  %.2f tasks per active worker, capacity used %.0f%%\n",
+		u.TasksPerActive, 100*u.CapacityUsed)
+	fmt.Printf("  mean route %.2fh, longest route %.2fh\n", u.MeanRouteHours, u.MaxRouteHours)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imtao-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package imtao
+
+import (
+	"time"
+)
+
+// Comparison is the outcome of running several methods on one instance.
+type Comparison struct {
+	Method     Method
+	Assigned   int
+	Unfairness float64
+	Transfers  int
+	CPU        time.Duration
+}
+
+// CompareMethods runs each method on the same partitioned instance and
+// returns one row per method, in the given order — the "which strategy
+// should my platform use on this snapshot" helper.
+func CompareMethods(in *Instance, methods []Method, opts ...RunOption) ([]Comparison, error) {
+	if len(methods) == 0 {
+		methods = Methods()[:4] // the Seq methods
+	}
+	out := make([]Comparison, 0, len(methods))
+	for _, m := range methods {
+		rep, err := Run(in, m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Comparison{
+			Method:     m,
+			Assigned:   rep.Assigned,
+			Unfairness: rep.Unfairness,
+			Transfers:  rep.Transfers,
+			CPU:        rep.Phase1Time + rep.Phase2Time,
+		})
+	}
+	return out, nil
+}
+
+// Best returns the comparison row with the most assigned tasks, breaking
+// ties toward lower unfairness then earlier position.
+func Best(rows []Comparison) (Comparison, bool) {
+	if len(rows) == 0 {
+		return Comparison{}, false
+	}
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.Assigned > best.Assigned ||
+			(r.Assigned == best.Assigned && r.Unfairness < best.Unfairness) {
+			best = r
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,79 @@
+// Paper Fig. 1 walk-through: reconstructs the worked example from the
+// paper's introduction — three university-district centers, four workers,
+// six tasks — and shows the exact mechanism: center-independent assignment
+// leaves worker w2 idle and unfairness at ≈0.45; dispatching w2 to the
+// starved center and reassigning raises the assigned count and drops
+// unfairness to ≈0.33.
+//
+//	go run ./examples/paperfig1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imtao"
+)
+
+func main() {
+	// Geometry built so the center-independent ratios are (1.0, 0.5, 1/3),
+	// the paper's starting point. Speed 1 unit/h; expiries in hours.
+	b := imtao.NewBuilder(150, 100, 1)
+	c1 := b.AddCenter(0, 0)   // campus 1
+	c2 := b.AddCenter(100, 0) // campus 2
+	c3 := b.AddCenter(40, 0)  // campus 3
+
+	// Campus 1: two workers, one task — one worker will be surplus.
+	b.AddWorker(0, 1, 1)   // w1
+	b.AddWorker(1, 0, 1)   // w2 — the dispatchable one
+	b.AddTask(0, 2, 10, 1) // s1
+
+	// Campus 2: one worker, two tasks; s3 is out of reach (deadline).
+	b.AddWorker(100, 1, 1)    // w3
+	b.AddTask(100, 2, 10, 1)  // s2
+	b.AddTask(100, 60, 10, 1) // s3 — 60 units away, expires first
+
+	// Campus 3: one far-out worker, three tasks; w4 can reach only one,
+	// another is reachable only by a dispatched worker, one by nobody.
+	b.AddWorker(40, 30, 1)   // w4, 30 units from its center
+	b.AddTask(40, 28, 80, 1) // s5 — near w4's inbound path, long window
+	b.AddTask(40, 4, 50, 1)  // s6 — deliverable by a dispatched c1 worker
+	b.AddTask(40, 55, 10, 1) // s7 — expires before anyone arrives
+
+	in, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := map[imtao.CenterID]string{c1: "c1", c2: "c2", c3: "c3"}
+
+	independent, err := imtao.Run(in, imtao.SeqWoC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("center-independent task assignment (no collaboration):")
+	for ci, rho := range independent.Ratios {
+		fmt.Printf("  %s: rho = %.2f\n", names[imtao.CenterID(ci)], rho)
+	}
+	fmt.Printf("  assigned %d/%d, collaboration unfairness U_rho = %.2f\n",
+		independent.Assigned, len(in.Tasks), independent.Unfairness)
+
+	collaborative, err := imtao.Run(in, imtao.SeqBDC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwith IMTAO's inter-center workforce transfer:")
+	for _, tr := range collaborative.Solution.Transfers {
+		fmt.Printf("  dispatch worker w%d: %s → %s\n",
+			tr.Worker+1, names[tr.Src], names[tr.Dst])
+	}
+	for ci, rho := range collaborative.Ratios {
+		fmt.Printf("  %s: rho = %.2f\n", names[imtao.CenterID(ci)], rho)
+	}
+	fmt.Printf("  assigned %d/%d, collaboration unfairness U_rho = %.2f\n",
+		collaborative.Assigned, len(in.Tasks), collaborative.Unfairness)
+
+	fmt.Printf("\npaper's narrative: assigned up (%d → %d), unfairness down (%.2f → %.2f) — reproduced.\n",
+		independent.Assigned, collaborative.Assigned,
+		independent.Unfairness, collaborative.Unfairness)
+}

@@ -1,0 +1,39 @@
+// Quickstart: generate a paper-default synthetic scenario, run the proposed
+// Seq-BDC method, and compare it against the no-collaboration baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imtao"
+)
+
+func main() {
+	// The paper's default SYN setting: 20 centers, 100 workers, 400 tasks
+	// uniformly placed in a 2000×2000 service area, 1-hour deadlines,
+	// capacity 4 per worker.
+	params := imtao.DefaultParams(imtao.SYN)
+
+	baseline, err := imtao.Solve(params, imtao.SeqWoC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, err := imtao.Solve(params, imtao.SeqBDC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CMCTA on the paper's default SYN dataset")
+	fmt.Printf("  %-22s assigned %3d/%d   unfairness %.3f\n",
+		"Seq-w/o-C (baseline):", baseline.Assigned, params.NumTasks, baseline.Unfairness)
+	fmt.Printf("  %-22s assigned %3d/%d   unfairness %.3f\n",
+		"Seq-BDC (proposed):", proposed.Assigned, params.NumTasks, proposed.Unfairness)
+	fmt.Printf("\ncollaboration dispatched %d workers across centers in %d game iterations\n",
+		proposed.Transfers, proposed.Iterations)
+	fmt.Printf("gain: +%d tasks, unfairness −%.0f%%\n",
+		proposed.Assigned-baseline.Assigned,
+		100*(baseline.Unfairness-proposed.Unfairness)/baseline.Unfairness)
+}

@@ -1,0 +1,64 @@
+// Road network: replaces the paper's straight-line travel model with a
+// street grid and shows (1) how much street-constrained travel costs the
+// platform, and (2) how a congested downtown shifts IMTAO's workforce
+// transfers.
+//
+//	go run ./examples/roadnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imtao"
+)
+
+func main() {
+	params := imtao.DefaultParams(imtao.SYN)
+	params.NumTasks, params.NumWorkers, params.NumCenters = 200, 50, 10
+	params.Expiry = 1.5
+	params.Seed = 8
+
+	raw, err := imtao.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, metric imtao.TravelMetric) *imtao.Report {
+		scene := raw.Clone()
+		scene.Metric = metric
+		in, err := imtao.Partition(scene)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := imtao.Run(in, imtao.SeqBDC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s assigned %3d/%d, unfairness %.3f, %d transfers\n",
+			label, rep.Assigned, len(scene.Tasks), rep.Unfairness, rep.Transfers)
+		return rep
+	}
+
+	fmt.Println("Seq-BDC under three travel models (200 tasks, 50 couriers, 10 depots):")
+	straight := run("straight line (paper)", nil)
+
+	grid, err := imtao.NewRoadNetwork(raw.Bounds, 41, 41, params.Speed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onGrid := run("street grid", grid)
+
+	congested, err := imtao.NewRoadNetwork(raw.Bounds, 41, 41, params.Speed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rush-hour jam over the city center: everything within 400 units of
+	// the middle moves at one third speed.
+	congested.SetCongestionDisk(imtao.Point{X: 1000, Y: 1000}, 400, 3)
+	jammed := run("street grid + downtown jam", congested)
+
+	fmt.Printf("\nstreet detours cost %d deliveries; the downtown jam another %d.\n",
+		straight.Assigned-onGrid.Assigned, onGrid.Assigned-jammed.Assigned)
+	fmt.Println("every route stays deadline-feasible under whichever metric produced it.")
+}

@@ -1,0 +1,93 @@
+// Supermarket delivery: a hand-built Freshippo/Walmart-style scenario from
+// the paper's introduction. Three stores serve a city district; the morning
+// rush leaves the downtown store overloaded while a suburban store has idle
+// couriers. The example shows how IMTAO's workforce transfer fixes the
+// imbalance and what each courier's delivery route looks like.
+//
+//	go run ./examples/supermarket
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"imtao"
+)
+
+func main() {
+	// A 10 km × 10 km district; couriers ride at 18 km/h. Distances are in
+	// kilometres, times in hours.
+	b := imtao.NewBuilder(10, 10, 18)
+
+	downtown := b.AddCenter(5.0, 5.0)
+	westside := b.AddCenter(1.5, 6.0)
+	harbor := b.AddCenter(8.0, 2.0)
+
+	rng := rand.New(rand.NewSource(7))
+	jitter := func(v float64) float64 { return v + rng.Float64()*1.6 - 0.8 }
+
+	// Morning rush: 14 orders around downtown, 3 near the west side, 4 near
+	// the harbor — all due within 75 minutes.
+	for i := 0; i < 14; i++ {
+		b.AddTask(jitter(5.0), jitter(5.0), 1.25, 1)
+	}
+	for i := 0; i < 3; i++ {
+		b.AddTask(jitter(1.5), jitter(6.0), 1.25, 1)
+	}
+	for i := 0; i < 4; i++ {
+		b.AddTask(jitter(8.0), jitter(2.0), 1.25, 1)
+	}
+
+	// Couriers: downtown has only 2 on shift, the west side 4, the harbor 2.
+	for i := 0; i < 2; i++ {
+		b.AddWorker(jitter(5.0), jitter(5.0), 4)
+	}
+	for i := 0; i < 4; i++ {
+		b.AddWorker(jitter(1.5), jitter(6.0), 4)
+	}
+	for i := 0; i < 2; i++ {
+		b.AddWorker(jitter(8.0), jitter(2.0), 4)
+	}
+
+	in, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := map[imtao.CenterID]string{downtown: "downtown", westside: "west side", harbor: "harbor"}
+	fmt.Println("store load after the morning orders landed:")
+	for _, c := range in.Centers {
+		fmt.Printf("  %-10s %2d orders, %d couriers\n", names[c.ID], len(c.Tasks), len(c.Workers))
+	}
+
+	independent, err := imtao.Run(in, imtao.SeqWoC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	collaborative, err := imtao.Run(in, imtao.SeqBDC)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nwithout collaboration: %d/%d orders delivered on time (unfairness %.2f)\n",
+		independent.Assigned, len(in.Tasks), independent.Unfairness)
+	fmt.Printf("with IMTAO (Seq-BDC):  %d/%d orders delivered on time (unfairness %.2f)\n",
+		collaborative.Assigned, len(in.Tasks), collaborative.Unfairness)
+
+	if len(collaborative.Solution.Transfers) > 0 {
+		fmt.Println("\ncourier reallocations:")
+		for _, t := range collaborative.Solution.Transfers {
+			fmt.Printf("  courier %d rides from the %s store to help the %s store\n",
+				t.Worker, names[t.Src], names[t.Dst])
+		}
+	}
+
+	fmt.Println("\nfinal delivery routes:")
+	for _, a := range collaborative.Solution.PerCenter {
+		for _, r := range a.Routes {
+			fmt.Printf("  courier %d out of %-10s delivers orders %v\n",
+				r.Worker, names[r.Center], r.Tasks)
+		}
+	}
+}

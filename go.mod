@@ -1,0 +1,3 @@
+module imtao
+
+go 1.22

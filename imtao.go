@@ -1,0 +1,201 @@
+// Package imtao is the public API of this reproduction of "Optimizing
+// Multi-Center Collaboration for Task Assignment in Spatial Crowdsourcing"
+// (ICDE 2025): the Collaborative Multi-Center Task Assignment (CMCTA)
+// problem and the Iterative Multi-center Task Assignment and Optimization
+// (IMTAO) framework.
+//
+// # Overview
+//
+// A spatial-crowdsourcing platform runs several distribution centers. Every
+// task and worker belongs to the center whose Voronoi cell contains it.
+// IMTAO assigns tasks in two phases: an efficient per-center sequential
+// assignment, followed by a game-theoretic inter-center workforce transfer
+// that dispatches surplus workers to overloaded centers, maximizing the
+// number of assigned tasks while minimizing the unfairness of per-center
+// assignment ratios.
+//
+// # Quick start
+//
+//	params := imtao.DefaultParams(imtao.SYN)
+//	report, err := imtao.Solve(params, imtao.SeqBDC)
+//	if err != nil { ... }
+//	fmt.Println(report.Assigned, report.Unfairness)
+//
+// Custom scenarios are assembled with a Builder:
+//
+//	b := imtao.NewBuilder(2000, 2000, 30 /* km/h */)
+//	b.AddCenter(500, 500)
+//	b.AddCenter(1500, 500)
+//	b.AddWorker(480, 520, 4)
+//	b.AddTask(520, 480, 1.0, 1.0)
+//	in, err := b.Build() // partitioned instance
+//	report, err := imtao.Run(in, imtao.SeqBDC)
+//
+// The eight method presets of the paper — {Seq, Opt} × {BDC, RBDC, DC,
+// w/o-C} — are exposed as constants; SeqBDC is the paper's proposed method.
+package imtao
+
+import (
+	"time"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+	"imtao/internal/roadnet"
+	"imtao/internal/workload"
+)
+
+// Re-exported model vocabulary. These aliases make the internal packages'
+// types part of the public API without duplicating them.
+type (
+	// Instance is a complete CMCTA problem instance.
+	Instance = model.Instance
+	// Task is a spatial task s = (c, l, e, r).
+	Task = model.Task
+	// Worker is a worker w = (c, l, maxT).
+	Worker = model.Worker
+	// Center is a distribution center c = (l, S, W).
+	Center = model.Center
+	// Solution is a platform-wide task assignment with its transfers.
+	Solution = model.Solution
+	// Route is one worker's delivery run.
+	Route = model.Route
+	// Transfer is one inter-center workforce dispatch.
+	Transfer = model.Transfer
+	// TaskID identifies a task.
+	TaskID = model.TaskID
+	// WorkerID identifies a worker.
+	WorkerID = model.WorkerID
+	// CenterID identifies a center.
+	CenterID = model.CenterID
+	// Method is a method combination such as Seq-BDC.
+	Method = core.Method
+	// Report is the outcome of one IMTAO run.
+	Report = core.Report
+	// Params configures the dataset generators.
+	Params = workload.Params
+	// Dataset selects a generator family (GM or SYN).
+	Dataset = workload.Dataset
+	// Point is a 2-D location.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle (service areas, bounds).
+	Rect = geo.Rect
+	// Utilization summarises workforce usage of a solution.
+	Utilization = metrics.Utilization
+	// TravelMetric is a pluggable travel-time model (see NewRoadNetwork).
+	TravelMetric = model.TravelMetric
+	// RoadNetwork is a grid road network usable as an Instance's Metric.
+	RoadNetwork = roadnet.Network
+)
+
+// Dataset constants.
+const (
+	// SYN is the uniform synthetic dataset of the paper.
+	SYN = workload.SYN
+	// GM is the simulated gMission-like clustered dataset.
+	GM = workload.GM
+)
+
+// Method presets matching the paper's evaluated combinations.
+var (
+	// SeqBDC is the paper's proposed method: sequential assignment plus
+	// bi-directional game-theoretic collaboration.
+	SeqBDC = Method{Assigner: core.Seq, Collab: core.BDC}
+	// SeqRBDC randomizes recipient selection.
+	SeqRBDC = Method{Assigner: core.Seq, Collab: core.RBDC}
+	// SeqDC uses decomposed (leftover-only) collaboration.
+	SeqDC = Method{Assigner: core.Seq, Collab: core.DC}
+	// SeqWoC disables collaboration.
+	SeqWoC = Method{Assigner: core.Seq, Collab: core.WoC}
+	// OptBDC pairs the optimal per-center assigner with BDC.
+	OptBDC = Method{Assigner: core.Opt, Collab: core.BDC}
+	// OptRBDC pairs the optimal assigner with random recipients.
+	OptRBDC = Method{Assigner: core.Opt, Collab: core.RBDC}
+	// OptDC pairs the optimal assigner with decomposed collaboration.
+	OptDC = Method{Assigner: core.Opt, Collab: core.DC}
+	// OptWoC is the optimal assigner without collaboration.
+	OptWoC = Method{Assigner: core.Opt, Collab: core.WoC}
+)
+
+// Methods returns all eight method presets in the paper's order.
+func Methods() []Method { return core.Methods() }
+
+// ParseMethod parses method names such as "Seq-BDC" (case-insensitive).
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// DefaultParams returns the paper's Table I default parameters for a dataset.
+func DefaultParams(d Dataset) Params { return workload.Defaults(d) }
+
+// Generate builds an unpartitioned instance from generator parameters.
+func Generate(p Params) (*Instance, error) { return workload.Generate(p) }
+
+// Partition attaches every task and worker to its nearest center via a
+// Voronoi diagram over center locations (paper Algorithm 1), returning a new
+// instance.
+func Partition(in *Instance) (*Instance, error) {
+	out, _, err := core.Partition(in)
+	return out, err
+}
+
+// RunOption customises Run.
+type RunOption func(*core.Config)
+
+// WithSeed sets the seed used by randomized methods (RBDC recipients).
+func WithSeed(seed int64) RunOption {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithOptBudget bounds the per-center search time of the Opt assigner.
+// Zero (the default) runs the exact search to completion.
+func WithOptBudget(d time.Duration) RunOption {
+	return func(c *core.Config) { c.OptBudget = d }
+}
+
+// Run executes the IMTAO pipeline on a partitioned instance with the given
+// method.
+func Run(in *Instance, m Method, opts ...RunOption) (*Report, error) {
+	cfg := core.Config{Method: m}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Run(in, cfg)
+}
+
+// NewRoadNetwork builds a grid road network over the instance bounds that
+// can be installed as Instance.Metric, replacing straight-line travel with
+// street-constrained shortest paths (optionally congested via its
+// SetCongestion methods).
+func NewRoadNetwork(bounds geo.Rect, nx, ny int, speed float64) (*RoadNetwork, error) {
+	return roadnet.New(bounds, nx, ny, speed)
+}
+
+// ComputeUtilization derives workforce statistics (active workers, route
+// hours, capacity usage) from a solution.
+func ComputeUtilization(in *Instance, s *Solution) Utilization {
+	return metrics.ComputeUtilization(in, s)
+}
+
+// Unfairness computes the paper's collaboration unfairness U_ρ (Eq. 3) over
+// a ratio vector; Gini and Jain are alternative fairness indices.
+func Unfairness(rhos []float64) float64 { return metrics.Unfairness(rhos) }
+
+// Gini computes the Gini coefficient of the values.
+func Gini(values []float64) float64 { return metrics.Gini(values) }
+
+// Jain computes Jain's fairness index of the values.
+func Jain(values []float64) float64 { return metrics.Jain(values) }
+
+// Solve is the one-call convenience: generate a dataset, partition it, and
+// run the method.
+func Solve(p Params, m Method, opts ...RunOption) (*Report, error) {
+	raw, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	in, _, err := core.Partition(raw)
+	if err != nil {
+		return nil, err
+	}
+	return Run(in, m, opts...)
+}

@@ -1,0 +1,190 @@
+// Package anneal provides a global-search comparator for the CMCTA
+// problem: simulated annealing over the assignment of workers to centers.
+// IMTAO restricts itself to dispatching phase-1 surplus workers one at a
+// time; the annealer may place ANY worker at ANY center and therefore
+// explores a strict superset of IMTAO's reachable states. It is far more
+// expensive and comes with no equilibrium semantics — its role is to
+// estimate how much headroom the game-theoretic heuristic leaves on the
+// table (EXPERIMENTS.md ablation, "upper bound" analysis).
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"imtao/internal/assign"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+)
+
+// Config tunes the annealer.
+type Config struct {
+	// Iterations is the number of proposed moves; default 2000.
+	Iterations int
+	// InitialTemp and FinalTemp bound the geometric cooling schedule;
+	// defaults 1.0 → 0.01.
+	InitialTemp, FinalTemp float64
+	// UnfairnessWeight trades the secondary objective against the primary:
+	// score = assigned − UnfairnessWeight·U_ρ·|S|. Default 0.1·|S| scaling
+	// keeps the primary objective dominant, matching the paper's
+	// lexicographic intent.
+	UnfairnessWeight float64
+	// Rng drives proposals and acceptance; required.
+	Rng *rand.Rand
+	// Assigner evaluates a placement (default: assign.Sequential).
+	Assigner func(in *model.Instance, c *model.Center, ws []model.WorkerID, ts []model.TaskID) assign.Result
+}
+
+// Result is the annealer's outcome.
+type Result struct {
+	Solution   *model.Solution
+	Assigned   int
+	Unfairness float64
+	// Placement[w] is the center each worker serves in the best state.
+	Placement []model.CenterID
+	// Evaluations counts full platform re-assignments performed.
+	Evaluations int
+}
+
+// Optimize runs simulated annealing over worker→center placements, starting
+// from the home placement (every worker at its own center). Each move
+// re-places one random worker at a random center and re-runs the per-center
+// assigner for the affected centers only.
+func Optimize(in *model.Instance, cfg Config) (*Result, error) {
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2000
+	}
+	if cfg.InitialTemp <= 0 {
+		cfg.InitialTemp = 1
+	}
+	if cfg.FinalTemp <= 0 || cfg.FinalTemp >= cfg.InitialTemp {
+		cfg.FinalTemp = cfg.InitialTemp / 100
+	}
+	if cfg.Assigner == nil {
+		cfg.Assigner = assign.Sequential
+	}
+	if cfg.UnfairnessWeight == 0 {
+		cfg.UnfairnessWeight = 0.1
+	}
+	nC := len(in.Centers)
+	if nC == 0 {
+		return nil, model.ErrBadReference
+	}
+
+	// placement[w] = serving center.
+	placement := make([]model.CenterID, len(in.Workers))
+	for i, w := range in.Workers {
+		placement[i] = w.Home
+	}
+
+	// Per-center cached evaluation.
+	workersOf := func(pl []model.CenterID, c model.CenterID) []model.WorkerID {
+		var out []model.WorkerID
+		for wi, pc := range pl {
+			if pc == c {
+				out = append(out, model.WorkerID(wi))
+			}
+		}
+		return out
+	}
+	evals := 0
+	assignedOf := make([]int, nC)
+	routesOf := make([][]model.Route, nC)
+	evalCenter := func(pl []model.CenterID, ci model.CenterID) (int, []model.Route) {
+		evals++
+		c := in.Center(ci)
+		res := cfg.Assigner(in, c, workersOf(pl, ci), c.Tasks)
+		return res.AssignedCount(), res.Routes
+	}
+	for ci := 0; ci < nC; ci++ {
+		assignedOf[ci], routesOf[ci] = evalCenter(placement, model.CenterID(ci))
+	}
+
+	score := func(assigned []int) float64 {
+		total := 0
+		rhos := make([]float64, nC)
+		for ci := 0; ci < nC; ci++ {
+			total += assigned[ci]
+			rhos[ci] = metrics.Ratio(assigned[ci], len(in.Centers[ci].Tasks))
+		}
+		return float64(total) - cfg.UnfairnessWeight*metrics.Unfairness(rhos)*float64(len(in.Tasks))
+	}
+
+	cur := score(assignedOf)
+	bestScore := cur
+	bestPlacement := append([]model.CenterID(nil), placement...)
+	bestAssigned := append([]int(nil), assignedOf...)
+	bestRoutes := cloneRouteSets(routesOf)
+
+	cooling := math.Pow(cfg.FinalTemp/cfg.InitialTemp, 1/float64(cfg.Iterations))
+	temp := cfg.InitialTemp
+	for it := 0; it < cfg.Iterations; it++ {
+		w := cfg.Rng.Intn(len(placement))
+		from := placement[w]
+		to := model.CenterID(cfg.Rng.Intn(nC))
+		if to == from {
+			temp *= cooling
+			continue
+		}
+		placement[w] = to
+		newFromA, newFromR := evalCenter(placement, from)
+		newToA, newToR := evalCenter(placement, to)
+		oldFromA, oldToA := assignedOf[from], assignedOf[to]
+		oldFromR, oldToR := routesOf[from], routesOf[to]
+		assignedOf[from], assignedOf[to] = newFromA, newToA
+		routesOf[from], routesOf[to] = newFromR, newToR
+		next := score(assignedOf)
+		accept := next >= cur || cfg.Rng.Float64() < math.Exp((next-cur)/math.Max(temp, 1e-12))
+		if accept {
+			cur = next
+			if cur > bestScore {
+				bestScore = cur
+				copy(bestPlacement, placement)
+				copy(bestAssigned, assignedOf)
+				bestRoutes = cloneRouteSets(routesOf)
+			}
+		} else {
+			placement[w] = from
+			assignedOf[from], assignedOf[to] = oldFromA, oldToA
+			routesOf[from], routesOf[to] = oldFromR, oldToR
+		}
+		temp *= cooling
+	}
+
+	sol := model.NewSolution(in)
+	total := 0
+	rhos := make([]float64, nC)
+	for ci := 0; ci < nC; ci++ {
+		sol.PerCenter[ci].Routes = bestRoutes[ci]
+		total += bestAssigned[ci]
+		rhos[ci] = metrics.Ratio(bestAssigned[ci], len(in.Centers[ci].Tasks))
+	}
+	for wi, pc := range bestPlacement {
+		if home := in.Workers[wi].Home; pc != home {
+			sol.Transfers = append(sol.Transfers, model.Transfer{
+				Src: home, Dst: pc, Worker: model.WorkerID(wi),
+			})
+		}
+	}
+	return &Result{
+		Solution:    sol,
+		Assigned:    total,
+		Unfairness:  metrics.Unfairness(rhos),
+		Placement:   bestPlacement,
+		Evaluations: evals,
+	}, nil
+}
+
+func cloneRouteSets(sets [][]model.Route) [][]model.Route {
+	out := make([][]model.Route, len(sets))
+	for i, rs := range sets {
+		out[i] = make([]model.Route, len(rs))
+		for j, r := range rs {
+			out[i][j] = model.Route{Worker: r.Worker, Center: r.Center, Tasks: append([]model.TaskID(nil), r.Tasks...)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/routing"
+	"imtao/internal/workload"
+)
+
+func instance(t *testing.T, seed int64) *model.Instance {
+	t.Helper()
+	p := workload.Defaults(workload.SYN)
+	p.NumTasks, p.NumWorkers, p.NumCenters = 120, 30, 6
+	p.Seed = seed
+	raw, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := core.Partition(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestOptimizeImprovesOverHomePlacement(t *testing.T) {
+	in := instance(t, 1)
+	base, err := core.Run(in, core.Config{Method: core.Method{Assigner: core.Seq, Collab: core.WoC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(in, Config{Iterations: 1500, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assigned < base.Assigned {
+		t.Fatalf("annealing %d below the home placement %d", res.Assigned, base.Assigned)
+	}
+	if err := routing.SolutionFeasible(in, res.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestOptimizeBoundsIMTAOFromAbove(t *testing.T) {
+	// The annealer's search space strictly contains IMTAO's reachable
+	// states, so with enough iterations its best score should match or
+	// exceed IMTAO's on the primary objective (up to search noise; we allow
+	// a one-task slack and check across seeds in aggregate).
+	var annealTotal, imtaoTotal int
+	for seed := int64(1); seed <= 3; seed++ {
+		in := instance(t, seed)
+		imtao, err := core.Run(in, core.Config{Method: core.Method{Assigner: core.Seq, Collab: core.BDC}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(in, Config{Iterations: 3000, Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		annealTotal += res.Assigned
+		imtaoTotal += imtao.Assigned
+	}
+	if annealTotal < imtaoTotal-3 {
+		t.Fatalf("annealing aggregate %d clearly below IMTAO %d", annealTotal, imtaoTotal)
+	}
+}
+
+func TestOptimizeTransfersConsistent(t *testing.T) {
+	in := instance(t, 4)
+	res, err := Optimize(in, Config{Iterations: 800, Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Solution.Transfers {
+		if in.Worker(tr.Worker).Home != tr.Src {
+			t.Fatalf("transfer source mismatch: %+v", tr)
+		}
+		if res.Placement[tr.Worker] != tr.Dst {
+			t.Fatalf("placement/transfer mismatch: %+v", tr)
+		}
+	}
+}
+
+func TestOptimizeDefaultsAndDeterminism(t *testing.T) {
+	in := instance(t, 6)
+	a, err := Optimize(in, Config{Iterations: 500, Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(in, Config{Iterations: 500, Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assigned != b.Assigned || a.Unfairness != b.Unfairness {
+		t.Fatal("same seed must reproduce the run")
+	}
+}
+
+func TestOptimizeEmptyCenters(t *testing.T) {
+	in := &model.Instance{Speed: 1, Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(1, 1))}
+	if _, err := Optimize(in, Config{Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("no centers must error")
+	}
+}

@@ -1,0 +1,244 @@
+// Package assign implements phase 1 of IMTAO: center-independent spatial
+// task assignment. It provides the paper's two per-center assigners:
+//
+//   - Sequential — the efficient sequential task assignment heuristic
+//     (paper Algorithm 2): workers sorted marginal-first, each greedily
+//     extending a delivery sequence with the nearest unassigned task that
+//     still meets its deadline.
+//
+//   - Optimal — the "Opt" baseline (paper §VI-A): enumerate every valid
+//     task delivery set (VTDS) per worker, then resolve conflicts exactly
+//     with branch-and-bound set packing maximizing the number of assigned
+//     tasks.
+//
+// Both operate on an explicit worker/task list so that phase 2 can re-run
+// them over a recipient center's own plus borrowed workers (the
+// bi-directional collaboration of paper §V-D).
+package assign
+
+import (
+	"math/rand"
+	"sort"
+
+	"imtao/internal/geo"
+	"imtao/internal/index"
+	"imtao/internal/model"
+)
+
+// Result is the outcome of a per-center assignment: the routes of A(c) —
+// one per worker that received a non-empty VTDS — plus the unused workers
+// c.W_left and unassigned tasks c.S_left that feed phase 2.
+type Result struct {
+	Routes      []model.Route
+	LeftWorkers []model.WorkerID
+	LeftTasks   []model.TaskID
+}
+
+// AssignedCount returns the number of tasks assigned in the result.
+func (r *Result) AssignedCount() int {
+	n := 0
+	for _, rt := range r.Routes {
+		n += len(rt.Tasks)
+	}
+	return n
+}
+
+// WorkerOrder selects the order in which Sequential serves workers.
+// The paper sorts by distance from the center descending ("marginal workers
+// first", Algorithm 2 line 4); the alternatives exist for the ablation study.
+type WorkerOrder int
+
+const (
+	// MarginalFirst is the paper's order: farthest worker from the center
+	// first, so workers with the least remaining delivery time get the
+	// first pick of tasks.
+	MarginalFirst WorkerOrder = iota
+	// NearestFirst is the reverse of the paper's order.
+	NearestFirst
+	// ByID serves workers in ID order (arrival order).
+	ByID
+	// RandomOrder shuffles workers with the Options RNG.
+	RandomOrder
+)
+
+// Options tunes Sequential. The zero value reproduces the paper exactly.
+type Options struct {
+	Order WorkerOrder
+	// Rng is required only for RandomOrder.
+	Rng *rand.Rand
+	// LinearScan disables the grid index and finds nearest tasks by linear
+	// scan — the index-choice ablation.
+	LinearScan bool
+}
+
+// Sequential runs paper Algorithm 2 for center c over the given worker and
+// task sets. Tasks are assigned in nearest-first order per worker; a worker's
+// sequence ends when capacity is reached or the nearest remaining task can no
+// longer meet its deadline. The returned routes pick up at center c.
+func Sequential(in *model.Instance, c *model.Center, workers []model.WorkerID, tasks []model.TaskID) Result {
+	return SequentialOpt(in, c, workers, tasks, Options{})
+}
+
+// SequentialOpt is Sequential with explicit options.
+func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID, tasks []model.TaskID, opt Options) Result {
+	res := Result{}
+	if len(workers) == 0 {
+		res.LeftTasks = append([]model.TaskID(nil), tasks...)
+		return res
+	}
+
+	// Algorithm 2 line 4: order workers. Ties break by ID for determinism.
+	order := append([]model.WorkerID(nil), workers...)
+	switch opt.Order {
+	case MarginalFirst:
+		sort.Slice(order, func(i, j int) bool {
+			di := in.Worker(order[i]).Loc.Dist2(c.Loc)
+			dj := in.Worker(order[j]).Loc.Dist2(c.Loc)
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+	case NearestFirst:
+		sort.Slice(order, func(i, j int) bool {
+			di := in.Worker(order[i]).Loc.Dist2(c.Loc)
+			dj := in.Worker(order[j]).Loc.Dist2(c.Loc)
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+	case ByID:
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	case RandomOrder:
+		rng := opt.Rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(0))
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	// Unassigned-task pool with nearest queries.
+	var pool taskPool
+	if opt.LinearScan {
+		pool = newLinearPool(in, tasks)
+	} else {
+		pool = newGridPool(in, tasks)
+	}
+
+	for _, wid := range order {
+		w := in.Worker(wid)
+		route := model.Route{Worker: wid, Center: c.ID}
+		// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
+		t := in.TravelTime(w.Loc, c.Loc)
+		cur := c.Loc
+		for len(route.Tasks) < w.MaxT && pool.len() > 0 {
+			// Line 10: nearest unassigned task to the worker's position.
+			sid, ok := pool.nearest(cur)
+			if !ok {
+				break
+			}
+			task := in.Task(sid)
+			arrive := t + in.TravelTime(cur, task.Loc)
+			// Line 11: deadline check. Under the paper's uniform expiry a
+			// failing nearest task means every remaining task fails too, so
+			// the sequence ends here.
+			if arrive > task.Expiry+timeEps {
+				break
+			}
+			pool.remove(sid)
+			route.Tasks = append(route.Tasks, sid)
+			t = arrive
+			cur = task.Loc
+		}
+		if len(route.Tasks) == 0 {
+			// Line 19: unused worker — available for workforce transfer.
+			res.LeftWorkers = append(res.LeftWorkers, wid)
+		} else {
+			res.Routes = append(res.Routes, route)
+		}
+	}
+	res.LeftTasks = pool.remaining()
+	sort.Slice(res.LeftTasks, func(i, j int) bool { return res.LeftTasks[i] < res.LeftTasks[j] })
+	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
+	return res
+}
+
+const timeEps = 1e-9
+
+// taskPool abstracts the unassigned-task set with nearest queries and
+// removal, so the index choice can be ablated.
+type taskPool interface {
+	nearest(q geo.Point) (model.TaskID, bool)
+	remove(model.TaskID)
+	len() int
+	remaining() []model.TaskID
+}
+
+type gridPool struct{ g *index.Grid }
+
+func newGridPool(in *model.Instance, tasks []model.TaskID) *gridPool {
+	bounds := in.Bounds
+	g := index.NewGrid(bounds, max(len(tasks), 1), 4)
+	for _, id := range tasks {
+		g.Insert(index.Item{ID: int(id), Point: in.Task(id).Loc})
+	}
+	return &gridPool{g: g}
+}
+
+func (p *gridPool) nearest(q geo.Point) (model.TaskID, bool) {
+	it, ok := p.g.Nearest(q)
+	return model.TaskID(it.ID), ok
+}
+func (p *gridPool) remove(id model.TaskID) { p.g.Remove(int(id)) }
+func (p *gridPool) len() int               { return p.g.Len() }
+func (p *gridPool) remaining() []model.TaskID {
+	items := p.g.Items()
+	out := make([]model.TaskID, len(items))
+	for i, it := range items {
+		out[i] = model.TaskID(it.ID)
+	}
+	return out
+}
+
+type linearPool struct {
+	items []index.Item
+}
+
+func newLinearPool(in *model.Instance, tasks []model.TaskID) *linearPool {
+	p := &linearPool{items: make([]index.Item, len(tasks))}
+	for i, id := range tasks {
+		p.items[i] = index.Item{ID: int(id), Point: in.Task(id).Loc}
+	}
+	return p
+}
+
+func (p *linearPool) nearest(q geo.Point) (model.TaskID, bool) {
+	it, ok := index.LinearNearest(p.items, q, nil)
+	return model.TaskID(it.ID), ok
+}
+
+func (p *linearPool) remove(id model.TaskID) {
+	for i, it := range p.items {
+		if it.ID == int(id) {
+			p.items[i] = p.items[len(p.items)-1]
+			p.items = p.items[:len(p.items)-1]
+			return
+		}
+	}
+}
+func (p *linearPool) len() int { return len(p.items) }
+func (p *linearPool) remaining() []model.TaskID {
+	out := make([]model.TaskID, len(p.items))
+	for i, it := range p.items {
+		out[i] = model.TaskID(it.ID)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

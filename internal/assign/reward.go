@@ -1,0 +1,102 @@
+package assign
+
+import (
+	"sort"
+
+	"imtao/internal/model"
+)
+
+// The paper fixes every reward at s.r = 1, making "maximize assigned tasks"
+// and "maximize collected reward" the same objective. Real platforms price
+// tasks differently, so this file provides the reward-weighted
+// generalisation: a sequential assigner whose greedy step weighs a task's
+// reward against the detour it costs. With uniform rewards it reduces to a
+// pure nearest-task rule like Algorithm 2 (up to tie-breaking among
+// equally-near tasks).
+
+// SequentialByReward assigns tasks per center like Sequential but greedily
+// maximises reward-per-travel-hour at each step: among the feasible
+// unassigned tasks, each worker repeatedly takes the one with the highest
+// r / Δt where Δt is the incremental travel time (deterministic tie-break:
+// nearer task, then smaller ID). Workers are served marginal-first exactly
+// as in Algorithm 2.
+func SequentialByReward(in *model.Instance, c *model.Center, workers []model.WorkerID, tasks []model.TaskID) Result {
+	res := Result{}
+	if len(workers) == 0 {
+		res.LeftTasks = append([]model.TaskID(nil), tasks...)
+		return res
+	}
+	order := append([]model.WorkerID(nil), workers...)
+	sort.Slice(order, func(i, j int) bool {
+		di := in.Worker(order[i]).Loc.Dist2(c.Loc)
+		dj := in.Worker(order[j]).Loc.Dist2(c.Loc)
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	remaining := append([]model.TaskID(nil), tasks...)
+	for _, wid := range order {
+		w := in.Worker(wid)
+		route := model.Route{Worker: wid, Center: c.ID}
+		t := in.TravelTime(w.Loc, c.Loc)
+		cur := c.Loc
+		for len(route.Tasks) < w.MaxT && len(remaining) > 0 {
+			bestIdx := -1
+			bestScore := -1.0
+			bestDt := 0.0
+			for i, tid := range remaining {
+				task := in.Task(tid)
+				dt := in.TravelTime(cur, task.Loc)
+				if t+dt > task.Expiry+timeEps {
+					continue
+				}
+				// Guard the zero-distance case: a task at the worker's
+				// position is free reward and always wins.
+				score := task.Reward / (dt + 1e-12)
+				better := score > bestScore
+				if score == bestScore && bestIdx >= 0 {
+					if dt != bestDt {
+						better = dt < bestDt
+					} else {
+						better = tid < remaining[bestIdx]
+					}
+				}
+				if better {
+					bestIdx, bestScore, bestDt = i, score, dt
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			tid := remaining[bestIdx]
+			task := in.Task(tid)
+			t += bestDt
+			cur = task.Loc
+			route.Tasks = append(route.Tasks, tid)
+			remaining[bestIdx] = remaining[len(remaining)-1]
+			remaining = remaining[:len(remaining)-1]
+		}
+		if len(route.Tasks) == 0 {
+			res.LeftWorkers = append(res.LeftWorkers, wid)
+		} else {
+			res.Routes = append(res.Routes, route)
+		}
+	}
+	res.LeftTasks = remaining
+	sort.Slice(res.LeftTasks, func(i, j int) bool { return res.LeftTasks[i] < res.LeftTasks[j] })
+	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
+	return res
+}
+
+// TotalReward sums the rewards of the tasks assigned in the result.
+func (r *Result) TotalReward(in *model.Instance) float64 {
+	var sum float64
+	for _, rt := range r.Routes {
+		for _, tid := range rt.Tasks {
+			sum += in.Task(tid).Reward
+		}
+	}
+	return sum
+}

@@ -1,0 +1,120 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/routing"
+)
+
+func TestSequentialByRewardPrefersHighValue(t *testing.T) {
+	// Two tasks at equal distance, very different rewards, capacity 1:
+	// the reward-aware assigner must take the valuable one.
+	in := centerScene(
+		[]geo.Point{geo.Pt(0, 0)},
+		[]geo.Point{geo.Pt(5, 0), geo.Pt(-5, 0)},
+		100, 1,
+	)
+	in.Tasks[1].Reward = 10
+	res := SequentialByReward(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks)
+	if res.AssignedCount() != 1 {
+		t.Fatalf("assigned %d", res.AssignedCount())
+	}
+	if res.Routes[0].Tasks[0] != 1 {
+		t.Fatalf("took task %d, want the reward-10 task", res.Routes[0].Tasks[0])
+	}
+	if got := res.TotalReward(in); got != 10 {
+		t.Fatalf("TotalReward = %v", got)
+	}
+}
+
+func TestSequentialByRewardUniformMatchesCount(t *testing.T) {
+	// With uniform rewards it behaves like a nearest-style greedy: same
+	// assigned COUNT as Sequential on easy instances (routes may differ).
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 20; trial++ {
+		nw, nt := 1+rng.Intn(5), 1+rng.Intn(20)
+		wl := make([]geo.Point, nw)
+		tl := make([]geo.Point, nt)
+		for i := range wl {
+			wl[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		for i := range tl {
+			tl[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		in := centerScene(wl, tl, 1e6, 4) // no deadline pressure
+		ws, ts := allIDs(in)
+		a := Sequential(in, in.Center(0), ws, ts)
+		b := SequentialByReward(in, in.Center(0), ws, ts)
+		if a.AssignedCount() != b.AssignedCount() {
+			t.Fatalf("trial %d: count %d vs %d under uniform rewards (no deadlines)",
+				trial, a.AssignedCount(), b.AssignedCount())
+		}
+	}
+}
+
+func TestSequentialByRewardFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 30; trial++ {
+		nw, nt := 1+rng.Intn(6), 1+rng.Intn(25)
+		wl := make([]geo.Point, nw)
+		tl := make([]geo.Point, nt)
+		for i := range wl {
+			wl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		for i := range tl {
+			tl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		in := centerScene(wl, tl, 50+rng.Float64()*150, 1+rng.Intn(4))
+		for i := range in.Tasks {
+			in.Tasks[i].Reward = 1 + rng.Float64()*9
+		}
+		ws, ts := allIDs(in)
+		res := SequentialByReward(in, in.Center(0), ws, ts)
+		seen := map[model.TaskID]bool{}
+		for _, r := range res.Routes {
+			if !routing.OrderFeasible(in, in.Worker(r.Worker), in.Center(0), r.Tasks) {
+				t.Fatalf("trial %d: infeasible route", trial)
+			}
+			for _, tid := range r.Tasks {
+				if seen[tid] {
+					t.Fatalf("trial %d: duplicate task", trial)
+				}
+				seen[tid] = true
+			}
+		}
+		if len(seen)+len(res.LeftTasks) != nt {
+			t.Fatalf("trial %d: conservation broken", trial)
+		}
+	}
+}
+
+func TestSequentialByRewardEmpty(t *testing.T) {
+	in := centerScene([]geo.Point{geo.Pt(0, 0)}, []geo.Point{geo.Pt(1, 0)}, 100, 4)
+	res := SequentialByReward(in, in.Center(0), nil, in.Centers[0].Tasks)
+	if res.AssignedCount() != 0 || len(res.LeftTasks) != 1 {
+		t.Fatal("no workers")
+	}
+}
+
+func TestSequentialByRewardBeatsCountGreedyOnReward(t *testing.T) {
+	// A cluster of cheap nearby tasks vs a valuable slightly-farther one
+	// with capacity 1: Sequential takes the nearest (cheap), ByReward takes
+	// the valuable one.
+	in := centerScene(
+		[]geo.Point{geo.Pt(0, 0)},
+		[]geo.Point{geo.Pt(1, 0), geo.Pt(3, 0)},
+		100, 1,
+	)
+	in.Tasks[0].Reward = 1
+	in.Tasks[1].Reward = 100
+	ws, ts := allIDs(in)
+	count := Sequential(in, in.Center(0), ws, ts)
+	reward := SequentialByReward(in, in.Center(0), ws, ts)
+	if reward.TotalReward(in) <= count.TotalReward(in) {
+		t.Fatalf("reward-aware %v should beat count-greedy %v on reward",
+			reward.TotalReward(in), count.TotalReward(in))
+	}
+}

@@ -1,0 +1,361 @@
+// Package collab implements phase 2 of IMTAO: the game-theoretic
+// inter-center workforce transfer of paper §V (Algorithm 3).
+//
+// Centers are players; a recipient center's strategy is its borrowing worker
+// set BWS(c); utilities are the UUP of Eq. 4. The best-response dynamics is
+// specialised exactly as in the paper: in every iteration the recipient
+// center with the lowest assignment ratio extends its BWS by the single
+// available worker that maximises its post-reassignment ratio, keeps the
+// move iff the ratio strictly improves, and drops out of the game otherwise.
+// The loop reaches a state where no center can unilaterally improve — a pure
+// Nash equilibrium of the collaboration game.
+//
+// The reassignment step is pluggable, giving the paper's baselines:
+//
+//	BDC  — bi-directional collaboration: re-run the per-center assigner over
+//	       all of the recipient's workers (own + borrowed + candidate).
+//	DC   — decomposed collaboration: the candidate worker only receives
+//	       leftover tasks; prior routes stay frozen.
+//	RBDC — BDC with the recipient picked uniformly at random instead of
+//	       by minimum ratio.
+package collab
+
+import (
+	"math/rand"
+	"sort"
+
+	"imtao/internal/assign"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+)
+
+// RecipientPolicy selects the recipient center each iteration.
+type RecipientPolicy int
+
+const (
+	// MinRatio picks the center with the lowest assignment ratio
+	// (paper Algorithm 3 line 13) — the BDC/DC setting.
+	MinRatio RecipientPolicy = iota
+	// RandomRecipient picks uniformly at random — the RBDC baseline.
+	RandomRecipient
+	// MaxLeftover picks the center with the most unassigned tasks — an
+	// ablation alternative (DESIGN.md §6) that chases volume rather than
+	// fairness.
+	MaxLeftover
+)
+
+// Scope selects how a recipient reassigns after borrowing a worker.
+type Scope int
+
+const (
+	// FullReassign re-runs the assigner over the recipient's complete
+	// worker set — the paper's bi-directional collaboration.
+	FullReassign Scope = iota
+	// LeftoverOnly gives the borrowed worker leftover tasks without touching
+	// existing routes — the paper's decomposed collaboration (DC).
+	LeftoverOnly
+)
+
+// Assigner is a per-center assignment routine: Sequential or Optimal from
+// the assign package (or any custom policy with the same contract).
+type Assigner func(in *model.Instance, c *model.Center, workers []model.WorkerID, tasks []model.TaskID) assign.Result
+
+// CandidatePolicy selects how the dispatched worker is chosen among the
+// available pool each iteration (Algorithm 3 line 14).
+type CandidatePolicy int
+
+const (
+	// BestResponse evaluates every available worker by re-assignment and
+	// picks the ratio-maximising one — the paper's best-response step.
+	BestResponse CandidatePolicy = iota
+	// NearestWorker picks the available worker closest to the recipient
+	// center — a cheap heuristic ablation that skips the trial
+	// re-assignments (one evaluation per iteration instead of |pool|).
+	NearestWorker
+)
+
+// Config configures a collaboration run.
+type Config struct {
+	Recipient RecipientPolicy
+	Candidate CandidatePolicy
+	Scope     Scope
+	Assigner  Assigner
+	// Rng drives RandomRecipient; ignored otherwise. Required when
+	// Recipient == RandomRecipient.
+	Rng *rand.Rand
+	// MaxIterations caps the game loop as a safety net; 0 means the natural
+	// bound (every worker transferred once plus every center dropped once).
+	MaxIterations int
+}
+
+// TraceStep records one iteration of the collaboration game, feeding the
+// convergence analysis of paper Fig. 11.
+type TraceStep struct {
+	Iteration  int
+	Recipient  model.CenterID
+	Worker     model.WorkerID // worker evaluated (undefined when none available)
+	Source     model.CenterID // the worker's home center
+	Accepted   bool
+	RhoBefore  float64
+	RhoAfter   float64
+	Assigned   int     // platform-wide assigned tasks after the step
+	Unfairness float64 // platform-wide U_ρ after the step
+}
+
+// Result bundles the collaboration outcome.
+type Result struct {
+	Solution *model.Solution
+	Trace    []TraceStep
+	// Iterations is the number of game iterations executed (accepted or
+	// rejected), matching η in Algorithm 3.
+	Iterations int
+}
+
+// NoCollaboration assembles the phase-1 results into a Solution without any
+// workforce transfer — the paper's w/o-C baseline.
+func NoCollaboration(in *model.Instance, phase1 []assign.Result) *model.Solution {
+	sol := model.NewSolution(in)
+	for ci := range in.Centers {
+		sol.PerCenter[ci].Routes = cloneRoutes(phase1[ci].Routes)
+	}
+	return sol
+}
+
+// Run executes the multi-center collaboration game (paper Algorithm 3) on
+// top of the phase-1 per-center results and returns the final solution with
+// its iteration trace. The instance is not mutated.
+func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
+	if cfg.Assigner == nil {
+		cfg.Assigner = assign.Sequential
+	}
+	n := len(in.Centers)
+
+	// Per-center mutable state.
+	type centerState struct {
+		routes    []model.Route
+		leftTasks []model.TaskID
+		// own is the set of workers homed here and not lent out.
+		own map[model.WorkerID]bool
+		// borrowed workers received from other centers, in arrival order.
+		borrowed []model.WorkerID
+		rho      float64
+	}
+	states := make([]centerState, n)
+	// pool is the available worker set C.W_left: worker -> home center.
+	pool := make(map[model.WorkerID]model.CenterID)
+	for ci := range in.Centers {
+		st := &states[ci]
+		st.routes = cloneRoutes(phase1[ci].Routes)
+		st.leftTasks = append([]model.TaskID(nil), phase1[ci].LeftTasks...)
+		st.own = make(map[model.WorkerID]bool, len(in.Centers[ci].Workers))
+		for _, w := range in.Centers[ci].Workers {
+			st.own[w] = true
+		}
+		st.rho = metrics.Ratio(countTasks(st.routes), len(in.Centers[ci].Tasks))
+		for _, w := range phase1[ci].LeftWorkers {
+			pool[w] = model.CenterID(ci)
+		}
+	}
+
+	// Line 3–10: recipient set C' = centers with ρ < 1.
+	var recipients []model.CenterID
+	for ci := range in.Centers {
+		if states[ci].rho < 1 {
+			recipients = append(recipients, model.CenterID(ci))
+		}
+	}
+
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		// Every accepted iteration raises the recipient's assigned count by
+		// at least one task and every rejection permanently removes a
+		// center, so |S| + |C| bounds the game length.
+		maxIter = len(in.Tasks) + n + 1
+	}
+
+	res := Result{}
+	var transfers []model.Transfer
+	rhos := func() []float64 {
+		out := make([]float64, n)
+		for i := range states {
+			out[i] = states[i].rho
+		}
+		return out
+	}
+	totalAssigned := func() int {
+		t := 0
+		for i := range states {
+			t += countTasks(states[i].routes)
+		}
+		return t
+	}
+
+	workerSetOf := func(ci model.CenterID) []model.WorkerID {
+		st := &states[ci]
+		out := make([]model.WorkerID, 0, len(st.own)+len(st.borrowed))
+		for w := range st.own {
+			out = append(out, w)
+		}
+		out = append(out, st.borrowed...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	for iter := 1; iter <= maxIter && len(recipients) > 0 && len(pool) > 0; iter++ {
+		res.Iterations = iter
+		// Line 13: recipient selection.
+		var ci model.CenterID
+		switch cfg.Recipient {
+		case RandomRecipient:
+			ci = recipients[cfg.Rng.Intn(len(recipients))]
+		case MaxLeftover:
+			ci = recipients[0]
+			for _, c := range recipients[1:] {
+				if len(states[c].leftTasks) > len(states[ci].leftTasks) ||
+					(len(states[c].leftTasks) == len(states[ci].leftTasks) && c < ci) {
+					ci = c
+				}
+			}
+		default:
+			ci = metrics.MinRatioCenter(rhos(), recipients)
+		}
+		st := &states[ci]
+		center := in.Center(ci)
+
+		// Candidate workers: available pool minus the recipient's own
+		// (its own unused workers are already in its worker set).
+		cands := make([]model.WorkerID, 0, len(pool))
+		for w := range pool {
+			if !st.own[w] {
+				cands = append(cands, w)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		if cfg.Candidate == NearestWorker && len(cands) > 1 {
+			// Heuristic ablation: only evaluate the nearest available
+			// worker. Ties break by ID via the pre-sorted order.
+			best := cands[0]
+			bd := in.Worker(best).Loc.Dist2(center.Loc)
+			for _, w := range cands[1:] {
+				if d := in.Worker(w).Loc.Dist2(center.Loc); d < bd {
+					best, bd = w, d
+				}
+			}
+			cands = []model.WorkerID{best}
+		}
+
+		// Line 14: best response — the candidate maximising the
+		// post-reassignment ratio. Line 15: evaluated via re-assignment.
+		bestRho := st.rho
+		bestIdx := -1
+		var bestRes assign.Result
+		for i, w := range cands {
+			var trial assign.Result
+			switch cfg.Scope {
+			case LeftoverOnly:
+				trial = cfg.Assigner(in, center, []model.WorkerID{w}, st.leftTasks)
+			default:
+				ws := append(workerSetOf(ci), w)
+				trial = cfg.Assigner(in, center, ws, center.Tasks)
+			}
+			var newAssigned int
+			if cfg.Scope == LeftoverOnly {
+				newAssigned = countTasks(st.routes) + trial.AssignedCount()
+			} else {
+				newAssigned = trial.AssignedCount()
+			}
+			newRho := metrics.Ratio(newAssigned, len(center.Tasks))
+			if newRho > bestRho+rhoEps {
+				bestRho = newRho
+				bestIdx = i
+				bestRes = trial
+			}
+		}
+
+		step := TraceStep{Iteration: iter, Recipient: ci, RhoBefore: st.rho}
+		if bestIdx < 0 {
+			// Lines 20–21: no improving dispatch — the center leaves C'.
+			step.Accepted = false
+			step.RhoAfter = st.rho
+			recipients = removeCenter(recipients, ci)
+		} else {
+			// Lines 16–19: accept the dispatch and update the assignment.
+			w := cands[bestIdx]
+			src := pool[w]
+			delete(pool, w)
+			step.Worker = w
+			step.Source = src
+			step.Accepted = true
+			step.RhoAfter = bestRho
+
+			// The lender loses the worker from its own set.
+			delete(states[src].own, w)
+			st.borrowed = append(st.borrowed, w)
+			transfers = append(transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
+
+			if cfg.Scope == LeftoverOnly {
+				st.routes = append(st.routes, cloneRoutes(bestRes.Routes)...)
+				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
+			} else {
+				st.routes = cloneRoutes(bestRes.Routes)
+				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
+				// Bi-directional update: sync the pool with the recipient's
+				// own workers' new usage. Own workers used by the new plan
+				// leave the pool; own workers now unused become available.
+				leftSet := make(map[model.WorkerID]bool, len(bestRes.LeftWorkers))
+				for _, lw := range bestRes.LeftWorkers {
+					leftSet[lw] = true
+				}
+				for ow := range st.own {
+					if leftSet[ow] {
+						pool[ow] = ci
+					} else {
+						delete(pool, ow)
+					}
+				}
+			}
+			st.rho = bestRho
+			if st.rho >= 1-rhoEps {
+				recipients = removeCenter(recipients, ci)
+			}
+		}
+		step.Assigned = totalAssigned()
+		step.Unfairness = metrics.Unfairness(rhos())
+		res.Trace = append(res.Trace, step)
+	}
+
+	sol := model.NewSolution(in)
+	for ci := range states {
+		sol.PerCenter[ci].Routes = cloneRoutes(states[ci].routes)
+	}
+	sol.Transfers = transfers
+	res.Solution = sol
+	return res
+}
+
+const rhoEps = 1e-12
+
+func countTasks(routes []model.Route) int {
+	n := 0
+	for _, r := range routes {
+		n += len(r.Tasks)
+	}
+	return n
+}
+
+func cloneRoutes(rs []model.Route) []model.Route {
+	out := make([]model.Route, len(rs))
+	for i, r := range rs {
+		out[i] = model.Route{Worker: r.Worker, Center: r.Center, Tasks: append([]model.TaskID(nil), r.Tasks...)}
+	}
+	return out
+}
+
+func removeCenter(cs []model.CenterID, c model.CenterID) []model.CenterID {
+	for i, x := range cs {
+		if x == c {
+			return append(cs[:i], cs[i+1:]...)
+		}
+	}
+	return cs
+}

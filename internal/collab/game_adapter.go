@@ -1,0 +1,173 @@
+package collab
+
+import (
+	"math/bits"
+
+	"imtao/internal/assign"
+	"imtao/internal/game"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+)
+
+// CMCTAGame adapts a (small) CMCTA collaboration state to the generic
+// game.Game interface of paper §V-C: players are the recipient centers,
+// a player's strategy is a borrowing worker set BWS(c) — a subset of the
+// available worker pool, encoded as a bitmask index — and utilities are the
+// UUP of Eq. 4 evaluated by actually re-running the per-center assigner
+// under the joint strategy.
+//
+// When two centers claim the same pool worker, the worker stays home (the
+// platform cannot dispatch one worker twice); both claimants simply do not
+// receive it. Strategy spaces are exponential in the pool size, so the
+// adapter enforces a pool cap; it exists for analysis and testing, while
+// Algorithm 3 (Run) is the scalable path.
+type CMCTAGame struct {
+	in       *model.Instance
+	assigner Assigner
+	// players[i] is the center id of player i.
+	players []model.CenterID
+	// pool is the ordered available worker set; bit k of a strategy mask
+	// selects pool[k].
+	pool []model.WorkerID
+	// baseline ratios for non-player centers (they keep their phase-1
+	// assignment).
+	baseRho []float64
+	// ownWorkers[i] lists player i's own workers (from phase 1).
+	ownWorkers map[model.CenterID][]model.WorkerID
+
+	// memo caches per-player ratios: key = player index, received mask.
+	memo map[memoKey]float64
+}
+
+type memoKey struct {
+	player int
+	mask   int
+}
+
+// MaxPoolSize bounds the strategy-space exponent of the adapter.
+const MaxPoolSize = 12
+
+// NewCMCTAGame builds the adapter from a phase-1 state. It returns nil when
+// the available pool exceeds MaxPoolSize (use Run / Algorithm 3 instead).
+func NewCMCTAGame(in *model.Instance, phase1 []assign.Result, assigner Assigner) *CMCTAGame {
+	if assigner == nil {
+		assigner = assign.Sequential
+	}
+	g := &CMCTAGame{
+		in:         in,
+		assigner:   assigner,
+		baseRho:    make([]float64, len(in.Centers)),
+		ownWorkers: make(map[model.CenterID][]model.WorkerID),
+		memo:       make(map[memoKey]float64),
+	}
+	for ci := range in.Centers {
+		assigned := 0
+		for _, r := range phase1[ci].Routes {
+			assigned += len(r.Tasks)
+		}
+		g.baseRho[ci] = metrics.Ratio(assigned, len(in.Centers[ci].Tasks))
+		if g.baseRho[ci] < 1 {
+			g.players = append(g.players, model.CenterID(ci))
+		}
+		g.ownWorkers[model.CenterID(ci)] = append([]model.WorkerID(nil), in.Centers[ci].Workers...)
+		for _, w := range phase1[ci].LeftWorkers {
+			g.pool = append(g.pool, w)
+		}
+	}
+	if len(g.pool) > MaxPoolSize {
+		return nil
+	}
+	return g
+}
+
+// Players returns the recipient centers acting as players.
+func (g *CMCTAGame) Players() []model.CenterID { return g.players }
+
+// Pool returns the available worker pool indexed by strategy bits.
+func (g *CMCTAGame) Pool() []model.WorkerID { return g.pool }
+
+// NumPlayers implements game.Game.
+func (g *CMCTAGame) NumPlayers() int { return len(g.players) }
+
+// NumStrategies implements game.Game: every subset of the pool.
+func (g *CMCTAGame) NumStrategies(int) int { return 1 << len(g.pool) }
+
+// Utility implements game.Game with the UUP of Eq. 4 under the joint
+// strategy: ρ of the player minus the mean ρ of all other centers.
+func (g *CMCTAGame) Utility(i int, joint []int) float64 {
+	rhos := g.ratios(joint)
+	return metrics.UUP(rhos, int(g.players[i]))
+}
+
+// Unfairness returns the platform unfairness U_ρ under a joint strategy.
+func (g *CMCTAGame) Unfairness(joint []int) float64 {
+	return metrics.Unfairness(g.ratios(joint))
+}
+
+// AssignedCount returns the total assigned tasks under a joint strategy.
+func (g *CMCTAGame) AssignedCount(joint []int) int {
+	rhos := g.ratios(joint)
+	total := 0.0
+	for ci, r := range rhos {
+		total += r * float64(len(g.in.Centers[ci].Tasks))
+	}
+	return int(total + 0.5)
+}
+
+// ratios computes all centers' ρ under the joint strategy, resolving worker
+// conflicts (a worker claimed by more than one player is dispatched to no
+// one) and re-running the assigner for players whose effective borrow set is
+// non-empty.
+func (g *CMCTAGame) ratios(joint []int) []float64 {
+	rhos := append([]float64(nil), g.baseRho...)
+	// Count claims per pool worker.
+	claims := make([]int, len(g.pool))
+	for _, mask := range joint {
+		for k := 0; k < len(g.pool); k++ {
+			if mask&(1<<k) != 0 {
+				claims[k]++
+			}
+		}
+	}
+	for pi, ci := range g.players {
+		mask := joint[pi]
+		effective := 0
+		for k := 0; k < len(g.pool); k++ {
+			bit := 1 << k
+			if mask&bit != 0 && claims[k] == 1 && !g.isOwn(ci, g.pool[k]) {
+				effective |= bit
+			}
+		}
+		if effective == 0 {
+			continue
+		}
+		key := memoKey{player: pi, mask: effective}
+		if rho, ok := g.memo[key]; ok {
+			rhos[ci] = rho
+			continue
+		}
+		workers := append([]model.WorkerID(nil), g.ownWorkers[ci]...)
+		for k := 0; k < len(g.pool); k++ {
+			if effective&(1<<k) != 0 {
+				workers = append(workers, g.pool[k])
+			}
+		}
+		c := g.in.Center(ci)
+		res := g.assigner(g.in, c, workers, c.Tasks)
+		rho := metrics.Ratio(res.AssignedCount(), len(c.Tasks))
+		g.memo[key] = rho
+		rhos[ci] = rho
+	}
+	return rhos
+}
+
+func (g *CMCTAGame) isOwn(c model.CenterID, w model.WorkerID) bool {
+	return g.in.Worker(w).Home == c
+}
+
+// StrategySize returns the number of workers selected by a strategy mask —
+// handy for interpreting dynamics traces.
+func StrategySize(mask int) int { return bits.OnesCount(uint(mask)) }
+
+// Verify that CMCTAGame satisfies the game interface.
+var _ game.Game = (*CMCTAGame)(nil)

@@ -1,0 +1,182 @@
+package collab
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtao/internal/game"
+)
+
+func TestCMCTAGameBasics(t *testing.T) {
+	in := paperFig1()
+	p1 := phase1(in)
+	g := NewCMCTAGame(in, p1, nil)
+	if g == nil {
+		t.Fatal("small instance must build a game")
+	}
+	if g.NumPlayers() == 0 {
+		t.Fatal("expected recipient players")
+	}
+	if len(g.Pool()) == 0 {
+		t.Fatal("expected available workers")
+	}
+	// The empty joint strategy reproduces phase-1 utilities.
+	joint := make([]int, g.NumPlayers())
+	for i := range g.Players() {
+		u := g.Utility(i, joint)
+		if u > 1 || u < -1 {
+			t.Fatalf("UUP out of range: %v", u)
+		}
+	}
+}
+
+func TestCMCTAGameConflictsNeutralized(t *testing.T) {
+	in := paperFig1()
+	p1 := phase1(in)
+	g := NewCMCTAGame(in, p1, nil)
+	if g == nil || g.NumPlayers() < 2 || len(g.Pool()) < 1 {
+		t.Skip("scenario shape changed")
+	}
+	// Both players claim worker 0 of the pool: neither receives it, so the
+	// outcome equals the empty strategy.
+	both := make([]int, g.NumPlayers())
+	both[0], both[1] = 1, 1
+	empty := make([]int, g.NumPlayers())
+	if g.AssignedCount(both) != g.AssignedCount(empty) {
+		t.Fatalf("conflicting claims changed the assignment: %d vs %d",
+			g.AssignedCount(both), g.AssignedCount(empty))
+	}
+}
+
+func TestCMCTAGameBorrowImprovesFig1(t *testing.T) {
+	in := paperFig1()
+	p1 := phase1(in)
+	g := NewCMCTAGame(in, p1, nil)
+	if g == nil {
+		t.Fatal("game is nil")
+	}
+	// Find the player for center 2 (the needy one) and give it the pool.
+	var p2 = -1
+	for i, c := range g.Players() {
+		if c == 2 {
+			p2 = i
+		}
+	}
+	if p2 < 0 {
+		t.Skip("center 2 not a recipient")
+	}
+	joint := make([]int, g.NumPlayers())
+	base := g.Utility(p2, joint)
+	joint[p2] = 1 // borrow pool worker 0
+	if got := g.Utility(p2, joint); got <= base {
+		t.Fatalf("borrowing should raise center 2's utility: %v -> %v", base, got)
+	}
+}
+
+func TestCMCTAGameBestResponseDynamicsConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	converged := 0
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 3, 6, 14)
+		p1 := phase1(in)
+		g := NewCMCTAGame(in, p1, nil)
+		if g == nil || g.NumPlayers() == 0 {
+			continue
+		}
+		start := make([]int, g.NumPlayers())
+		d, err := game.BestResponseDynamics(g, start, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Converged {
+			converged++
+			if !game.IsNash(g, d.Joint) {
+				t.Fatalf("trial %d: converged state is not a NE", trial)
+			}
+			// The equilibrium never assigns fewer tasks than phase 1.
+			if g.AssignedCount(d.Joint) < g.AssignedCount(start) {
+				t.Fatalf("trial %d: dynamics lost tasks", trial)
+			}
+		}
+	}
+	if converged == 0 {
+		t.Fatal("best-response dynamics never converged on any trial")
+	}
+}
+
+// The full-subset game and Algorithm 3 agree on the direction of travel:
+// the game's best equilibrium assigns at least as many tasks as phase 1,
+// and Algorithm 3's outcome is within the game's reachable range.
+func TestCMCTAGameConsistentWithAlgorithm3(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 6; trial++ {
+		in := randomInstance(rng, 3, 6, 12)
+		p1 := phase1(in)
+		g := NewCMCTAGame(in, p1, nil)
+		if g == nil || g.NumPlayers() == 0 || len(g.Pool()) == 0 {
+			continue
+		}
+		algo := Run(in, p1, seqConfig())
+		start := make([]int, g.NumPlayers())
+		baseline := g.AssignedCount(start)
+		if algo.Solution.AssignedCount() < baseline {
+			t.Fatalf("trial %d: Algorithm 3 below phase-1 baseline", trial)
+		}
+	}
+}
+
+func TestCMCTAGamePoolCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	// Build an instance with a huge spare pool: many workers, few tasks.
+	in := randomInstance(rng, 2, MaxPoolSize+10, 2)
+	p1 := phase1(in)
+	if g := NewCMCTAGame(in, p1, nil); g != nil {
+		// Only fails if the pool really exceeded the cap.
+		if len(g.Pool()) > MaxPoolSize {
+			t.Fatal("oversized pool accepted")
+		}
+	}
+}
+
+func TestStrategySize(t *testing.T) {
+	if StrategySize(0) != 0 || StrategySize(0b1011) != 3 {
+		t.Error("StrategySize wrong")
+	}
+}
+
+// Cross-module: fictitious play on the CMCTA adapter behaves sanely — the
+// empirical frequencies are proper distributions and, when the play settles
+// on a pure profile, it is a Nash equilibrium of the subset game.
+func TestCMCTAGameFictitiousPlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	ran := 0
+	for trial := 0; trial < 8 && ran < 3; trial++ {
+		in := randomInstance(rng, 3, 6, 12)
+		p1 := phase1(in)
+		g := NewCMCTAGame(in, p1, nil)
+		if g == nil || g.NumPlayers() == 0 || len(g.Pool()) == 0 || len(g.Pool()) > 6 {
+			continue
+		}
+		ran++
+		start := make([]int, g.NumPlayers())
+		res, err := game.FictitiousPlay(g, start, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fs := range res.Frequencies {
+			var sum float64
+			for _, f := range fs {
+				sum += f
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("trial %d: player %d frequencies sum to %v", trial, i, sum)
+			}
+		}
+		if res.Converged && !game.IsNash(g, res.Joint) {
+			t.Fatalf("trial %d: converged off equilibrium", trial)
+		}
+	}
+	if ran == 0 {
+		t.Skip("no suitable instances generated")
+	}
+}

@@ -1,0 +1,86 @@
+package collab
+
+import (
+	"fmt"
+
+	"imtao/internal/assign"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+)
+
+// VerifyEquilibrium checks that a collaboration outcome is a fixed point of
+// the best-response dynamics of Algorithm 3: for every center whose ratio is
+// below one, no single additional available worker would strictly raise its
+// assignment ratio under the given assigner. It returns nil at equilibrium
+// and a descriptive error naming the first improving deviation otherwise.
+//
+// The available pool is reconstructed from the solution: every worker that
+// appears in no route is available (from its home center).
+func VerifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigner) error {
+	if assigner == nil {
+		assigner = assign.Sequential
+	}
+	used := make(map[model.WorkerID]bool)
+	borrowedBy := make(map[model.CenterID][]model.WorkerID)
+	for ci := range sol.PerCenter {
+		for _, r := range sol.PerCenter[ci].Routes {
+			used[r.Worker] = true
+		}
+	}
+	for _, tr := range sol.Transfers {
+		borrowedBy[tr.Dst] = append(borrowedBy[tr.Dst], tr.Worker)
+	}
+	var pool []model.WorkerID
+	for _, w := range in.Workers {
+		if !used[w.ID] && !isBorrowed(sol.Transfers, w.ID) {
+			pool = append(pool, w.ID)
+		}
+	}
+
+	for ci := range in.Centers {
+		center := in.Center(model.CenterID(ci))
+		assigned := sol.PerCenter[ci].AssignedCount()
+		rho := metrics.Ratio(assigned, len(center.Tasks))
+		if rho >= 1 {
+			continue
+		}
+		// The center's current worker set: own workers not lent out, plus
+		// its borrowed workers.
+		lent := make(map[model.WorkerID]bool)
+		for _, tr := range sol.Transfers {
+			if tr.Src == model.CenterID(ci) {
+				lent[tr.Worker] = true
+			}
+		}
+		var workers []model.WorkerID
+		for _, w := range center.Workers {
+			if !lent[w] {
+				workers = append(workers, w)
+			}
+		}
+		workers = append(workers, borrowedBy[model.CenterID(ci)]...)
+
+		for _, cand := range pool {
+			if in.Worker(cand).Home == model.CenterID(ci) {
+				continue
+			}
+			trial := assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+			newRho := metrics.Ratio(trial.AssignedCount(), len(center.Tasks))
+			if newRho > rho+rhoEps {
+				return fmt.Errorf(
+					"collab: center %d can improve ρ %.4f → %.4f by borrowing worker %d — not an equilibrium",
+					ci, rho, newRho, cand)
+			}
+		}
+	}
+	return nil
+}
+
+func isBorrowed(transfers []model.Transfer, w model.WorkerID) bool {
+	for _, tr := range transfers {
+		if tr.Worker == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package collab
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestVerifyEquilibriumAcceptsRunOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	checked := 0
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(4), 4+rng.Intn(10), 8+rng.Intn(30))
+		p1 := phase1(in)
+		out := Run(in, p1, seqConfig())
+		if err := VerifyEquilibrium(in, out.Solution, nil); err != nil {
+			t.Fatalf("trial %d: Algorithm 3 outcome rejected: %v", trial, err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no trials ran")
+	}
+}
+
+func TestVerifyEquilibriumRejectsPhase1WhenImprovable(t *testing.T) {
+	// On the Fig. 1 scenario the phase-1 (no collaboration) solution is NOT
+	// an equilibrium: center 2 can improve by borrowing c0's spare worker.
+	in := paperFig1()
+	p1 := phase1(in)
+	sol := NoCollaboration(in, p1)
+	err := VerifyEquilibrium(in, sol, nil)
+	if err == nil {
+		t.Fatal("improvable state accepted as equilibrium")
+	}
+	if !strings.Contains(err.Error(), "can improve") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyEquilibriumFullyAssigned(t *testing.T) {
+	// A solution with every center at ρ = 1 is trivially an equilibrium.
+	rng := rand.New(rand.NewSource(142))
+	in := randomInstance(rng, 2, 12, 4) // plenty of workers
+	p1 := phase1(in)
+	out := Run(in, p1, seqConfig())
+	if out.Solution.AssignedCount() == len(in.Tasks) {
+		if err := VerifyEquilibrium(in, out.Solution, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package core assembles the IMTAO framework (paper §III, Fig. 2): the
+// Voronoi service-area partition (Algorithm 1), the center-independent task
+// assignment phase, and the game-theoretic inter-center workforce transfer
+// phase, wired together with the bi-directional optimization loop.
+//
+// The package also names the eight evaluated methods of the paper —
+// {Seq, Opt} × {BDC, RBDC, DC, w/o-C} — so the experiment harness, the CLI
+// and the examples all speak the same vocabulary.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"imtao/internal/assign"
+	"imtao/internal/collab"
+	"imtao/internal/geo"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+	"imtao/internal/voronoi"
+)
+
+// AssignerKind selects the per-center assignment algorithm.
+type AssignerKind int
+
+const (
+	// Seq is the sequential task assignment heuristic (paper Algorithm 2).
+	Seq AssignerKind = iota
+	// Opt is the optimal per-center assignment baseline.
+	Opt
+)
+
+// String implements fmt.Stringer.
+func (a AssignerKind) String() string {
+	if a == Opt {
+		return "Opt"
+	}
+	return "Seq"
+}
+
+// CollabKind selects the phase-2 collaboration strategy.
+type CollabKind int
+
+const (
+	// BDC is the paper's bi-directional collaboration: min-ratio recipient
+	// selection with full per-center reassignment.
+	BDC CollabKind = iota
+	// RBDC is BDC with random recipient selection.
+	RBDC
+	// DC is decomposed collaboration: dispatched workers only receive
+	// leftover tasks.
+	DC
+	// WoC disables collaboration entirely (w/o-C).
+	WoC
+)
+
+// String implements fmt.Stringer.
+func (c CollabKind) String() string {
+	switch c {
+	case RBDC:
+		return "RBDC"
+	case DC:
+		return "DC"
+	case WoC:
+		return "w/o-C"
+	default:
+		return "BDC"
+	}
+}
+
+// Method is one of the eight evaluated method combinations.
+type Method struct {
+	Assigner AssignerKind
+	Collab   CollabKind
+}
+
+// String renders the paper's method naming, e.g. "Seq-BDC".
+func (m Method) String() string { return m.Assigner.String() + "-" + m.Collab.String() }
+
+// Methods lists all eight combinations in the paper's presentation order.
+func Methods() []Method {
+	var out []Method
+	for _, a := range []AssignerKind{Seq, Opt} {
+		for _, c := range []CollabKind{BDC, RBDC, DC, WoC} {
+			out = append(out, Method{a, c})
+		}
+	}
+	return out
+}
+
+// ParseMethod parses names like "Seq-BDC" or "opt-w/o-c" (case-insensitive).
+func ParseMethod(s string) (Method, error) {
+	for _, m := range Methods() {
+		if equalFold(m.String(), s) {
+			return m, nil
+		}
+	}
+	return Method{}, fmt.Errorf("core: unknown method %q", s)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Config controls one IMTAO run.
+type Config struct {
+	Method Method
+	// Seed drives the RBDC recipient choice; other methods are
+	// deterministic and ignore it.
+	Seed int64
+	// OptBudget caps the per-center branch-and-bound time of the Opt
+	// assigner; zero means run to optimality.
+	OptBudget time.Duration
+}
+
+// Report is the outcome of an IMTAO run.
+type Report struct {
+	Method   Method
+	Solution *model.Solution
+	// Phase1Assigned is the assigned count after the center-independent
+	// phase, before any collaboration.
+	Phase1Assigned   int
+	Phase1Unfairness float64
+	Assigned         int
+	Ratios           []float64
+	Unfairness       float64
+	Transfers        int
+	Trace            []collab.TraceStep
+	Iterations       int
+	Phase1Time       time.Duration
+	Phase2Time       time.Duration
+}
+
+// ErrUnpartitioned is returned by Run when the instance has tasks or workers
+// not attached to any center.
+var ErrUnpartitioned = errors.New("core: instance has unattached tasks or workers; call Partition first")
+
+// Partition attaches every task and worker of the instance to its nearest
+// center using a Voronoi diagram over the center locations — paper
+// Algorithm 1. It returns a new instance; the input is not modified.
+func Partition(in *model.Instance) (*model.Instance, *voronoi.Diagram, error) {
+	if len(in.Centers) == 0 {
+		return nil, nil, voronoi.ErrTooFewSites
+	}
+	sites := make([]geo.Point, len(in.Centers))
+	for i, c := range in.Centers {
+		sites[i] = c.Loc
+	}
+	diagram, err := voronoi.NewDiagram(sites, in.Bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := in.Clone()
+	for ci := range out.Centers {
+		out.Centers[ci].Tasks = nil
+		out.Centers[ci].Workers = nil
+	}
+	for ti := range out.Tasks {
+		c := model.CenterID(diagram.NearestSite(out.Tasks[ti].Loc))
+		out.Tasks[ti].Center = c
+		out.Centers[c].Tasks = append(out.Centers[c].Tasks, model.TaskID(ti))
+	}
+	for wi := range out.Workers {
+		c := model.CenterID(diagram.NearestSite(out.Workers[wi].Loc))
+		out.Workers[wi].Home = c
+		out.Centers[c].Workers = append(out.Centers[c].Workers, model.WorkerID(wi))
+	}
+	return out, diagram, nil
+}
+
+// Run executes the two-phase IMTAO pipeline on a partitioned instance.
+func Run(in *model.Instance, cfg Config) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range in.Tasks {
+		if t.Center == model.NoCenter {
+			return nil, ErrUnpartitioned
+		}
+	}
+	for _, w := range in.Workers {
+		if w.Home == model.NoCenter {
+			return nil, ErrUnpartitioned
+		}
+	}
+
+	assigner := collab.Assigner(assign.Sequential)
+	if cfg.Method.Assigner == Opt {
+		budget := cfg.OptBudget
+		assigner = func(in *model.Instance, c *model.Center, ws []model.WorkerID, ts []model.TaskID) assign.Result {
+			return assign.OptimalOpt(in, c, ws, ts, assign.OptimalOptions{TimeBudget: budget})
+		}
+	}
+
+	// Phase 1: center-independent task assignment.
+	t0 := time.Now()
+	phase1 := make([]assign.Result, len(in.Centers))
+	for ci := range in.Centers {
+		c := in.Center(model.CenterID(ci))
+		phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+	}
+	phase1Time := time.Since(t0)
+
+	rep := &Report{Method: cfg.Method, Phase1Time: phase1Time}
+	p1sol := collab.NoCollaboration(in, phase1)
+	rep.Phase1Assigned = p1sol.AssignedCount()
+	rep.Phase1Unfairness = metrics.SolutionUnfairness(in, p1sol)
+
+	// Phase 2: inter-center workforce transfer.
+	t1 := time.Now()
+	switch cfg.Method.Collab {
+	case WoC:
+		rep.Solution = p1sol
+	default:
+		ccfg := collab.Config{Assigner: assigner}
+		switch cfg.Method.Collab {
+		case RBDC:
+			ccfg.Recipient = collab.RandomRecipient
+			ccfg.Rng = rand.New(rand.NewSource(cfg.Seed))
+		case DC:
+			ccfg.Scope = collab.LeftoverOnly
+		}
+		out := collab.Run(in, phase1, ccfg)
+		rep.Solution = out.Solution
+		rep.Trace = out.Trace
+		rep.Iterations = out.Iterations
+	}
+	rep.Phase2Time = time.Since(t1)
+
+	rep.Assigned = rep.Solution.AssignedCount()
+	rep.Ratios = metrics.Ratios(in, rep.Solution)
+	rep.Unfairness = metrics.Unfairness(rep.Ratios)
+	rep.Transfers = len(rep.Solution.Transfers)
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"imtao/internal/model"
+	"imtao/internal/workload"
+)
+
+// Golden regression values: the full pipeline is deterministic, so the
+// exact outcomes at the Table I default setting are pinned here. If an
+// intentional algorithm change shifts these numbers, update the table and
+// the derived figures in EXPERIMENTS.md together.
+func TestGoldenDefaultsSeed1(t *testing.T) {
+	golden := []struct {
+		dataset  workload.Dataset
+		method   Method
+		assigned int
+		unfair   float64
+	}{
+		{workload.SYN, Method{Seq, WoC}, 340, 0.342},
+		{workload.SYN, Method{Seq, BDC}, 377, 0.077},
+		{workload.GM, Method{Seq, WoC}, 334, 0.339},
+		{workload.GM, Method{Seq, BDC}, 357, 0.148},
+	}
+	cache := map[workload.Dataset]*model.Instance{}
+	for _, g := range golden {
+		in, ok := cache[g.dataset]
+		if !ok {
+			p := workload.Defaults(g.dataset)
+			p.Seed = 1
+			raw, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, err = Partition(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache[g.dataset] = in
+		}
+		rep, err := Run(in, Config{Method: g.method, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Assigned != g.assigned {
+			t.Errorf("%v %v: assigned %d, golden %d", g.dataset, g.method, rep.Assigned, g.assigned)
+		}
+		if math.Abs(rep.Unfairness-g.unfair) > 5e-4 {
+			t.Errorf("%v %v: unfairness %.4f, golden %.3f", g.dataset, g.method, rep.Unfairness, g.unfair)
+		}
+	}
+}

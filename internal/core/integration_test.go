@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"imtao/internal/collab"
+	"imtao/internal/metrics"
+	"imtao/internal/routing"
+	"imtao/internal/workload"
+)
+
+// Full-pipeline integration tests at the paper's operating scale: generate →
+// partition → both phases → verify every cross-module invariant at once.
+
+func TestIntegrationPaperScaleAllSeqMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale integration skipped with -short")
+	}
+	for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
+		for _, seed := range []int64{1, 2} {
+			p := workload.Defaults(d)
+			p.Seed = seed
+			raw, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, err := Partition(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%v seed %d: %v", d, seed, err)
+			}
+
+			var woc *Report
+			for _, m := range []Method{{Seq, WoC}, {Seq, DC}, {Seq, RBDC}, {Seq, BDC}} {
+				rep, err := Run(in, Config{Method: m, Seed: seed})
+				if err != nil {
+					t.Fatalf("%v %v seed %d: %v", d, m, seed, err)
+				}
+				// Cross-module invariant 1: every route is a VTDS and the
+				// solution is structurally consistent.
+				if err := routing.SolutionFeasible(in, rep.Solution); err != nil {
+					t.Fatalf("%v %v seed %d: %v", d, m, seed, err)
+				}
+				// Invariant 2: reported metrics recompute identically.
+				if got := metrics.SolutionUnfairness(in, rep.Solution); got != rep.Unfairness {
+					t.Fatalf("%v %v: unfairness mismatch", d, m)
+				}
+				if got := rep.Solution.AssignedCount(); got != rep.Assigned {
+					t.Fatalf("%v %v: count mismatch", d, m)
+				}
+				// Invariant 3: transfers only move unused-at-source workers
+				// across distinct centers, each at most once.
+				seen := map[int]bool{}
+				for _, tr := range rep.Solution.Transfers {
+					if tr.Src == tr.Dst {
+						t.Fatalf("%v %v: self transfer", d, m)
+					}
+					if seen[int(tr.Worker)] {
+						t.Fatalf("%v %v: worker moved twice", d, m)
+					}
+					seen[int(tr.Worker)] = true
+					if in.Worker(tr.Worker).Home != tr.Src {
+						t.Fatalf("%v %v: transfer source mismatch", d, m)
+					}
+				}
+				switch m.Collab {
+				case WoC:
+					woc = rep
+				case BDC:
+					// Invariant 4: the paper's headline — BDC dominates the
+					// no-collaboration baseline on both objectives at the
+					// default setting.
+					if rep.Assigned < woc.Assigned {
+						t.Fatalf("%v seed %d: BDC %d < w/o-C %d", d, seed, rep.Assigned, woc.Assigned)
+					}
+					if rep.Unfairness > woc.Unfairness+1e-9 {
+						t.Fatalf("%v seed %d: BDC unfairness %v > w/o-C %v",
+							d, seed, rep.Unfairness, woc.Unfairness)
+					}
+					// Invariant 5: the BDC outcome is a best-response fixed
+					// point (pure Nash equilibrium of the collaboration game).
+					if err := collab.VerifyEquilibrium(in, rep.Solution, nil); err != nil {
+						t.Fatalf("%v seed %d: %v", d, seed, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationExtremeParameters(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*workload.Params)
+	}{
+		{"one center", func(p *workload.Params) { p.NumCenters = 1 }},
+		{"more centers than entities", func(p *workload.Params) {
+			p.NumCenters = 40
+			p.NumTasks, p.NumWorkers = 10, 5
+		}},
+		{"no workers", func(p *workload.Params) { p.NumWorkers = 0 }},
+		{"no tasks", func(p *workload.Params) { p.NumTasks = 0 }},
+		{"capacity zero", func(p *workload.Params) { p.MaxT = 0 }},
+		{"tiny expiry", func(p *workload.Params) { p.Expiry = 1e-6 }},
+		{"huge expiry", func(p *workload.Params) { p.Expiry = 1e6 }},
+		{"single worker single task", func(p *workload.Params) {
+			p.NumWorkers, p.NumTasks, p.NumCenters = 1, 1, 1
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := workload.Defaults(workload.SYN)
+			p.NumTasks, p.NumWorkers, p.NumCenters = 60, 15, 5
+			c.mutate(&p)
+			raw, err := workload.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, err := Partition(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(in, Config{Method: Method{Seq, BDC}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := routing.SolutionFeasible(in, rep.Solution); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Assigned < 0 || rep.Assigned > len(in.Tasks) {
+				t.Fatalf("assigned = %d of %d", rep.Assigned, len(in.Tasks))
+			}
+			if rep.Unfairness < -1e-12 || rep.Unfairness > 1+1e-12 {
+				t.Fatalf("unfairness = %v", rep.Unfairness)
+			}
+		})
+	}
+}
+
+// Determinism across the whole pipeline: identical parameters produce
+// byte-identical outcomes for the deterministic methods.
+func TestIntegrationDeterminism(t *testing.T) {
+	p := workload.Defaults(workload.GM)
+	p.NumTasks, p.NumWorkers, p.NumCenters = 200, 50, 10
+	run := func() *Report {
+		raw, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, _, err := Partition(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(in, Config{Method: Method{Seq, BDC}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Assigned != b.Assigned || a.Unfairness != b.Unfairness || a.Transfers != b.Transfers {
+		t.Fatal("pipeline is not deterministic")
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatal("trace length differs")
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace step %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+}
+
+// Topology robustness: the paper's conclusion (collaboration helps on both
+// objectives) must hold on structured city topologies, not just uniform or
+// Gaussian scatter.
+func TestIntegrationPresetTopologies(t *testing.T) {
+	for _, preset := range []workload.Preset{workload.Corridor, workload.TwinCities, workload.RingRoad} {
+		t.Run(preset.String(), func(t *testing.T) {
+			p := workload.Defaults(workload.SYN)
+			p.NumTasks, p.NumWorkers, p.NumCenters = 200, 50, 10
+			p.Seed = 3
+			raw, err := workload.GeneratePreset(preset, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, err := Partition(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			woc, err := Run(in, Config{Method: Method{Seq, WoC}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bdc, err := Run(in, Config{Method: Method{Seq, BDC}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := routing.SolutionFeasible(in, bdc.Solution); err != nil {
+				t.Fatal(err)
+			}
+			if bdc.Assigned < woc.Assigned {
+				t.Errorf("BDC %d < w/o-C %d on %v", bdc.Assigned, woc.Assigned, preset)
+			}
+			if bdc.Unfairness > woc.Unfairness+1e-9 {
+				t.Errorf("BDC unfairness %v > w/o-C %v on %v", bdc.Unfairness, woc.Unfairness, preset)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+
+	"imtao/internal/geo"
+)
+
+// Arrival-stream generators for the dynamic extension: a homogeneous
+// Poisson process and a rush-hour (inhomogeneous) process. Both draw
+// locations from a caller-supplied sampler so they compose with any of the
+// workload generators or presets.
+
+// PoissonArrivals generates a homogeneous Poisson arrival stream with the
+// given rate (tasks per hour) over [0, horizon) hours. Locations come from
+// sample; every task gets the same relative expiry and reward.
+func PoissonArrivals(rng *rand.Rand, rate, horizon, expiry, reward float64, sample func() geo.Point) []Arrival {
+	if rate <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []Arrival
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rate
+		if t >= horizon {
+			return out
+		}
+		out = append(out, Arrival{ArriveAt: t, Loc: sample(), Expiry: expiry, Reward: reward})
+	}
+}
+
+// RushHourArrivals generates an inhomogeneous Poisson stream whose rate
+// follows a Gaussian bump: baseRate plus peakRate·exp(−(t−peakAt)²/2σ²),
+// thinned from the max-rate homogeneous process. It models a delivery
+// platform's lunch or dinner rush.
+func RushHourArrivals(rng *rand.Rand, baseRate, peakRate, peakAt, sigma, horizon, expiry, reward float64, sample func() geo.Point) []Arrival {
+	if horizon <= 0 || baseRate < 0 || peakRate < 0 || (baseRate == 0 && peakRate == 0) {
+		return nil
+	}
+	if sigma <= 0 {
+		sigma = 0.5
+	}
+	maxRate := baseRate + peakRate
+	rate := func(t float64) float64 {
+		d := (t - peakAt) / sigma
+		return baseRate + peakRate*math.Exp(-d*d/2)
+	}
+	var out []Arrival
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / maxRate
+		if t >= horizon {
+			return out
+		}
+		if rng.Float64()*maxRate <= rate(t) {
+			out = append(out, Arrival{ArriveAt: t, Loc: sample(), Expiry: expiry, Reward: reward})
+		}
+	}
+}
+
+// UniformSampler returns a sampler drawing uniformly from bounds.
+func UniformSampler(rng *rand.Rand, bounds geo.Rect) func() geo.Point {
+	return func() geo.Point {
+		return geo.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+	}
+}

@@ -1,0 +1,103 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+func bounds() geo.Rect { return geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)) }
+
+func TestPoissonArrivalsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	sampler := UniformSampler(rng, bounds())
+	const rate, horizon = 40.0, 10.0
+	got := PoissonArrivals(rng, rate, horizon, 1, 1, sampler)
+	// Expected count = rate*horizon = 400; allow ±20 %.
+	if n := float64(len(got)); math.Abs(n-rate*horizon) > 0.2*rate*horizon {
+		t.Fatalf("count %v far from expectation %v", n, rate*horizon)
+	}
+	for i, a := range got {
+		if a.ArriveAt < 0 || a.ArriveAt >= horizon {
+			t.Fatalf("arrival %d out of horizon: %v", i, a.ArriveAt)
+		}
+		if !bounds().Contains(a.Loc) {
+			t.Fatalf("arrival %d outside bounds", i)
+		}
+		if i > 0 && got[i].ArriveAt < got[i-1].ArriveAt {
+			t.Fatal("arrivals out of order")
+		}
+	}
+}
+
+func TestPoissonArrivalsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	s := UniformSampler(rng, bounds())
+	if got := PoissonArrivals(rng, 0, 10, 1, 1, s); got != nil {
+		t.Error("zero rate must be empty")
+	}
+	if got := PoissonArrivals(rng, 10, 0, 1, 1, s); got != nil {
+		t.Error("zero horizon must be empty")
+	}
+}
+
+func TestRushHourArrivalsPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	s := UniformSampler(rng, bounds())
+	got := RushHourArrivals(rng, 10, 200, 2.0, 0.4, 4.0, 1, 1, s)
+	if len(got) < 50 {
+		t.Fatalf("too few arrivals: %d", len(got))
+	}
+	// Count arrivals near the peak vs. in the first hour: the peak window
+	// must be much denser.
+	var nearPeak, early int
+	for _, a := range got {
+		if math.Abs(a.ArriveAt-2.0) < 0.5 {
+			nearPeak++
+		}
+		if a.ArriveAt < 1.0 {
+			early++
+		}
+	}
+	if nearPeak <= 2*early {
+		t.Fatalf("peak not pronounced: %d near peak vs %d early", nearPeak, early)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].ArriveAt < got[j].ArriveAt }) {
+		t.Fatal("arrivals out of order")
+	}
+}
+
+func TestRushHourArrivalsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	s := UniformSampler(rng, bounds())
+	if got := RushHourArrivals(rng, 0, 0, 1, 1, 10, 1, 1, s); got != nil {
+		t.Error("zero rates must be empty")
+	}
+	if got := RushHourArrivals(rng, 5, 5, 1, 1, 0, 1, 1, s); got != nil {
+		t.Error("zero horizon must be empty")
+	}
+	// Non-positive sigma falls back to a default rather than dividing by 0.
+	if got := RushHourArrivals(rng, 5, 5, 1, 0, 2, 1, 1, s); len(got) == 0 {
+		t.Error("sigma fallback failed")
+	}
+}
+
+func TestGeneratedArrivalsDriveSimulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(185))
+	in := base()
+	sampler := UniformSampler(rng, in.Bounds)
+	arrivals := PoissonArrivals(rng, 30, 2, 0.8, 1, sampler)
+	res, err := Simulate(in, arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalArrived != len(arrivals) {
+		t.Fatal("arrival count mismatch")
+	}
+	if res.TotalAssigned+res.TotalExpired+res.Leftover != res.TotalArrived {
+		t.Fatal("conservation broken")
+	}
+}

@@ -1,0 +1,248 @@
+// Package dynamic implements the batched dynamic-arrival extension the
+// paper's discussion (§V-E) names as future work: tasks arrive over time
+// instead of being known upfront. The simulator slices time into batches;
+// at each batch boundary it snapshots the pending tasks and the workers who
+// are idle at that moment, runs the IMTAO pipeline on the snapshot, commits
+// the resulting routes (workers become busy until their last delivery), and
+// carries unassigned, unexpired tasks into the next batch.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+	"imtao/internal/routing"
+)
+
+// Arrival is one task arriving at a point in time. Deadline is relative:
+// the task expires Expiry hours after ArriveAt.
+type Arrival struct {
+	ArriveAt float64 // hours from simulation start
+	Loc      geo.Point
+	Expiry   float64 // relative deadline in hours
+	Reward   float64
+}
+
+// Config controls a simulation.
+type Config struct {
+	// BatchInterval is the assignment cadence in hours.
+	BatchInterval float64
+	// Method is the IMTAO method run on each batch snapshot.
+	Method core.Method
+	// Seed feeds randomized methods.
+	Seed int64
+}
+
+// BatchStats summarises one batch.
+type BatchStats struct {
+	Time        float64 // batch start, hours
+	Pending     int     // tasks awaiting assignment at the batch start
+	IdleWorkers int
+	Assigned    int // newly assigned in this batch
+	Expired     int // tasks dropped because their deadline passed
+	Unfairness  float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Batches       []BatchStats
+	TotalArrived  int
+	TotalAssigned int
+	TotalExpired  int
+	// Leftover counts tasks still pending when the simulation ended.
+	Leftover int
+
+	latencySum float64
+	latencyN   int
+}
+
+// MeanLatency returns the mean hours between a task's arrival and its
+// delivery, over all assigned tasks (0 when nothing was assigned). Batching
+// adds waiting time on top of travel, so this quantifies the cost of the
+// batch interval.
+func (r *Result) MeanLatency() float64 {
+	if r.latencyN == 0 {
+		return 0
+	}
+	return r.latencySum / float64(r.latencyN)
+}
+
+// CompletionRate returns assigned/arrived.
+func (r *Result) CompletionRate() float64 {
+	if r.TotalArrived == 0 {
+		return 1
+	}
+	return float64(r.TotalAssigned) / float64(r.TotalArrived)
+}
+
+// Table renders the per-batch statistics as a fixed-width text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %-8s %-9s %-8s %-8s\n",
+		"t (h)", "pending", "idle", "assigned", "expired", "U_rho")
+	for _, s := range r.Batches {
+		fmt.Fprintf(&b, "%-8.2f %-8d %-8d %-9d %-8d %-8.3f\n",
+			s.Time, s.Pending, s.IdleWorkers, s.Assigned, s.Expired, s.Unfairness)
+	}
+	fmt.Fprintf(&b, "totals: arrived %d, assigned %d, expired %d, leftover %d, mean latency %.2fh\n",
+		r.TotalArrived, r.TotalAssigned, r.TotalExpired, r.Leftover, r.MeanLatency())
+	return b.String()
+}
+
+// Simulate runs the batched simulation. The base instance provides centers,
+// workers and the travel model; its task list is ignored (arrivals replace
+// it). Workers start at their instance locations and, after a delivery run,
+// become idle at their last drop-off location.
+func Simulate(base *model.Instance, arrivals []Arrival, cfg Config) (*Result, error) {
+	if cfg.BatchInterval <= 0 {
+		return nil, errors.New("dynamic: BatchInterval must be positive")
+	}
+	if len(base.Centers) == 0 {
+		return nil, errors.New("dynamic: instance has no centers")
+	}
+	if base.Speed <= 0 {
+		return nil, model.ErrNoSpeed
+	}
+	for i, a := range arrivals {
+		if a.Expiry <= 0 {
+			return nil, fmt.Errorf("dynamic: arrival %d has non-positive expiry", i)
+		}
+	}
+
+	// Sort arrivals chronologically without mutating the caller's slice.
+	queue := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].ArriveAt < queue[j].ArriveAt })
+
+	type workerState struct {
+		loc      geo.Point
+		busyTill float64
+	}
+	workers := make([]workerState, len(base.Workers))
+	for i, w := range base.Workers {
+		workers[i] = workerState{loc: w.Loc}
+	}
+
+	type pendingTask struct {
+		loc      geo.Point
+		arrived  float64 // absolute arrival time
+		deadline float64 // absolute
+		reward   float64
+	}
+	var pending []pendingTask
+
+	res := &Result{TotalArrived: len(arrivals)}
+	horizon := cfg.BatchInterval
+	if n := len(queue); n > 0 {
+		last := queue[n-1].ArriveAt
+		for horizon <= last {
+			horizon += cfg.BatchInterval
+		}
+	}
+	// One extra batch past the last arrival so late tasks get a chance.
+	horizon += cfg.BatchInterval
+
+	qi := 0
+	for t := 0.0; t < horizon; t += cfg.BatchInterval {
+		// Ingest arrivals up to the batch start.
+		for qi < len(queue) && queue[qi].ArriveAt <= t {
+			a := queue[qi]
+			pending = append(pending, pendingTask{
+				loc: a.Loc, arrived: a.ArriveAt, deadline: a.ArriveAt + a.Expiry, reward: a.Reward,
+			})
+			qi++
+		}
+		// Expire stale tasks: even an instant pickup could not serve them.
+		alive := pending[:0]
+		expired := 0
+		for _, p := range pending {
+			if p.deadline <= t {
+				expired++
+			} else {
+				alive = append(alive, p)
+			}
+		}
+		pending = alive
+		res.TotalExpired += expired
+
+		// Idle workers.
+		var idle []int
+		for i := range workers {
+			if workers[i].busyTill <= t {
+				idle = append(idle, i)
+			}
+		}
+
+		stats := BatchStats{Time: t, Pending: len(pending), IdleWorkers: len(idle), Expired: expired}
+		if len(pending) > 0 && len(idle) > 0 {
+			// Build the batch snapshot: deadlines become relative to t.
+			snap := &model.Instance{Speed: base.Speed, Bounds: base.Bounds}
+			for _, c := range base.Centers {
+				snap.Centers = append(snap.Centers, model.Center{ID: c.ID, Loc: c.Loc})
+			}
+			for i, p := range pending {
+				snap.Tasks = append(snap.Tasks, model.Task{
+					ID: model.TaskID(i), Center: model.NoCenter,
+					Loc: p.loc, Expiry: p.deadline - t, Reward: p.reward,
+				})
+			}
+			for i, wi := range idle {
+				snap.Workers = append(snap.Workers, model.Worker{
+					ID: model.WorkerID(i), Home: model.NoCenter,
+					Loc: workers[wi].loc, MaxT: base.Workers[wi].MaxT,
+				})
+			}
+			part, _, err := core.Partition(snap)
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: batch at t=%.2f: %w", t, err)
+			}
+			rep, err := core.Run(part, core.Config{Method: cfg.Method, Seed: cfg.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: batch at t=%.2f: %w", t, err)
+			}
+			stats.Assigned = rep.Assigned
+			stats.Unfairness = rep.Unfairness
+			res.TotalAssigned += rep.Assigned
+
+			// Commit: mark served tasks, advance the busy windows of the
+			// workers that got routes.
+			served := make([]bool, len(pending))
+			for ci := range rep.Solution.PerCenter {
+				for _, route := range rep.Solution.PerCenter[ci].Routes {
+					if len(route.Tasks) == 0 {
+						continue
+					}
+					w := part.Worker(route.Worker)
+					c := part.Center(route.Center)
+					times := routing.CompletionTimes(part, w, c, route.Tasks)
+					realWorker := idle[int(route.Worker)]
+					workers[realWorker].busyTill = t + times[len(times)-1]
+					workers[realWorker].loc = part.Task(route.Tasks[len(route.Tasks)-1]).Loc
+					for k, tid := range route.Tasks {
+						served[int(tid)] = true
+						// Latency: absolute completion minus arrival.
+						res.latencySum += t + times[k] - pending[int(tid)].arrived
+						res.latencyN++
+					}
+				}
+			}
+			remaining := pending[:0]
+			for i, p := range pending {
+				if !served[i] {
+					remaining = append(remaining, p)
+				}
+			}
+			pending = remaining
+		} else {
+			stats.Unfairness = metrics.Unfairness(nil)
+		}
+		res.Batches = append(res.Batches, stats)
+	}
+	res.Leftover = len(pending)
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package dynamic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// base builds a two-center instance with idle workers and no tasks.
+func base() *model.Instance {
+	return &model.Instance{
+		Centers: []model.Center{
+			{ID: 0, Loc: geo.Pt(100, 100)},
+			{ID: 1, Loc: geo.Pt(900, 100)},
+		},
+		Workers: []model.Worker{
+			{ID: 0, Home: 0, Loc: geo.Pt(90, 110), MaxT: 4},
+			{ID: 1, Home: 0, Loc: geo.Pt(110, 90), MaxT: 4},
+			{ID: 2, Home: 1, Loc: geo.Pt(910, 90), MaxT: 4},
+		},
+		Speed:  500,
+		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 200)),
+	}
+}
+
+func seqBDC() core.Method { return core.Method{Assigner: core.Seq, Collab: core.BDC} }
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(base(), nil, Config{BatchInterval: 0, Method: seqBDC()}); err == nil {
+		t.Error("zero batch interval must fail")
+	}
+	if _, err := Simulate(&model.Instance{Speed: 1}, nil, Config{BatchInterval: 1, Method: seqBDC()}); err == nil {
+		t.Error("no centers must fail")
+	}
+	in := base()
+	in.Speed = 0
+	if _, err := Simulate(in, nil, Config{BatchInterval: 1, Method: seqBDC()}); err == nil {
+		t.Error("zero speed must fail")
+	}
+	bad := []Arrival{{ArriveAt: 0, Loc: geo.Pt(1, 1), Expiry: 0}}
+	if _, err := Simulate(base(), bad, Config{BatchInterval: 1, Method: seqBDC()}); err == nil {
+		t.Error("non-positive expiry must fail")
+	}
+}
+
+func TestSimulateEmptyArrivals(t *testing.T) {
+	res, err := Simulate(base(), nil, Config{BatchInterval: 0.5, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalArrived != 0 || res.TotalAssigned != 0 || res.Leftover != 0 {
+		t.Fatalf("empty sim: %+v", res)
+	}
+	if res.CompletionRate() != 1 {
+		t.Errorf("empty completion rate = %v", res.CompletionRate())
+	}
+}
+
+func TestSimulateSingleBatchAssignsEverything(t *testing.T) {
+	arrivals := []Arrival{
+		{ArriveAt: 0, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1},
+		{ArriveAt: 0, Loc: geo.Pt(80, 120), Expiry: 1, Reward: 1},
+		{ArriveAt: 0, Loc: geo.Pt(920, 110), Expiry: 1, Reward: 1},
+	}
+	res, err := Simulate(base(), arrivals, Config{BatchInterval: 0.5, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned != 3 {
+		t.Fatalf("assigned %d, want 3 (%+v)", res.TotalAssigned, res)
+	}
+	if res.TotalExpired != 0 || res.Leftover != 0 {
+		t.Fatalf("expired/leftover: %+v", res)
+	}
+}
+
+func TestSimulateWorkersBusyAcrossBatches(t *testing.T) {
+	// Two waves to the same center: with batch 0.25h and routes lasting
+	// ~0.1h, the same workers should serve both waves.
+	arrivals := []Arrival{
+		{ArriveAt: 0, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1},
+		{ArriveAt: 0, Loc: geo.Pt(130, 110), Expiry: 1, Reward: 1},
+		{ArriveAt: 0.3, Loc: geo.Pt(120, 95), Expiry: 1, Reward: 1},
+		{ArriveAt: 0.3, Loc: geo.Pt(140, 100), Expiry: 1, Reward: 1},
+	}
+	res, err := Simulate(base(), arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned != 4 {
+		t.Fatalf("assigned %d, want 4", res.TotalAssigned)
+	}
+	if len(res.Batches) < 3 {
+		t.Fatalf("batches: %d", len(res.Batches))
+	}
+}
+
+func TestSimulateExpiry(t *testing.T) {
+	// A task arriving at t=0 with a 0.2h deadline is already expired by the
+	// first batch it could be scheduled in if the interval is 0.25h... it is
+	// ingested at t=0 though (queue <= t), so it is schedulable at t=0. Use
+	// an arrival between batches instead: arrives 0.01, expires 0.2, first
+	// batch that sees it is t=0.25 — too late.
+	arrivals := []Arrival{
+		{ArriveAt: 0.01, Loc: geo.Pt(120, 100), Expiry: 0.2, Reward: 1},
+	}
+	res, err := Simulate(base(), arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalExpired != 1 || res.TotalAssigned != 0 {
+		t.Fatalf("expired=%d assigned=%d, want 1/0", res.TotalExpired, res.TotalAssigned)
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	var arrivals []Arrival
+	for i := 0; i < 60; i++ {
+		arrivals = append(arrivals, Arrival{
+			ArriveAt: rng.Float64() * 2,
+			Loc:      geo.Pt(rng.Float64()*1000, rng.Float64()*200),
+			Expiry:   0.2 + rng.Float64(),
+			Reward:   1,
+		})
+	}
+	res, err := Simulate(base(), arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TotalAssigned + res.TotalExpired + res.Leftover; got != res.TotalArrived {
+		t.Fatalf("conservation broken: %d+%d+%d != %d",
+			res.TotalAssigned, res.TotalExpired, res.Leftover, res.TotalArrived)
+	}
+	if res.CompletionRate() < 0 || res.CompletionRate() > 1 {
+		t.Fatalf("completion rate %v", res.CompletionRate())
+	}
+}
+
+func TestSimulateCollaborationHelpsOverTime(t *testing.T) {
+	// Heavy load near center 0 only: BDC should beat w/o-C by pulling the
+	// center-1 worker across.
+	rng := rand.New(rand.NewSource(82))
+	var arrivals []Arrival
+	for i := 0; i < 40; i++ {
+		arrivals = append(arrivals, Arrival{
+			ArriveAt: rng.Float64() * 1.5,
+			Loc:      geo.Pt(50+rng.Float64()*200, 50+rng.Float64()*100),
+			Expiry:   0.5,
+			Reward:   1,
+		})
+	}
+	woc, err := Simulate(base(), arrivals, Config{BatchInterval: 0.25,
+		Method: core.Method{Assigner: core.Seq, Collab: core.WoC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdc, err := Simulate(base(), arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdc.TotalAssigned < woc.TotalAssigned {
+		t.Fatalf("BDC %d < w/o-C %d over time", bdc.TotalAssigned, woc.TotalAssigned)
+	}
+}
+
+func TestSimulateDoesNotMutateInputs(t *testing.T) {
+	in := base()
+	arrivals := []Arrival{
+		{ArriveAt: 0.5, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1},
+		{ArriveAt: 0.1, Loc: geo.Pt(130, 100), Expiry: 1, Reward: 1},
+	}
+	if _, err := Simulate(in, arrivals, Config{BatchInterval: 0.25, Method: seqBDC()}); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0].ArriveAt != 0.5 || arrivals[1].ArriveAt != 0.1 {
+		t.Fatal("arrival slice reordered in place")
+	}
+	if in.Workers[0].Loc != geo.Pt(90, 110) {
+		t.Fatal("base instance mutated")
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	// Empty simulation: no latency.
+	res, err := Simulate(base(), nil, Config{BatchInterval: 0.5, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency() != 0 {
+		t.Errorf("empty latency = %v", res.MeanLatency())
+	}
+	// One task arriving at t=0, assigned in the first batch: latency equals
+	// travel time (worker -> center -> task) and is bounded by the expiry.
+	arrivals := []Arrival{{ArriveAt: 0, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1}}
+	res, err = Simulate(base(), arrivals, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned != 1 {
+		t.Fatalf("assigned = %d", res.TotalAssigned)
+	}
+	if l := res.MeanLatency(); l <= 0 || l > 1 {
+		t.Errorf("latency = %v, want within (0, 1]", l)
+	}
+	// A later arrival must wait for the next batch boundary: latency grows.
+	late := []Arrival{{ArriveAt: 0.01, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1}}
+	res2, err := Simulate(base(), late, Config{BatchInterval: 0.25, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalAssigned == 1 && res2.MeanLatency() <= res.MeanLatency() {
+		t.Errorf("waiting for the batch should add latency: %v vs %v",
+			res2.MeanLatency(), res.MeanLatency())
+	}
+}
+
+func TestResultTable(t *testing.T) {
+	arrivals := []Arrival{{ArriveAt: 0, Loc: geo.Pt(120, 100), Expiry: 1, Reward: 1}}
+	res, err := Simulate(base(), arrivals, Config{BatchInterval: 0.5, Method: seqBDC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table()
+	for _, want := range []string{"t (h)", "pending", "totals:", "mean latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

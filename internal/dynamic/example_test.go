@@ -1,0 +1,41 @@
+package dynamic_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"imtao/internal/core"
+	"imtao/internal/dynamic"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// A one-center platform receiving a small Poisson stream of orders,
+// re-planned every 15 minutes with Seq-BDC.
+func ExampleSimulate() {
+	platform := &model.Instance{
+		Centers: []model.Center{{ID: 0, Loc: geo.Pt(50, 50)}},
+		Workers: []model.Worker{
+			{ID: 0, Home: 0, Loc: geo.Pt(45, 50), MaxT: 4},
+			{ID: 1, Home: 0, Loc: geo.Pt(55, 50), MaxT: 4},
+		},
+		Speed:  200,
+		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)),
+	}
+	rng := rand.New(rand.NewSource(3))
+	arrivals := dynamic.PoissonArrivals(rng, 12, 1.0, 0.75, 1,
+		dynamic.UniformSampler(rng, platform.Bounds))
+
+	res, err := dynamic.Simulate(platform, arrivals, dynamic.Config{
+		BatchInterval: 0.25,
+		Method:        core.Method{Assigner: core.Seq, Collab: core.BDC},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("conservation:", res.TotalAssigned+res.TotalExpired+res.Leftover == res.TotalArrived)
+	fmt.Println("some deliveries made:", res.TotalAssigned > 0)
+	// Output:
+	// conservation: true
+	// some deliveries made: true
+}

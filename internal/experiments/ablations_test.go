@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"imtao/internal/workload"
+)
+
+func TestAblationsRegistry(t *testing.T) {
+	ids := Ablations()
+	if len(ids) != 6 {
+		t.Fatalf("ablations = %v", ids)
+	}
+	if _, err := RunAblation("bogus", workload.SYN, []int64{1}); err == nil {
+		t.Fatal("unknown ablation must error")
+	}
+}
+
+func TestRunAblationIndexVariantsAgree(t *testing.T) {
+	res, err := RunAblation("index", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The grid and the linear scan must give identical assignments — the
+	// index is a pure performance choice.
+	if res.Rows[0].Assigned.Mean != res.Rows[1].Assigned.Mean {
+		t.Fatalf("index changed the outcome: %v vs %v",
+			res.Rows[0].Assigned.Mean, res.Rows[1].Assigned.Mean)
+	}
+	if !strings.Contains(res.Table(), "grid (default)") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestRunAblationWorkerOrder(t *testing.T) {
+	res, err := RunAblation("worker-order", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Assigned.Mean <= 0 {
+			t.Fatalf("variant %q assigned nothing", row.Variant)
+		}
+	}
+}
+
+func TestRunAblationRecipientPolicy(t *testing.T) {
+	res, err := RunAblation("recipient-policy", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var minRatioU, randomU float64
+	for _, row := range res.Rows {
+		switch {
+		case strings.HasPrefix(row.Variant, "min-ratio"):
+			minRatioU = row.Unfairness.Mean
+		case strings.HasPrefix(row.Variant, "random"):
+			randomU = row.Unfairness.Mean
+		}
+	}
+	// The paper's min-ratio rule should not be less fair than random
+	// selection (its whole point).
+	if minRatioU > randomU+1e-9 {
+		t.Errorf("min-ratio unfairness %v worse than random %v", minRatioU, randomU)
+	}
+}
+
+func TestRunAblationCenterPlacement(t *testing.T) {
+	res, err := RunAblation("center-placement", workload.GM, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var random, kmeans float64
+	for _, row := range res.Rows {
+		if row.Assigned.Mean <= 0 {
+			t.Fatalf("variant %q assigned nothing", row.Variant)
+		}
+		switch row.Variant {
+		case "random (paper)":
+			random = row.Assigned.Mean
+		case "k-means of demand":
+			kmeans = row.Assigned.Mean
+		}
+	}
+	// On the clustered GM dataset, siting centers at the demand must not be
+	// worse than random placement.
+	if kmeans < random {
+		t.Errorf("k-means placement %v below random %v on GM", kmeans, random)
+	}
+}
+
+func TestRunAblationRewardObjective(t *testing.T) {
+	res, err := RunAblation("reward-objective", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Assigned.Mean <= 0 {
+			t.Fatalf("variant %q assigned nothing", row.Variant)
+		}
+	}
+}
+
+func TestRunAblationAssigner(t *testing.T) {
+	res, err := RunAblation("assigner", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Assigned.Mean <= 0 {
+			t.Fatalf("variant %q assigned nothing", row.Variant)
+		}
+	}
+}

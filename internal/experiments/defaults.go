@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"imtao/internal/core"
+	"imtao/internal/stats"
+	"imtao/internal/workload"
+)
+
+// DefaultsComparison runs every requested method at the Table I default
+// parameter setting — the headline comparison quoted in README.md and
+// EXPERIMENTS.md.
+type DefaultsComparison struct {
+	Dataset workload.Dataset
+	Seeds   []int64
+	Rows    []DefaultsRow
+}
+
+// DefaultsRow is one method's aggregate at the default setting.
+type DefaultsRow struct {
+	Method         core.Method
+	Assigned       stats.Summary
+	Unfairness     stats.Summary
+	CPUSeconds     stats.Summary
+	Transfers      stats.Summary
+	GameIterations stats.Summary
+	// RawAssigned and RawUnfairness hold the per-seed observations in seed
+	// order, enabling paired significance tests between methods.
+	RawAssigned   []float64
+	RawUnfairness []float64
+}
+
+// RunDefaults executes the defaults comparison.
+func RunDefaults(d workload.Dataset, methods []core.Method, seeds []int64, optBudget time.Duration) (*DefaultsComparison, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	if len(methods) == 0 {
+		methods = SeqMethods()
+	}
+	if optBudget == 0 {
+		optBudget = 200 * time.Millisecond
+	}
+	res := &DefaultsComparison{Dataset: d, Seeds: seeds}
+	type agg struct{ a, u, c, tr, it []float64 }
+	aggs := make([]agg, len(methods))
+	for _, seed := range seeds {
+		p := workload.Defaults(d)
+		p.Seed = seed
+		raw, err := workload.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		in, _, err := core.Partition(raw)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range methods {
+			rep, err := core.Run(in, core.Config{Method: m, Seed: seed, OptBudget: optBudget})
+			if err != nil {
+				return nil, err
+			}
+			aggs[mi].a = append(aggs[mi].a, float64(rep.Assigned))
+			aggs[mi].u = append(aggs[mi].u, rep.Unfairness)
+			aggs[mi].c = append(aggs[mi].c, (rep.Phase1Time + rep.Phase2Time).Seconds())
+			aggs[mi].tr = append(aggs[mi].tr, float64(rep.Transfers))
+			aggs[mi].it = append(aggs[mi].it, float64(rep.Iterations))
+		}
+	}
+	for mi, m := range methods {
+		res.Rows = append(res.Rows, DefaultsRow{
+			Method:         m,
+			Assigned:       stats.Summarize(aggs[mi].a),
+			Unfairness:     stats.Summarize(aggs[mi].u),
+			CPUSeconds:     stats.Summarize(aggs[mi].c),
+			Transfers:      stats.Summarize(aggs[mi].tr),
+			GameIterations: stats.Summarize(aggs[mi].it),
+			RawAssigned:    aggs[mi].a,
+			RawUnfairness:  aggs[mi].u,
+		})
+	}
+	return res, nil
+}
+
+// Significance runs a paired t-test on the per-seed assigned counts of two
+// methods (a − b). The runs share instances per seed, so pairing is exact.
+func (d *DefaultsComparison) Significance(a, b core.Method) (tStat, pValue float64, err error) {
+	var ra, rb []float64
+	for _, row := range d.Rows {
+		if row.Method == a {
+			ra = row.RawAssigned
+		}
+		if row.Method == b {
+			rb = row.RawAssigned
+		}
+	}
+	if ra == nil || rb == nil {
+		return 0, 0, fmt.Errorf("experiments: methods %v / %v not in the comparison", a, b)
+	}
+	return stats.PairedT(ra, rb)
+}
+
+// Table renders the comparison.
+func (d *DefaultsComparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Default-setting comparison (%s, Table I defaults, seeds=%v)\n", d.Dataset, d.Seeds)
+	fmt.Fprintf(&b, "  %-10s %10s %10s %11s %10s %10s\n",
+		"method", "assigned", "U_rho", "cpu (s)", "transfers", "game-iters")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "  %-10s %10.1f %10.3f %11.5f %10.1f %10.1f\n",
+			r.Method, r.Assigned.Mean, r.Unfairness.Mean, r.CPUSeconds.Mean,
+			r.Transfers.Mean, r.GameIterations.Mean)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the experiment result as tidy CSV: one row per
+// (method, sweep value, metric) with mean, std and sample count — the
+// format downstream plotting tools expect.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"experiment", "dataset", "sweep", "value", "method", "metric", "mean", "std", "n",
+	}); err != nil {
+		return err
+	}
+	e := r.Experiment
+	for _, m := range r.Methods {
+		name := m.String()
+		for vi, v := range e.SweepValues {
+			c := r.Cells[name][vi]
+			rows := []struct {
+				metric string
+				mean   float64
+				std    float64
+				n      int
+			}{
+				{"assigned", c.Assigned.Mean, c.Assigned.Std, c.Assigned.N},
+				{"unfairness", c.Unfairness.Mean, c.Unfairness.Std, c.Unfairness.N},
+				{"cpu_seconds", c.CPUSeconds.Mean, c.CPUSeconds.Std, c.CPUSeconds.N},
+			}
+			for _, row := range rows {
+				if err := cw.Write([]string{
+					e.ID, e.Dataset.String(), e.SweepName, ftoa(v), name,
+					row.metric, ftoa(row.mean), ftoa(row.std), strconv.Itoa(row.n),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the convergence trace as CSV (iteration, assigned,
+// unfairness).
+func (c *ConvergenceResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"dataset", "seed", "iteration", "assigned", "unfairness"}); err != nil {
+		return err
+	}
+	for _, p := range c.Points {
+		if err := cw.Write([]string{
+			c.Dataset.String(), strconv.FormatInt(c.Seed, 10),
+			strconv.Itoa(p.Iteration), strconv.Itoa(p.Assigned), ftoa(p.Unfairness),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the ablation result as CSV.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"ablation", "dataset", "variant", "metric", "mean", "std", "n"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, m := range []struct {
+			metric string
+			mean   float64
+			std    float64
+			n      int
+		}{
+			{"assigned", row.Assigned.Mean, row.Assigned.Std, row.Assigned.N},
+			{"unfairness", row.Unfairness.Mean, row.Unfairness.Std, row.Unfairness.N},
+			{"cpu_seconds", row.CPUSeconds.Mean, row.CPUSeconds.Std, row.CPUSeconds.N},
+		} {
+			if err := cw.Write([]string{
+				r.Name, r.Dataset.String(), row.Variant, m.metric,
+				ftoa(m.mean), ftoa(m.std), strconv.Itoa(m.n),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"imtao/internal/workload"
+)
+
+func TestResultWriteCSV(t *testing.T) {
+	e := smallExperiment("fig3")
+	res, err := Run(e, Options{Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + methods × sweep values × 3 metrics.
+	want := 1 + len(res.Methods)*len(e.SweepValues)*3
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if strings.Join(rows[0], ",") != "experiment,dataset,sweep,value,method,metric,mean,std,n" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	seenMetrics := map[string]bool{}
+	for _, r := range rows[1:] {
+		if len(r) != 9 {
+			t.Fatalf("row width = %d", len(r))
+		}
+		seenMetrics[r[5]] = true
+	}
+	for _, m := range []string{"assigned", "unfairness", "cpu_seconds"} {
+		if !seenMetrics[m] {
+			t.Errorf("metric %s missing", m)
+		}
+	}
+}
+
+func TestConvergenceWriteCSV(t *testing.T) {
+	res, err := Convergence(workload.SYN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Points)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(res.Points)+1)
+	}
+}
+
+func TestAblationWriteCSV(t *testing.T) {
+	res, err := RunAblation("index", workload.SYN, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(res.Rows)*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

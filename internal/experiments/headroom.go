@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"imtao/internal/anneal"
+	"imtao/internal/core"
+	"imtao/internal/stats"
+	"imtao/internal/workload"
+)
+
+// The headroom analysis: how much of the globally reachable improvement does
+// IMTAO's restricted game capture? A simulated-annealing search over ALL
+// worker→center placements bounds the achievable assignment from above
+// (approximately); the gap between Seq-BDC and the annealer is the price of
+// the game's locality and equilibrium semantics.
+
+// HeadroomRow is one method's aggregate in the headroom comparison.
+type HeadroomRow struct {
+	Name       string
+	Assigned   stats.Summary
+	Unfairness stats.Summary
+	CPUSeconds stats.Summary
+}
+
+// HeadroomResult is a completed headroom analysis.
+type HeadroomResult struct {
+	Dataset workload.Dataset
+	Seeds   []int64
+	Rows    []HeadroomRow
+}
+
+// RunHeadroom compares Seq-w/o-C, Seq-BDC and the annealing comparator at
+// the Table I default setting.
+func RunHeadroom(d workload.Dataset, seeds []int64, annealIters int) (*HeadroomResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	if annealIters <= 0 {
+		annealIters = 4000
+	}
+	res := &HeadroomResult{Dataset: d, Seeds: seeds}
+	type agg struct{ a, u, c []float64 }
+	aggs := map[string]*agg{
+		"Seq-w/o-C": {}, "Seq-BDC": {}, "annealing": {},
+	}
+	for _, seed := range seeds {
+		p := workload.Defaults(d)
+		p.Seed = seed
+		raw, err := workload.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		in, _, err := core.Partition(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range []core.Method{
+			{Assigner: core.Seq, Collab: core.WoC},
+			{Assigner: core.Seq, Collab: core.BDC},
+		} {
+			rep, err := core.Run(in, core.Config{Method: m, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			a := aggs[m.String()]
+			a.a = append(a.a, float64(rep.Assigned))
+			a.u = append(a.u, rep.Unfairness)
+			a.c = append(a.c, (rep.Phase1Time + rep.Phase2Time).Seconds())
+		}
+		t0 := time.Now()
+		ann, err := anneal.Optimize(in, anneal.Config{
+			Iterations: annealIters,
+			Rng:        rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a := aggs["annealing"]
+		a.a = append(a.a, float64(ann.Assigned))
+		a.u = append(a.u, ann.Unfairness)
+		a.c = append(a.c, time.Since(t0).Seconds())
+	}
+	for _, name := range []string{"Seq-w/o-C", "Seq-BDC", "annealing"} {
+		a := aggs[name]
+		res.Rows = append(res.Rows, HeadroomRow{
+			Name:       name,
+			Assigned:   stats.Summarize(a.a),
+			Unfairness: stats.Summarize(a.u),
+			CPUSeconds: stats.Summarize(a.c),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the headroom analysis.
+func (r *HeadroomResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headroom vs global search (%s, Table I defaults, seeds=%v)\n", r.Dataset, r.Seeds)
+	fmt.Fprintf(&b, "  %-12s %10s %12s %12s\n", "method", "assigned", "U_rho", "cpu (s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %10.1f %12.3f %12.5f\n",
+			row.Name, row.Assigned.Mean, row.Unfairness.Mean, row.CPUSeconds.Mean)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// CheckShapes verifies the paper's qualitative claims on a completed
+// experiment and returns a list of violations (empty = all shapes hold).
+// Claims are endpoint-based with a small tolerance so that seed noise on
+// reduced sweeps does not produce false alarms; EXPERIMENTS.md records the
+// full-scale outcomes.
+//
+// Checked claims:
+//
+//  1. Seq-BDC assigns at least as many tasks as Seq-w/o-C at every sweep
+//     point (collaboration helps).
+//  2. Seq-BDC's unfairness never exceeds Seq-w/o-C's by more than tol.
+//  3. |S| sweeps: every method's assigned count rises from the first to
+//     the last point (more tasks to choose from).
+//  4. |W| sweeps: assigned rises and Seq-BDC unfairness falls, first to
+//     last (more workers → fuller, fairer assignment).
+//  5. |C| sweeps: Seq-w/o-C assigned falls and its unfairness rises, first
+//     to last (fragmentation hurts the no-collaboration baseline).
+//  6. e sweeps: Seq-w/o-C saturates (last two points within satTol) while
+//     Seq-BDC keeps gaining from the first to the last point.
+func CheckShapes(r *Result) []string {
+	const tol = 1e-9
+	var bad []string
+	e := r.Experiment
+	bdc, haveBDC := r.Cells["Seq-BDC"]
+	woc, haveWoC := r.Cells["Seq-w/o-C"]
+
+	if haveBDC && haveWoC {
+		for vi := range e.SweepValues {
+			if bdc[vi].Assigned.Mean < woc[vi].Assigned.Mean-tol {
+				bad = append(bad, fmt.Sprintf(
+					"%s: Seq-BDC assigned %.1f < Seq-w/o-C %.1f at %s=%g",
+					e.ID, bdc[vi].Assigned.Mean, woc[vi].Assigned.Mean, e.SweepName, e.SweepValues[vi]))
+			}
+			if bdc[vi].Unfairness.Mean > woc[vi].Unfairness.Mean+0.02 {
+				bad = append(bad, fmt.Sprintf(
+					"%s: Seq-BDC unfairness %.3f above Seq-w/o-C %.3f at %s=%g",
+					e.ID, bdc[vi].Unfairness.Mean, woc[vi].Unfairness.Mean, e.SweepName, e.SweepValues[vi]))
+			}
+		}
+	}
+
+	last := len(e.SweepValues) - 1
+	if last < 1 {
+		return bad
+	}
+	switch e.SweepName {
+	case "|S|":
+		for name, cells := range r.Cells {
+			if cells[last].Assigned.Mean < cells[0].Assigned.Mean-tol {
+				bad = append(bad, fmt.Sprintf("%s: %s assigned fell over the |S| sweep", e.ID, name))
+			}
+		}
+	case "|W|":
+		for name, cells := range r.Cells {
+			if cells[last].Assigned.Mean < cells[0].Assigned.Mean-tol {
+				bad = append(bad, fmt.Sprintf("%s: %s assigned fell over the |W| sweep", e.ID, name))
+			}
+		}
+		if haveBDC && bdc[last].Unfairness.Mean > bdc[0].Unfairness.Mean+0.02 {
+			bad = append(bad, fmt.Sprintf("%s: Seq-BDC unfairness rose over the |W| sweep", e.ID))
+		}
+	case "|C|":
+		if haveWoC {
+			if woc[last].Assigned.Mean > woc[0].Assigned.Mean+tol {
+				bad = append(bad, fmt.Sprintf("%s: Seq-w/o-C assigned rose over the |C| sweep", e.ID))
+			}
+			if woc[last].Unfairness.Mean < woc[0].Unfairness.Mean-0.02 {
+				bad = append(bad, fmt.Sprintf("%s: Seq-w/o-C unfairness fell over the |C| sweep", e.ID))
+			}
+		}
+	case "e (h)":
+		if haveWoC {
+			const satTol = 0.02 // relative saturation tolerance
+			a, b := woc[last-1].Assigned.Mean, woc[last].Assigned.Mean
+			if b > a*(1+satTol) {
+				bad = append(bad, fmt.Sprintf(
+					"%s: Seq-w/o-C keeps growing at large e (%.1f -> %.1f), expected saturation",
+					e.ID, a, b))
+			}
+		}
+		if haveBDC && bdc[last].Assigned.Mean < bdc[0].Assigned.Mean-tol {
+			bad = append(bad, fmt.Sprintf("%s: Seq-BDC assigned fell over the e sweep", e.ID))
+		}
+	}
+	return bad
+}

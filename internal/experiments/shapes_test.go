@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"imtao/internal/stats"
+	"imtao/internal/workload"
+)
+
+// Full-scale shape verification: run the real paper sweeps at the actual
+// Table I parameters (Seq methods, one seed for speed) and assert every
+// qualitative claim holds. Skipped with -short.
+func TestPaperShapesFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale sweep skipped with -short")
+	}
+	for _, id := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res, err := Run(e, Options{Seeds: []int64{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range CheckShapes(res) {
+			t.Errorf("shape violation: %s", v)
+		}
+	}
+}
+
+// Synthetic results exercise the violation paths of CheckShapes.
+func TestCheckShapesDetectsViolations(t *testing.T) {
+	mk := func(id, sweep string, vals []float64, bdcA, wocA, bdcU, wocU [][]float64) *Result {
+		e := Experiment{ID: id, SweepName: sweep, SweepValues: vals, Dataset: workload.SYN}
+		r := &Result{Experiment: e, Methods: SeqMethods(), Cells: map[string][]Cell{}}
+		fill := func(name string, as, us [][]float64) {
+			cells := make([]Cell, len(vals))
+			for i := range vals {
+				cells[i] = Cell{
+					Assigned:   stats.Summarize(as[i]),
+					Unfairness: stats.Summarize(us[i]),
+				}
+			}
+			r.Cells[name] = cells
+		}
+		fill("Seq-BDC", bdcA, bdcU)
+		fill("Seq-w/o-C", wocA, wocU)
+		return r
+	}
+	one := func(vs ...float64) [][]float64 {
+		out := make([][]float64, len(vs))
+		for i, v := range vs {
+			out[i] = []float64{v}
+		}
+		return out
+	}
+
+	// Healthy |S| sweep: no violations.
+	good := mk("figX", "|S|", []float64{400, 800},
+		one(350, 390), one(330, 380), one(0.1, 0.1), one(0.3, 0.3))
+	if v := CheckShapes(good); len(v) != 0 {
+		t.Fatalf("healthy result flagged: %v", v)
+	}
+
+	// BDC below w/o-C: claim 1 fires.
+	badBDC := mk("figX", "|S|", []float64{400, 800},
+		one(300, 390), one(330, 380), one(0.1, 0.1), one(0.3, 0.3))
+	if v := CheckShapes(badBDC); len(v) == 0 || !strings.Contains(v[0], "Seq-BDC assigned") {
+		t.Fatalf("missed BDC<WoC: %v", v)
+	}
+
+	// Falling |S| curve: claim 3 fires.
+	falling := mk("figX", "|S|", []float64{400, 800},
+		one(390, 350), one(380, 330), one(0.1, 0.1), one(0.3, 0.3))
+	if v := CheckShapes(falling); len(v) == 0 {
+		t.Fatal("missed falling |S| curve")
+	}
+
+	// |C| sweep where w/o-C improves: claim 5 fires.
+	improving := mk("figX", "|C|", []float64{20, 60},
+		one(350, 360), one(330, 360), one(0.1, 0.1), one(0.3, 0.3))
+	if v := CheckShapes(improving); len(v) == 0 {
+		t.Fatal("missed improving w/o-C under |C|")
+	}
+
+	// e sweep without saturation: claim 6 fires.
+	unsaturated := mk("figX", "e (h)", []float64{1, 1.5, 2},
+		one(350, 360, 370), one(330, 350, 378), one(0.1, 0.1, 0.1), one(0.3, 0.3, 0.3))
+	if v := CheckShapes(unsaturated); len(v) == 0 {
+		t.Fatal("missed unsaturated w/o-C under e")
+	}
+}

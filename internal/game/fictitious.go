@@ -1,0 +1,152 @@
+package game
+
+import (
+	"math"
+)
+
+// Fictitious play is the second classical learning dynamic (next to best
+// response) for reaching equilibria: each round every player best-responds
+// to the *empirical frequency* of the opponents' past play rather than to
+// their latest move. For potential games and many classes beyond, the
+// empirical frequencies converge to (mixed) equilibria; on the reference
+// games in the tests fictitious play finds the pure NE best response
+// dynamics can miss cycling into.
+
+// FictitiousResult is the outcome of a fictitious-play run.
+type FictitiousResult struct {
+	// Joint is the final round's pure joint strategy.
+	Joint []int
+	// Frequencies[i][s] is the empirical frequency with which player i
+	// played strategy s.
+	Frequencies [][]float64
+	// Rounds actually executed.
+	Rounds int
+	// Converged is true when the last quarter of the run used one fixed
+	// joint strategy (an absorbing pure profile).
+	Converged bool
+}
+
+// FictitiousPlay runs simultaneous-update fictitious play for maxRounds
+// rounds from the given start profile. Each round every player picks the
+// strategy maximizing expected utility against the product of opponents'
+// empirical mixtures, estimated by sampling-free exact expectation for
+// games whose joint space is small (≤ maxExpectationJoint states) and by
+// best response to the opponents' modal strategies otherwise.
+func FictitiousPlay(g Game, start []int, maxRounds int) (*FictitiousResult, error) {
+	n := g.NumPlayers()
+	if n == 0 {
+		return nil, ErrEmptyGame
+	}
+	joint := append([]int(nil), start...)
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, g.NumStrategies(i))
+		counts[i][joint[i]]++
+	}
+
+	jointSpace := 1
+	exact := true
+	for i := 0; i < n; i++ {
+		jointSpace *= g.NumStrategies(i)
+		if jointSpace > maxExpectationJoint {
+			exact = false
+			break
+		}
+	}
+
+	lastChange := 0
+	for round := 1; round <= maxRounds; round++ {
+		next := make([]int, n)
+		for i := 0; i < n; i++ {
+			if exact {
+				next[i] = bestVsMixture(g, i, counts, float64(round))
+			} else {
+				next[i] = bestVsModal(g, i, joint, counts)
+			}
+		}
+		for i := range next {
+			if next[i] != joint[i] {
+				lastChange = round
+			}
+			joint[i] = next[i]
+			counts[i][joint[i]]++
+		}
+		_ = round
+	}
+
+	res := &FictitiousResult{Joint: joint, Rounds: maxRounds}
+	res.Frequencies = make([][]float64, n)
+	total := float64(maxRounds + 1)
+	for i := range counts {
+		res.Frequencies[i] = make([]float64, len(counts[i]))
+		for s, c := range counts[i] {
+			res.Frequencies[i][s] = c / total
+		}
+	}
+	res.Converged = lastChange <= maxRounds*3/4
+	return res, nil
+}
+
+// maxExpectationJoint bounds the joint-strategy space for which exact
+// expected utilities are computed.
+const maxExpectationJoint = 1 << 16
+
+// bestVsMixture returns player i's strategy maximizing exact expected
+// utility against opponents' empirical mixtures.
+func bestVsMixture(g Game, i int, counts [][]float64, rounds float64) int {
+	n := g.NumPlayers()
+	joint := make([]int, n)
+	best, bestU := 0, math.Inf(-1)
+	for s := 0; s < g.NumStrategies(i); s++ {
+		joint[i] = s
+		u := expectOver(g, i, joint, counts, 0, 1, rounds)
+		if u > bestU+utilEps {
+			best, bestU = s, u
+		}
+	}
+	return best
+}
+
+// expectOver recursively enumerates opponents' strategies weighted by their
+// empirical frequencies.
+func expectOver(g Game, i int, joint []int, counts [][]float64, player int, weight, rounds float64) float64 {
+	if weight == 0 {
+		return 0
+	}
+	n := g.NumPlayers()
+	if player == n {
+		return weight * g.Utility(i, joint)
+	}
+	if player == i {
+		return expectOver(g, i, joint, counts, player+1, weight, rounds)
+	}
+	var sum float64
+	for s := 0; s < g.NumStrategies(player); s++ {
+		p := counts[player][s] / (rounds)
+		if p == 0 {
+			continue
+		}
+		joint[player] = s
+		sum += expectOver(g, i, joint, counts, player+1, weight*p, rounds)
+	}
+	return sum
+}
+
+// bestVsModal approximates fictitious play for large games: best response
+// to each opponent's most frequent strategy.
+func bestVsModal(g Game, i int, joint []int, counts [][]float64) int {
+	n := g.NumPlayers()
+	modal := make([]int, n)
+	for p := 0; p < n; p++ {
+		bi, bc := 0, -1.0
+		for s, c := range counts[p] {
+			if c > bc {
+				bi, bc = s, c
+			}
+		}
+		modal[p] = bi
+	}
+	modal[i] = joint[i]
+	br, _ := BestResponse(g, i, modal)
+	return br
+}

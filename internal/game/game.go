@@ -1,0 +1,190 @@
+// Package game provides the strategic-game machinery behind the inter-center
+// workforce transfer phase of IMTAO (paper §V): finite strategic games,
+// exact-potential-game verification (Definition 11), pure Nash equilibrium
+// checks, and best-response dynamics (§V-D).
+//
+// The multi-center collaboration game is defined in the collab package on
+// top of this one; this package is deliberately problem-agnostic so the
+// potential-game theory can be tested on reference games (congestion games,
+// coordination games) independently of spatial crowdsourcing.
+package game
+
+import (
+	"errors"
+	"math"
+)
+
+// Game is a finite strategic game G = (C, ST, U): n players, each with a
+// finite strategy set, and a utility function over joint strategies.
+// A joint strategy is represented as a slice of per-player strategy indices.
+type Game interface {
+	// NumPlayers returns |C|.
+	NumPlayers() int
+	// NumStrategies returns |ST_i| for player i.
+	NumStrategies(i int) int
+	// Utility returns U_i(joint) — player i's utility under the joint
+	// strategy.
+	Utility(i int, joint []int) float64
+}
+
+// ErrEmptyGame is returned by dynamics on games with no players.
+var ErrEmptyGame = errors.New("game: no players")
+
+// utilEps tolerates floating-point noise in utility comparisons.
+const utilEps = 1e-12
+
+// BestResponse returns the strategy index maximizing player i's utility with
+// the rest of the joint strategy held fixed, and the utility achieved.
+// Ties break toward the smaller index so dynamics are deterministic.
+func BestResponse(g Game, i int, joint []int) (int, float64) {
+	work := append([]int(nil), joint...)
+	best, bestU := 0, math.Inf(-1)
+	for s := 0; s < g.NumStrategies(i); s++ {
+		work[i] = s
+		if u := g.Utility(i, work); u > bestU+utilEps {
+			best, bestU = s, u
+		}
+	}
+	return best, bestU
+}
+
+// IsNash reports whether the joint strategy is a pure Nash equilibrium: no
+// player can improve its utility by a unilateral deviation.
+func IsNash(g Game, joint []int) bool {
+	for i := 0; i < g.NumPlayers(); i++ {
+		cur := g.Utility(i, joint)
+		_, best := BestResponse(g, i, joint)
+		if best > cur+utilEps {
+			return false
+		}
+	}
+	return true
+}
+
+// Step records one move of the best-response dynamics.
+type Step struct {
+	Player   int
+	From, To int
+	Gain     float64
+}
+
+// Dynamics holds the outcome of running best-response dynamics.
+type Dynamics struct {
+	Joint     []int  // final joint strategy
+	Steps     []Step // strategy switches, in order
+	Converged bool   // true when a pure NE was reached within the round cap
+}
+
+// BestResponseDynamics runs round-robin best-response dynamics from the
+// given starting joint strategy (player 0, 1, …, n−1, repeating) until no
+// player switches for a full round or maxRounds is exhausted. For exact
+// potential games convergence is guaranteed by the finite-improvement
+// property; maxRounds guards non-potential games.
+func BestResponseDynamics(g Game, start []int, maxRounds int) (*Dynamics, error) {
+	n := g.NumPlayers()
+	if n == 0 {
+		return nil, ErrEmptyGame
+	}
+	joint := append([]int(nil), start...)
+	d := &Dynamics{}
+	for round := 0; round < maxRounds; round++ {
+		switched := false
+		for i := 0; i < n; i++ {
+			cur := g.Utility(i, joint)
+			br, brU := BestResponse(g, i, joint)
+			if brU > cur+utilEps && br != joint[i] {
+				d.Steps = append(d.Steps, Step{Player: i, From: joint[i], To: br, Gain: brU - cur})
+				joint[i] = br
+				switched = true
+			}
+		}
+		if !switched {
+			d.Converged = true
+			break
+		}
+	}
+	d.Joint = joint
+	return d, nil
+}
+
+// PotentialCheck verifies the exact-potential property of Definition 11
+// exhaustively: for every joint strategy and every unilateral deviation,
+// the change in the deviator's utility must equal the change in phi.
+// It returns the maximum absolute discrepancy observed; a game is an exact
+// potential game for phi iff the result is (numerically) zero.
+// The check enumerates the full joint-strategy space and is meant for the
+// small reference games in tests.
+func PotentialCheck(g Game, phi func(joint []int) float64) float64 {
+	n := g.NumPlayers()
+	joint := make([]int, n)
+	var worst float64
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			base := phi(joint)
+			for i := 0; i < n; i++ {
+				orig := joint[i]
+				u0 := g.Utility(i, joint)
+				for s := 0; s < g.NumStrategies(i); s++ {
+					if s == orig {
+						continue
+					}
+					joint[i] = s
+					dU := g.Utility(i, joint) - u0
+					dPhi := phi(joint) - base
+					if diff := math.Abs(dU - dPhi); diff > worst {
+						worst = diff
+					}
+				}
+				joint[i] = orig
+			}
+			return
+		}
+		for s := 0; s < g.NumStrategies(k); s++ {
+			joint[k] = s
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return worst
+}
+
+// FindPureNash enumerates the joint-strategy space and returns all pure Nash
+// equilibria. Exponential; test-sized games only.
+func FindPureNash(g Game) [][]int {
+	n := g.NumPlayers()
+	joint := make([]int, n)
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if IsNash(g, joint) {
+				out = append(out, append([]int(nil), joint...))
+			}
+			return
+		}
+		for s := 0; s < g.NumStrategies(k); s++ {
+			joint[k] = s
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TableGame is a concrete Game backed by explicit utility tables, used for
+// reference games in tests and examples.
+type TableGame struct {
+	Strategies []int // strategy count per player
+	// Payoff returns the utility of player i at the joint strategy.
+	Payoff func(i int, joint []int) float64
+}
+
+// NumPlayers implements Game.
+func (t *TableGame) NumPlayers() int { return len(t.Strategies) }
+
+// NumStrategies implements Game.
+func (t *TableGame) NumStrategies(i int) int { return t.Strategies[i] }
+
+// Utility implements Game.
+func (t *TableGame) Utility(i int, joint []int) float64 { return t.Payoff(i, joint) }

@@ -1,0 +1,323 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// congestionGame builds a classic 2-resource congestion game for n players:
+// each player picks resource 0 or 1; the cost of a resource is its load, and
+// utility is the negative cost. Congestion games are exact potential games
+// with Rosenthal's potential.
+func congestionGame(n int) (*TableGame, func([]int) float64) {
+	g := &TableGame{
+		Strategies: make([]int, n),
+		Payoff: func(i int, joint []int) float64 {
+			load := 0
+			for _, s := range joint {
+				if s == joint[i] {
+					load++
+				}
+			}
+			return -float64(load)
+		},
+	}
+	for i := range g.Strategies {
+		g.Strategies[i] = 2
+	}
+	phi := func(joint []int) float64 {
+		// Rosenthal: Φ = -Σ_r Σ_{k=1..load_r} k
+		loads := [2]int{}
+		for _, s := range joint {
+			loads[s]++
+		}
+		var p float64
+		for _, l := range loads {
+			p -= float64(l*(l+1)) / 2
+		}
+		return p
+	}
+	return g, phi
+}
+
+// matchingPennies is the canonical game with NO pure Nash equilibrium.
+func matchingPennies() *TableGame {
+	return &TableGame{
+		Strategies: []int{2, 2},
+		Payoff: func(i int, joint []int) float64 {
+			match := joint[0] == joint[1]
+			if (i == 0) == match {
+				return 1
+			}
+			return -1
+		},
+	}
+}
+
+// coordinationGame rewards both players for matching, with strategy 1
+// strictly better for both.
+func coordinationGame() *TableGame {
+	return &TableGame{
+		Strategies: []int{2, 2},
+		Payoff: func(i int, joint []int) float64 {
+			if joint[0] != joint[1] {
+				return 0
+			}
+			return float64(joint[0] + 1)
+		},
+	}
+}
+
+func TestBestResponse(t *testing.T) {
+	g := coordinationGame()
+	br, u := BestResponse(g, 0, []int{0, 1})
+	if br != 1 || u != 2 {
+		t.Fatalf("BestResponse = %d/%v, want 1/2", br, u)
+	}
+	// Ties break toward the smaller strategy index.
+	flat := &TableGame{Strategies: []int{3}, Payoff: func(int, []int) float64 { return 7 }}
+	br, _ = BestResponse(flat, 0, []int{2})
+	if br != 0 {
+		t.Fatalf("tie-break = %d, want 0", br)
+	}
+}
+
+func TestIsNash(t *testing.T) {
+	g := coordinationGame()
+	if !IsNash(g, []int{1, 1}) {
+		t.Error("(1,1) is a NE")
+	}
+	if !IsNash(g, []int{0, 0}) {
+		t.Error("(0,0) is a (payoff-dominated) NE")
+	}
+	if IsNash(g, []int{0, 1}) {
+		t.Error("(0,1) is not a NE")
+	}
+}
+
+func TestFindPureNash(t *testing.T) {
+	if got := FindPureNash(coordinationGame()); len(got) != 2 {
+		t.Errorf("coordination game has 2 pure NE, found %d", len(got))
+	}
+	if got := FindPureNash(matchingPennies()); len(got) != 0 {
+		t.Errorf("matching pennies has no pure NE, found %v", got)
+	}
+}
+
+func TestCongestionGameIsExactPotential(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		g, phi := congestionGame(n)
+		if worst := PotentialCheck(g, phi); worst > 1e-12 {
+			t.Errorf("n=%d: potential discrepancy %v", n, worst)
+		}
+	}
+}
+
+func TestPotentialCheckDetectsNonPotential(t *testing.T) {
+	g := matchingPennies()
+	// Any candidate potential must fail; try the zero function.
+	if worst := PotentialCheck(g, func([]int) float64 { return 0 }); worst < 1 {
+		t.Errorf("matching pennies passed a bogus potential check: %v", worst)
+	}
+}
+
+func TestBestResponseDynamicsConvergesOnPotentialGame(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		g, _ := congestionGame(n)
+		start := make([]int, n)
+		for i := range start {
+			start[i] = rng.Intn(2)
+		}
+		d, err := BestResponseDynamics(g, start, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Converged {
+			t.Fatalf("trial %d: no convergence on an exact potential game", trial)
+		}
+		if !IsNash(g, d.Joint) {
+			t.Fatalf("trial %d: dynamics ended off-equilibrium at %v", trial, d.Joint)
+		}
+	}
+}
+
+func TestBestResponseDynamicsStepsImprove(t *testing.T) {
+	g, phi := congestionGame(4)
+	d, err := BestResponseDynamics(g, []int{0, 0, 0, 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range d.Steps {
+		if s.Gain <= 0 {
+			t.Fatalf("non-improving step recorded: %+v", s)
+		}
+	}
+	// Potential at the end must be at least the starting potential.
+	if phi(d.Joint) < phi([]int{0, 0, 0, 0})-1e-12 {
+		t.Error("dynamics decreased the potential")
+	}
+}
+
+func TestBestResponseDynamicsNonConvergent(t *testing.T) {
+	// Matching pennies cycles forever; the round cap must stop it.
+	d, err := BestResponseDynamics(matchingPennies(), []int{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Converged {
+		t.Error("matching pennies cannot converge to a pure NE")
+	}
+}
+
+func TestBestResponseDynamicsEmptyGame(t *testing.T) {
+	g := &TableGame{Strategies: nil, Payoff: func(int, []int) float64 { return 0 }}
+	if _, err := BestResponseDynamics(g, nil, 10); err == nil {
+		t.Error("empty game must error")
+	}
+}
+
+// Property (Lemma 1 analogue): in an exact potential game, the potential
+// strictly increases along every improving unilateral deviation.
+func TestPotentialTracksUnilateralGains(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	g, phi := congestionGame(5)
+	joint := make([]int, 5)
+	for trial := 0; trial < 200; trial++ {
+		for i := range joint {
+			joint[i] = rng.Intn(2)
+		}
+		i := rng.Intn(5)
+		u0, p0 := g.Utility(i, joint), phi(joint)
+		joint[i] = 1 - joint[i]
+		u1, p1 := g.Utility(i, joint), phi(joint)
+		if math.Abs((u1-u0)-(p1-p0)) > 1e-12 {
+			t.Fatalf("potential mismatch: dU=%v dPhi=%v", u1-u0, p1-p0)
+		}
+	}
+}
+
+func TestFictitiousPlayCoordination(t *testing.T) {
+	// From a miscoordinated start, fictitious play settles on a pure NE of
+	// the coordination game.
+	g := coordinationGame()
+	res, err := FictitiousPlay(g, []int{0, 1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("fictitious play did not settle on the coordination game")
+	}
+	if !IsNash(g, res.Joint) {
+		t.Fatalf("settled on a non-equilibrium %v", res.Joint)
+	}
+}
+
+func TestFictitiousPlayCongestion(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(4)
+		g, _ := congestionGame(n)
+		start := make([]int, n)
+		for i := range start {
+			start[i] = rng.Intn(2)
+		}
+		res, err := FictitiousPlay(g, start, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged && !IsNash(g, res.Joint) {
+			t.Fatalf("trial %d: converged off equilibrium at %v", trial, res.Joint)
+		}
+		// Frequencies are proper distributions.
+		for i, fs := range res.Frequencies {
+			var sum float64
+			for _, f := range fs {
+				if f < 0 {
+					t.Fatalf("negative frequency for player %d", i)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("player %d frequencies sum to %v", i, sum)
+			}
+		}
+	}
+}
+
+func TestFictitiousPlayMatchingPennies(t *testing.T) {
+	// No pure NE exists; play must not falsely converge to one, and the
+	// empirical frequencies should hover near the (0.5, 0.5) mixed NE.
+	g := matchingPennies()
+	res, err := FictitiousPlay(g, []int{0, 0}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged && IsNash(g, res.Joint) {
+		t.Fatal("matching pennies has no pure NE to converge to")
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(res.Frequencies[i][0]-0.5) > 0.15 {
+			t.Errorf("player %d frequency %v far from the mixed NE", i, res.Frequencies[i])
+		}
+	}
+}
+
+func TestFictitiousPlayEmptyGame(t *testing.T) {
+	g := &TableGame{Strategies: nil, Payoff: func(int, []int) float64 { return 0 }}
+	if _, err := FictitiousPlay(g, nil, 10); err == nil {
+		t.Error("empty game must error")
+	}
+}
+
+func TestFictitiousPlayLargeGameModalPath(t *testing.T) {
+	// 20 players with 3 strategies each: the joint space (3^20) far exceeds
+	// the exact-expectation cap, forcing the modal-response path.
+	n := 20
+	g := &TableGame{
+		Strategies: make([]int, n),
+		Payoff: func(i int, joint []int) float64 {
+			// Congestion over 3 resources.
+			load := 0
+			for _, s := range joint {
+				if s == joint[i] {
+					load++
+				}
+			}
+			return -float64(load)
+		},
+	}
+	for i := range g.Strategies {
+		g.Strategies[i] = 3
+	}
+	start := make([]int, n) // everyone on resource 0: heavily congested
+	res, err := FictitiousPlay(g, start, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simultaneous modal best response herds the crowd back and forth (a
+	// classic artifact); the meaningful checks are that every player's
+	// empirical play visited at least two resources and frequencies stay
+	// proper distributions.
+	for i, fs := range res.Frequencies {
+		var sum float64
+		visited := 0
+		for _, f := range fs {
+			sum += f
+			if f > 0 {
+				visited++
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("player %d frequencies sum to %v", i, sum)
+		}
+		if visited < 2 {
+			t.Fatalf("player %d never left its start resource: %v", i, fs)
+		}
+	}
+	if res.Rounds != 100 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}

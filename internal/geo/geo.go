@@ -1,0 +1,264 @@
+// Package geo provides the 2-D geometric primitives used throughout the
+// IMTAO reproduction: points, rectangles, segments, and the distance
+// arithmetic that the spatial-crowdsourcing model is built on.
+//
+// All coordinates are plain float64 Euclidean coordinates. The paper's
+// synthetic dataset lives in [0,2000]^2 and its gMission-like dataset in an
+// arbitrary bounded planar region, so a flat Euclidean model is exactly what
+// the original system uses.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for approximate floating-point comparisons in
+// geometric predicates. It is deliberately coarse relative to machine epsilon
+// because inputs are city-scale coordinates where nanometre precision is
+// meaningless.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String renders the point as "(x, y)" with compact precision.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q treated as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product of p and q treated as
+// vectors. Positive means q is counter-clockwise from p.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean length of p treated as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. It is the
+// comparison key of choice in nearest-neighbour loops because it avoids the
+// square root.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q coincide within Eps in both coordinates.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Lerp returns the linear interpolation p + t*(q-p).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Mid returns the midpoint of p and q.
+func Mid(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Orientation classifies the turn a->b->c.
+// It returns +1 for counter-clockwise, -1 for clockwise and 0 for collinear
+// (within Eps scaled by the magnitudes involved).
+func Orientation(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	scale := math.Max(1, math.Max(b.Sub(a).Norm(), c.Sub(a).Norm()))
+	switch {
+	case v > Eps*scale:
+		return 1
+	case v < -Eps*scale:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Rect is an axis-aligned rectangle with Min at the lower-left corner and Max
+// at the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by two arbitrary corner points.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point { return Mid(r.Min, r.Max) }
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X-Eps && p.X <= r.Max.X+Eps &&
+		p.Y >= r.Min.Y-Eps && p.Y <= r.Max.Y+Eps
+}
+
+// Intersects reports whether r and s overlap (boundary touching counts).
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X+Eps && s.Min.X <= r.Max.X+Eps &&
+		r.Min.Y <= s.Max.Y+Eps && s.Min.Y <= r.Max.Y+Eps
+}
+
+// Expand returns r grown by d on every side. Negative d shrinks.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Dist2 returns the squared distance from p to the closest point of r
+// (zero when p is inside). Used for KD-tree pruning.
+func (r Rect) Dist2(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return dx*dx + dy*dy
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// BoundingRect returns the axis-aligned bounding rectangle of pts.
+// It panics if pts is empty; callers always have at least one point.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geo: BoundingRect of empty slice")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Segment is a directed line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the segment's length.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() Point { return Mid(s.A, s.B) }
+
+// ClosestPoint returns the point on s closest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 == 0 {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	t = math.Max(0, math.Min(1, t))
+	return s.A.Lerp(s.B, t)
+}
+
+// Dist returns the distance from p to segment s.
+func (s Segment) Dist(p Point) float64 { return p.Dist(s.ClosestPoint(p)) }
+
+// Intersect reports whether segments s and t properly intersect or touch,
+// and returns the intersection point when they cross at a single point.
+// For overlapping collinear segments it reports ok=true with the midpoint of
+// the overlap region's first shared endpoint — collaboration code only needs
+// the boolean.
+func (s Segment) Intersect(t Segment) (Point, bool) {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	diff := t.A.Sub(s.A)
+	if math.Abs(denom) < Eps {
+		// Parallel. Collinear overlap check.
+		if math.Abs(diff.Cross(r)) > Eps {
+			return Point{}, false
+		}
+		// Collinear: project t endpoints onto s.
+		l2 := r.Norm2()
+		if l2 == 0 {
+			if s.A.Eq(t.A) || s.A.Eq(t.B) {
+				return s.A, true
+			}
+			return Point{}, false
+		}
+		t0 := diff.Dot(r) / l2
+		t1 := t.B.Sub(s.A).Dot(r) / l2
+		lo, hi := math.Min(t0, t1), math.Max(t0, t1)
+		if hi < -Eps || lo > 1+Eps {
+			return Point{}, false
+		}
+		tm := math.Max(0, lo)
+		return s.A.Lerp(s.B, math.Min(1, tm)), true
+	}
+	u := diff.Cross(d) / denom
+	v := diff.Cross(r) / denom
+	if u < -Eps || u > 1+Eps || v < -Eps || v > 1+Eps {
+		return Point{}, false
+	}
+	return s.A.Lerp(s.B, u), true
+}
+
+// Circumcenter returns the center of the circle through a, b and c, and
+// reports false if the points are (nearly) collinear.
+func Circumcenter(a, b, c Point) (Point, bool) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	scale := math.Max(1, a.Norm()+b.Norm()+c.Norm())
+	if math.Abs(d) < Eps*scale {
+		return Point{}, false
+	}
+	a2, b2, c2 := a.Norm2(), b.Norm2(), c.Norm2()
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	return Point{ux, uy}, true
+}
+
+// InCircumcircle reports whether p lies strictly inside the circumcircle of
+// the counter-clockwise triangle (a, b, c). It is the incircle predicate at
+// the heart of Delaunay triangulation.
+func InCircumcircle(a, b, c, p Point) bool {
+	ax, ay := a.X-p.X, a.Y-p.Y
+	bx, by := b.X-p.X, b.Y-p.Y
+	cx, cy := c.X-p.X, c.Y-p.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > Eps
+}

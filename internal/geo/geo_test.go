@@ -1,0 +1,264 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, 0), Pt(1, 0), 2},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); math.Abs(got-c.want) > Eps {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Dist2(c.b); math.Abs(got-c.want*c.want) > Eps {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", c.a, c.b, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clamp(ax), clamp(ay)), Pt(clamp(bx), clamp(by))
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp keeps quick-generated values within city scale so floating error
+// bounds stay meaningful.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e4)
+}
+
+func TestOrientation(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if Orientation(a, b, Pt(1, 1)) != 1 {
+		t.Error("expected CCW")
+	}
+	if Orientation(a, b, Pt(1, -1)) != -1 {
+		t.Error("expected CW")
+	}
+	if Orientation(a, b, Pt(2, 0)) != 0 {
+		t.Error("expected collinear")
+	}
+}
+
+func TestLerpMid(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0.5); !got.Eq(Mid(a, b)) {
+		t.Errorf("Lerp(0.5) = %v, Mid = %v", got, Mid(a, b))
+	}
+	if got := a.Lerp(b, 0); !got.Eq(a) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !got.Eq(b) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(Pt(4, 5), Pt(1, 2)) // corners in arbitrary order
+	if r.Min != Pt(1, 2) || r.Max != Pt(4, 5) {
+		t.Fatalf("NewRect normalisation failed: %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 3 {
+		t.Errorf("width/height = %v/%v", r.Width(), r.Height())
+	}
+	if r.Area() != 9 {
+		t.Errorf("area = %v", r.Area())
+	}
+	if !r.Contains(Pt(2, 3)) || !r.Contains(Pt(1, 2)) || r.Contains(Pt(0, 0)) {
+		t.Error("Contains misbehaves")
+	}
+	if !r.Contains(r.Center()) {
+		t.Error("center must be inside")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(2, 2))
+	b := NewRect(Pt(1, 1), Pt(3, 3))
+	c := NewRect(Pt(5, 5), Pt(6, 6))
+	d := NewRect(Pt(2, 0), Pt(4, 2)) // touching edge
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects must intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if !a.Intersects(d) {
+		t.Error("touching rects count as intersecting")
+	}
+}
+
+func TestRectDist2(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 2))
+	if got := r.Dist2(Pt(1, 1)); got != 0 {
+		t.Errorf("inside dist2 = %v", got)
+	}
+	if got := r.Dist2(Pt(5, 2)); got != 9 {
+		t.Errorf("side dist2 = %v", got)
+	}
+	if got := r.Dist2(Pt(5, 6)); got != 9+16 {
+		t.Errorf("corner dist2 = %v", got)
+	}
+}
+
+func TestRectUnionExpand(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(1, 1))
+	b := NewRect(Pt(2, 2), Pt(3, 3))
+	u := a.Union(b)
+	if u.Min != Pt(0, 0) || u.Max != Pt(3, 3) {
+		t.Errorf("union = %+v", u)
+	}
+	e := a.Expand(1)
+	if e.Min != Pt(-1, -1) || e.Max != Pt(2, 2) {
+		t.Errorf("expand = %+v", e)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Point{Pt(3, 1), Pt(-1, 4), Pt(2, -2)}
+	r := BoundingRect(pts)
+	if r.Min != Pt(-1, -2) || r.Max != Pt(3, 4) {
+		t.Errorf("bounding rect = %+v", r)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect must contain %v", p)
+		}
+	}
+}
+
+func TestBoundingRectPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty input")
+		}
+	}()
+	BoundingRect(nil)
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p, want Point
+	}{
+		{Pt(5, 3), Pt(5, 0)},
+		{Pt(-2, 1), Pt(0, 0)},
+		{Pt(12, -1), Pt(10, 0)},
+	}
+	for _, c := range cases {
+		if got := s.ClosestPoint(c.p); !got.Eq(c.want) {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := s.Dist(Pt(5, 3)); math.Abs(got-3) > Eps {
+		t.Errorf("Dist = %v", got)
+	}
+	// Degenerate zero-length segment.
+	z := Segment{Pt(1, 1), Pt(1, 1)}
+	if got := z.ClosestPoint(Pt(5, 5)); !got.Eq(Pt(1, 1)) {
+		t.Errorf("degenerate closest = %v", got)
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(4, 4)}
+	u := Segment{Pt(0, 4), Pt(4, 0)}
+	p, ok := s.Intersect(u)
+	if !ok || !p.Eq(Pt(2, 2)) {
+		t.Errorf("crossing: got %v, %v", p, ok)
+	}
+	// Parallel, non-collinear.
+	if _, ok := s.Intersect(Segment{Pt(0, 1), Pt(4, 5)}); ok {
+		t.Error("parallel segments must not intersect")
+	}
+	// Disjoint on the same line.
+	if _, ok := s.Intersect(Segment{Pt(5, 5), Pt(6, 6)}); ok {
+		t.Error("disjoint collinear segments must not intersect")
+	}
+	// Touching at an endpoint.
+	if _, ok := s.Intersect(Segment{Pt(4, 4), Pt(8, 0)}); !ok {
+		t.Error("touching segments must intersect")
+	}
+	// Collinear overlap.
+	if _, ok := s.Intersect(Segment{Pt(2, 2), Pt(6, 6)}); !ok {
+		t.Error("overlapping collinear segments must intersect")
+	}
+}
+
+func TestCircumcenter(t *testing.T) {
+	c, ok := Circumcenter(Pt(0, 0), Pt(2, 0), Pt(0, 2))
+	if !ok || !c.Eq(Pt(1, 1)) {
+		t.Errorf("circumcenter = %v, ok=%v", c, ok)
+	}
+	if _, ok := Circumcenter(Pt(0, 0), Pt(1, 1), Pt(2, 2)); ok {
+		t.Error("collinear points have no circumcenter")
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		b := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		c := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		ctr, ok := Circumcenter(a, b, c)
+		if !ok {
+			continue
+		}
+		da, db, dc := ctr.Dist(a), ctr.Dist(b), ctr.Dist(c)
+		if math.Abs(da-db) > 1e-6*da || math.Abs(da-dc) > 1e-6*da {
+			t.Fatalf("circumcenter not equidistant: %v %v %v", da, db, dc)
+		}
+	}
+}
+
+func TestInCircumcircle(t *testing.T) {
+	a, b, c := Pt(0, 0), Pt(4, 0), Pt(0, 4) // CCW, circumcircle centered (2,2) r=2√2
+	if !InCircumcircle(a, b, c, Pt(2, 2)) {
+		t.Error("center must be inside")
+	}
+	if InCircumcircle(a, b, c, Pt(10, 10)) {
+		t.Error("far point must be outside")
+	}
+	if InCircumcircle(a, b, c, Pt(4, 4)) {
+		t.Error("point on circle must not be strictly inside")
+	}
+}

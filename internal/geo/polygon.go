@@ -1,0 +1,182 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Polygon is a simple polygon given by its vertices in order. Voronoi cells
+// produced by the partitioner are convex counter-clockwise polygons, but the
+// predicates here work for any simple polygon unless stated otherwise.
+type Polygon []Point
+
+// Area returns the signed area of the polygon: positive for counter-clockwise
+// winding, negative for clockwise.
+func (pg Polygon) Area() float64 {
+	n := len(pg)
+	if n < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += pg[i].Cross(pg[j])
+	}
+	return s / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate polygons
+// (fewer than three vertices or zero area) it falls back to the vertex mean.
+func (pg Polygon) Centroid() Point {
+	n := len(pg)
+	if n == 0 {
+		return Point{}
+	}
+	a := pg.Area()
+	if n < 3 || math.Abs(a) < Eps {
+		var c Point
+		for _, p := range pg {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(n))
+	}
+	var cx, cy float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		w := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * w
+		cy += (pg[i].Y + pg[j].Y) * w
+	}
+	k := 1 / (6 * a)
+	return Point{cx * k, cy * k}
+}
+
+// Contains reports whether p lies inside the polygon (boundary inclusive)
+// using the winding-free ray-crossing rule.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg[i], pg[j]
+		if (Segment{a, b}).Dist(p) <= Eps {
+			return true // on the boundary
+		}
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Perimeter returns the total boundary length of the polygon.
+func (pg Polygon) Perimeter() float64 {
+	n := len(pg)
+	if n < 2 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += pg[i].Dist(pg[(i+1)%n])
+	}
+	return s
+}
+
+// ClipHalfPlane returns the part of the convex polygon on the side of the
+// line through a and b where Orientation(a, b, p) >= 0 (the left side of the
+// directed line a->b). This is the Sutherland–Hodgman step used to clip
+// Voronoi cells to the bounding box and to intersect half-planes.
+func (pg Polygon) ClipHalfPlane(a, b Point) Polygon {
+	n := len(pg)
+	if n == 0 {
+		return nil
+	}
+	dir := b.Sub(a)
+	side := func(p Point) float64 { return dir.Cross(p.Sub(a)) }
+	out := make(Polygon, 0, n+2)
+	for i := 0; i < n; i++ {
+		cur, nxt := pg[i], pg[(i+1)%n]
+		sc, sn := side(cur), side(nxt)
+		if sc >= -Eps {
+			out = append(out, cur)
+		}
+		if (sc > Eps && sn < -Eps) || (sc < -Eps && sn > Eps) {
+			t := sc / (sc - sn)
+			out = append(out, cur.Lerp(nxt, t))
+		}
+	}
+	return out
+}
+
+// ClipRect returns the intersection of the convex polygon with rectangle r.
+func (pg Polygon) ClipRect(r Rect) Polygon {
+	out := pg
+	out = out.ClipHalfPlane(r.Min, Pt(r.Max.X, r.Min.Y)) // bottom
+	out = out.ClipHalfPlane(Pt(r.Max.X, r.Min.Y), r.Max) // right
+	out = out.ClipHalfPlane(r.Max, Pt(r.Min.X, r.Max.Y)) // top
+	out = out.ClipHalfPlane(Pt(r.Min.X, r.Max.Y), r.Min) // left
+	return out
+}
+
+// RectPolygon returns r as a counter-clockwise polygon.
+func RectPolygon(r Rect) Polygon {
+	return Polygon{
+		r.Min,
+		Pt(r.Max.X, r.Min.Y),
+		r.Max,
+		Pt(r.Min.X, r.Max.Y),
+	}
+}
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order using
+// Andrew's monotone chain. Collinear points on the hull boundary are dropped.
+// The input slice is not modified. Degenerate inputs (0, 1 or 2 points, or
+// all-collinear sets) return what remains after duplicate removal.
+func ConvexHull(pts []Point) Polygon {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	n = len(uniq)
+	if n < 3 {
+		return Polygon(uniq)
+	}
+	hull := make(Polygon, 0, 2*n)
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}

@@ -1,0 +1,247 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func square(side float64) Polygon {
+	return Polygon{Pt(0, 0), Pt(side, 0), Pt(side, side), Pt(0, side)}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := square(2)
+	if got := sq.Area(); math.Abs(got-4) > Eps {
+		t.Errorf("area = %v", got)
+	}
+	// Clockwise winding flips the sign.
+	cw := Polygon{Pt(0, 0), Pt(0, 2), Pt(2, 2), Pt(2, 0)}
+	if got := cw.Area(); math.Abs(got+4) > Eps {
+		t.Errorf("cw area = %v", got)
+	}
+	if got := (Polygon{Pt(0, 0), Pt(1, 1)}).Area(); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	sq := square(2)
+	if got := sq.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("centroid = %v", got)
+	}
+	tri := Polygon{Pt(0, 0), Pt(3, 0), Pt(0, 3)}
+	if got := tri.Centroid(); !got.Eq(Pt(1, 1)) {
+		t.Errorf("triangle centroid = %v", got)
+	}
+	// Degenerate falls back to vertex mean.
+	seg := Polygon{Pt(0, 0), Pt(2, 0)}
+	if got := seg.Centroid(); !got.Eq(Pt(1, 0)) {
+		t.Errorf("degenerate centroid = %v", got)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := square(4)
+	if !sq.Contains(Pt(2, 2)) {
+		t.Error("interior point")
+	}
+	if !sq.Contains(Pt(0, 2)) {
+		t.Error("boundary point")
+	}
+	if !sq.Contains(Pt(0, 0)) {
+		t.Error("vertex")
+	}
+	if sq.Contains(Pt(5, 2)) || sq.Contains(Pt(-1, -1)) {
+		t.Error("exterior point")
+	}
+	// Concave polygon (L-shape).
+	l := Polygon{Pt(0, 0), Pt(4, 0), Pt(4, 2), Pt(2, 2), Pt(2, 4), Pt(0, 4)}
+	if !l.Contains(Pt(1, 3)) || !l.Contains(Pt(3, 1)) {
+		t.Error("L-shape interior")
+	}
+	if l.Contains(Pt(3, 3)) {
+		t.Error("L-shape notch is exterior")
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	if got := square(3).Perimeter(); math.Abs(got-12) > Eps {
+		t.Errorf("perimeter = %v", got)
+	}
+	if got := (Polygon{Pt(0, 0)}).Perimeter(); got != 0 {
+		t.Errorf("single point perimeter = %v", got)
+	}
+}
+
+func TestClipHalfPlane(t *testing.T) {
+	sq := square(4)
+	// Keep left of the upward vertical line x=2 (directed (2,0)->(2,4) keeps x<=2).
+	got := sq.ClipHalfPlane(Pt(2, 0), Pt(2, 4))
+	if math.Abs(got.Area()-8) > 1e-6 {
+		t.Errorf("clipped area = %v, polygon %v", got.Area(), got)
+	}
+	for _, p := range got {
+		if p.X > 2+Eps {
+			t.Errorf("vertex %v on wrong side", p)
+		}
+	}
+	// Clipping away everything yields an empty polygon.
+	gone := sq.ClipHalfPlane(Pt(-1, 0), Pt(-1, 4)) // keeps x <= -1
+	if len(gone) != 0 {
+		t.Errorf("expected empty polygon, got %v", gone)
+	}
+	// Clipping with a line fully outside keeps everything.
+	all := sq.ClipHalfPlane(Pt(10, 0), Pt(10, 4)) // keeps x <= 10
+	if math.Abs(all.Area()-16) > 1e-6 {
+		t.Errorf("expected full polygon, area %v", all.Area())
+	}
+}
+
+func TestClipRect(t *testing.T) {
+	tri := Polygon{Pt(-2, -2), Pt(6, -2), Pt(2, 6)}
+	r := NewRect(Pt(0, 0), Pt(4, 4))
+	got := tri.ClipRect(r)
+	if got.Area() <= 0 || got.Area() > r.Area()+Eps {
+		t.Fatalf("clip area out of bounds: %v", got.Area())
+	}
+	for _, p := range got {
+		if !r.Expand(1e-6).Contains(p) {
+			t.Errorf("clipped vertex %v outside rect", p)
+		}
+	}
+}
+
+func TestRectPolygon(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 3))
+	pg := RectPolygon(r)
+	if math.Abs(pg.Area()-6) > Eps {
+		t.Errorf("area = %v", pg.Area())
+	}
+	if pg.Area() < 0 {
+		t.Error("must be CCW")
+	}
+}
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), // hull
+		Pt(2, 2), Pt(1, 3), Pt(3, 1), // interior
+		Pt(2, 0), // on edge (collinear, dropped)
+	}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d (%v)", len(h), h)
+	}
+	if math.Abs(h.Area()-16) > Eps {
+		t.Errorf("hull area = %v", h.Area())
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Errorf("nil input: %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("single point: %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("duplicates: %v", h)
+	}
+	h := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(h) != 2 {
+		t.Errorf("collinear input hull: %v", h)
+	}
+}
+
+// Property: every input point is inside (or on) the hull, and the hull is convex.
+func TestConvexHullProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			t.Fatalf("trial %d: degenerate hull from random points", trial)
+		}
+		if h.Area() <= 0 {
+			t.Fatalf("trial %d: hull not CCW (area %v)", trial, h.Area())
+		}
+		for i := range h {
+			a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+			if Orientation(a, b, c) < 0 {
+				t.Fatalf("trial %d: hull has a clockwise turn at %d", trial, i)
+			}
+		}
+		for _, p := range pts {
+			if !h.Contains(p) {
+				t.Fatalf("trial %d: hull does not contain input point %v", trial, p)
+			}
+		}
+	}
+}
+
+// Property: Sutherland–Hodgman clipping never increases area and the result
+// stays inside the clip rect.
+func TestClipRectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := NewRect(Pt(200, 200), Pt(800, 800))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		pg := ConvexHull(pts)
+		if len(pg) < 3 {
+			continue
+		}
+		clipped := pg.ClipRect(r)
+		if a := clipped.Area(); a < -Eps || a > pg.Area()+1e-6 || a > r.Area()+1e-6 {
+			t.Fatalf("trial %d: clip area %v vs poly %v rect %v", trial, a, pg.Area(), r.Area())
+		}
+		for _, p := range clipped {
+			if !r.Expand(1e-6).Contains(p) {
+				t.Fatalf("trial %d: clipped vertex %v escapes rect", trial, p)
+			}
+		}
+	}
+}
+
+// Property: ClipHalfPlane output lies on the kept side and inside the
+// original polygon (up to boundary fuzz), and clipping is idempotent.
+func TestClipHalfPlaneProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		pts := make([]Point, 4+rng.Intn(8))
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		pg := ConvexHull(pts)
+		if len(pg) < 3 {
+			continue
+		}
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		if a.Eq(b) {
+			continue
+		}
+		clipped := pg.ClipHalfPlane(a, b)
+		for _, p := range clipped {
+			if Orientation(a, b, p) < 0 && (Segment{a, b}).Dist(p) > 1e-6 {
+				t.Fatalf("trial %d: vertex %v on the cut side", trial, p)
+			}
+		}
+		if clipped.Area() > pg.Area()+1e-6 {
+			t.Fatalf("trial %d: clip grew the polygon", trial)
+		}
+		again := clipped.ClipHalfPlane(a, b)
+		if math.Abs(again.Area()-clipped.Area()) > 1e-6 {
+			t.Fatalf("trial %d: clipping is not idempotent: %v vs %v",
+				trial, clipped.Area(), again.Area())
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package index
+
+import (
+	"math"
+
+	"imtao/internal/geo"
+)
+
+// Grid is a dynamic uniform-grid index supporting insertion and removal.
+// The sequential assignment loop removes each task the moment it is assigned,
+// so the dynamic structure is a natural fit; the KD-tree covers the static
+// filtered-query style instead. Both are benchmarked against each other and
+// against a linear scan in the ablation benches.
+type Grid struct {
+	bounds geo.Rect
+	cell   float64
+	nx, ny int
+	cells  [][]Item
+	byID   map[int]geo.Point
+	count  int
+}
+
+// NewGrid creates a grid covering bounds with roughly targetPerCell items per
+// cell assuming n items uniformly spread. n and targetPerCell merely size the
+// cells; any number of items may be inserted.
+func NewGrid(bounds geo.Rect, n, targetPerCell int) *Grid {
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	if n <= 0 {
+		n = 1
+	}
+	area := bounds.Area()
+	if area <= 0 {
+		area = 1
+	}
+	cell := math.Sqrt(area * float64(targetPerCell) / float64(n))
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = 1
+	}
+	nx := int(math.Ceil(bounds.Width()/cell)) + 1
+	ny := int(math.Ceil(bounds.Height()/cell)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		bounds: bounds,
+		cell:   cell,
+		nx:     nx,
+		ny:     ny,
+		cells:  make([][]Item, nx*ny),
+		byID:   make(map[int]geo.Point, n),
+	}
+}
+
+// Len returns the number of items currently stored.
+func (g *Grid) Len() int { return g.count }
+
+func (g *Grid) cellIndex(p geo.Point) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+// Insert adds an item. Inserting an ID that is already present replaces its
+// location.
+func (g *Grid) Insert(it Item) {
+	if old, ok := g.byID[it.ID]; ok {
+		g.removeAt(it.ID, old)
+		g.count--
+	}
+	cx, cy := g.cellIndex(it.Point)
+	i := cy*g.nx + cx
+	g.cells[i] = append(g.cells[i], it)
+	g.byID[it.ID] = it.Point
+	g.count++
+}
+
+// Remove deletes the item with the given id, reporting whether it was present.
+func (g *Grid) Remove(id int) bool {
+	p, ok := g.byID[id]
+	if !ok {
+		return false
+	}
+	g.removeAt(id, p)
+	delete(g.byID, id)
+	g.count--
+	return true
+}
+
+func (g *Grid) removeAt(id int, p geo.Point) {
+	cx, cy := g.cellIndex(p)
+	i := cy*g.nx + cx
+	cell := g.cells[i]
+	for j, it := range cell {
+		if it.ID == id {
+			cell[j] = cell[len(cell)-1]
+			g.cells[i] = cell[:len(cell)-1]
+			return
+		}
+	}
+}
+
+// Contains reports whether an item with the given id is stored.
+func (g *Grid) Contains(id int) bool {
+	_, ok := g.byID[id]
+	return ok
+}
+
+// Nearest returns the stored item closest to q. ok is false when the grid is
+// empty. Ties break toward the smaller ID.
+func (g *Grid) Nearest(q geo.Point) (Item, bool) {
+	if g.count == 0 {
+		return Item{ID: -1}, false
+	}
+	qx, qy := g.cellIndex(q)
+	best := Item{ID: -1}
+	bestD := math.Inf(1)
+	// Expand rings of cells around q until the closest possible point of the
+	// next unexplored ring cannot beat the best found.
+	maxRing := g.nx + g.ny
+	for ring := 0; ring <= maxRing; ring++ {
+		if best.ID >= 0 {
+			// Minimum distance to any cell in this ring.
+			minDist := (float64(ring) - 1) * g.cell
+			if minDist > 0 && minDist*minDist > bestD {
+				break
+			}
+		}
+		g.scanRing(qx, qy, ring, func(it Item) {
+			d := q.Dist2(it.Point)
+			if d < bestD || (d == bestD && it.ID < best.ID) {
+				best, bestD = it, d
+			}
+		})
+	}
+	return best, best.ID >= 0
+}
+
+// scanRing visits every item in the square ring of cells at L∞ cell-distance
+// ring from (qx, qy).
+func (g *Grid) scanRing(qx, qy, ring int, visit func(Item)) {
+	if ring == 0 {
+		g.scanCell(qx, qy, visit)
+		return
+	}
+	x0, x1 := qx-ring, qx+ring
+	y0, y1 := qy-ring, qy+ring
+	for x := x0; x <= x1; x++ {
+		g.scanCell(x, y0, visit)
+		g.scanCell(x, y1, visit)
+	}
+	for y := y0 + 1; y <= y1-1; y++ {
+		g.scanCell(x0, y, visit)
+		g.scanCell(x1, y, visit)
+	}
+}
+
+func (g *Grid) scanCell(cx, cy int, visit func(Item)) {
+	if cx < 0 || cx >= g.nx || cy < 0 || cy >= g.ny {
+		return
+	}
+	for _, it := range g.cells[cy*g.nx+cx] {
+		visit(it)
+	}
+}
+
+// InRange returns all items within radius r of q.
+func (g *Grid) InRange(q geo.Point, r float64) []Item {
+	if r < 0 || g.count == 0 {
+		return nil
+	}
+	r2 := r * r
+	lo := geo.Pt(q.X-r, q.Y-r)
+	hi := geo.Pt(q.X+r, q.Y+r)
+	x0, y0 := g.cellIndex(lo)
+	x1, y1 := g.cellIndex(hi)
+	var out []Item
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, it := range g.cells[cy*g.nx+cx] {
+				if q.Dist2(it.Point) <= r2 {
+					out = append(out, it)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Items returns a snapshot of all stored items in unspecified order.
+func (g *Grid) Items() []Item {
+	out := make([]Item, 0, g.count)
+	for id, p := range g.byID {
+		out = append(out, Item{ID: id, Point: p})
+	}
+	return out
+}
+
+// LinearNearest is the reference brute-force nearest-neighbour used in tests
+// and the index-choice ablation. Ties break toward the smaller ID.
+func LinearNearest(items []Item, q geo.Point, accept func(Item) bool) (Item, bool) {
+	best := Item{ID: -1}
+	bestD := math.Inf(1)
+	for _, it := range items {
+		if accept != nil && !accept(it) {
+			continue
+		}
+		d := q.Dist2(it.Point)
+		if d < bestD || (d == bestD && it.ID < best.ID) {
+			best, bestD = it, d
+		}
+	}
+	return best, best.ID >= 0
+}

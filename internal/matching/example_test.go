@@ -1,0 +1,23 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"imtao/internal/matching"
+)
+
+// Three couriers, three orders: the Hungarian algorithm finds the cheapest
+// one-to-one pairing. Inf forbids a pairing entirely.
+func ExampleHungarian() {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, matching.Inf}, // courier 2 cannot take order 2
+	}
+	match, total := matching.Hungarian(cost)
+	fmt.Println("assignment:", match)
+	fmt.Println("total cost:", total)
+	// Output:
+	// assignment: [2 1 0]
+	// total cost: 6
+}

@@ -1,0 +1,58 @@
+package matching
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHungarianAgainstBrute cross-checks the Hungarian solver against the
+// exhaustive reference on fuzzer-chosen 3×3 matrices, including forbidden
+// (negative-encoded) entries.
+func FuzzHungarianAgainstBrute(f *testing.F) {
+	f.Add(4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0)
+	f.Add(-1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i, j float64) {
+		raw := []float64{a, b, c, d, e, g, h, i, j}
+		cost := make([][]float64, 3)
+		for r := 0; r < 3; r++ {
+			cost[r] = make([]float64, 3)
+			for col := 0; col < 3; col++ {
+				v := raw[r*3+col]
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+					t.Skip()
+				}
+				if v < 0 {
+					cost[r][col] = Inf // negative encodes "forbidden"
+				} else {
+					cost[r][col] = math.Round(v*100) / 100
+				}
+			}
+		}
+		match, total := Hungarian(cost)
+		wantSize, wantCost := bruteMatch(cost)
+		size := 0
+		var checkCost float64
+		cols := map[int]bool{}
+		for r, col := range match {
+			if col < 0 {
+				continue
+			}
+			if cols[col] {
+				t.Fatalf("column %d used twice", col)
+			}
+			cols[col] = true
+			if math.IsInf(cost[r][col], 1) {
+				t.Fatalf("matched a forbidden cell (%d,%d)", r, col)
+			}
+			size++
+			checkCost += cost[r][col]
+		}
+		if size != wantSize {
+			t.Fatalf("size %d != brute %d for %v", size, wantSize, cost)
+		}
+		if math.Abs(total-wantCost) > 1e-6 || math.Abs(checkCost-wantCost) > 1e-6 {
+			t.Fatalf("cost %v (sum %v) != brute %v for %v", total, checkCost, wantCost, cost)
+		}
+	})
+}

@@ -1,0 +1,255 @@
+// Package matching provides minimum-cost bipartite matching (the Hungarian
+// algorithm in its O(n³) Jonker–Volgenant potential formulation) and a
+// round-based matching task assigner built on it.
+//
+// The matching assigner is an extra baseline beyond the paper's Seq/Opt
+// pair: it is the classic spatial-crowdsourcing approach — repeatedly solve
+// a worker↔task assignment problem minimizing travel time, one task per
+// worker per round — and makes a natural ablation reference for the
+// sequential heuristic (DESIGN.md §6).
+package matching
+
+import (
+	"math"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/routing"
+)
+
+// Inf marks a forbidden pairing in a cost matrix.
+var Inf = math.Inf(1)
+
+// Hungarian solves min-cost assignment on an n×m cost matrix (n rows ≤
+// matched to m columns). It returns rowMatch where rowMatch[i] is the column
+// assigned to row i or -1, and the total cost of the matching. Entries set
+// to Inf are never matched. The matrix may be rectangular; at most
+// min(n, m) pairs are produced, and rows whose only available pairings are
+// Inf stay unmatched.
+func Hungarian(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	if m == 0 {
+		return make([]int, n), 0
+	}
+	// The JV algorithm needs rows ≤ columns; transpose if needed.
+	if n > m {
+		t := make([][]float64, m)
+		for j := range t {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = cost[i][j]
+			}
+		}
+		colMatch, total := Hungarian(t)
+		rowMatch := make([]int, n)
+		for i := range rowMatch {
+			rowMatch[i] = -1
+		}
+		for j, i := range colMatch {
+			if i >= 0 {
+				rowMatch[i] = j
+			}
+		}
+		return rowMatch, total
+	}
+
+	// Potentials u (rows), v (columns); way[j] = predecessor column on the
+	// alternating path; p[j] = row matched to column j (1-based internal).
+	const none = 0
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // column -> row (0 = free)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = Inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := Inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				// No augmenting path with finite cost: row i stays free.
+				j0 = -1
+				break
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == none {
+				break
+			}
+		}
+		if j0 < 0 {
+			continue
+		}
+		// Augment along the path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowMatch := make([]int, n)
+	for i := range rowMatch {
+		rowMatch[i] = -1
+	}
+	var total float64
+	for j := 1; j <= m; j++ {
+		if p[j] != none && !math.IsInf(cost[p[j]-1][j-1], 1) {
+			rowMatch[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	// Drop any Inf pairings the potentials may have left (possible when a
+	// row has no finite column at all).
+	return rowMatch, total
+}
+
+// Result mirrors assign.Result for the matching assigner.
+type Result struct {
+	Routes      []model.Route
+	LeftWorkers []model.WorkerID
+	LeftTasks   []model.TaskID
+}
+
+// AssignedCount returns the number of tasks assigned.
+func (r *Result) AssignedCount() int {
+	n := 0
+	for _, rt := range r.Routes {
+		n += len(rt.Tasks)
+	}
+	return n
+}
+
+// RoundMatching assigns tasks in a center by repeated minimum-cost
+// matchings: in each round every worker with remaining capacity is matched
+// to at most one unassigned task (cost = incremental travel time, Inf if the
+// deadline would be missed), the matching is committed, and workers advance
+// to their delivery locations. Rounds repeat until no worker can take any
+// remaining task.
+func RoundMatching(in *model.Instance, c *model.Center, workers []model.WorkerID, tasks []model.TaskID) Result {
+	res := Result{}
+	type wstate struct {
+		id    model.WorkerID
+		loc   geo.Point
+		t     float64 // elapsed time on route
+		taken int
+		route []model.TaskID
+	}
+	states := make([]*wstate, 0, len(workers))
+	for _, wid := range workers {
+		w := in.Worker(wid)
+		states = append(states, &wstate{id: wid, loc: c.Loc, t: in.TravelTime(w.Loc, c.Loc)})
+	}
+	remaining := append([]model.TaskID(nil), tasks...)
+
+	for {
+		// Active workers this round.
+		var active []*wstate
+		for _, ws := range states {
+			if ws.taken < in.Worker(ws.id).MaxT {
+				active = append(active, ws)
+			}
+		}
+		if len(active) == 0 || len(remaining) == 0 {
+			break
+		}
+		cost := make([][]float64, len(active))
+		finite := false
+		for i, ws := range active {
+			cost[i] = make([]float64, len(remaining))
+			for j, tid := range remaining {
+				task := in.Task(tid)
+				tt := in.TravelTime(ws.loc, task.Loc)
+				if ws.t+tt > task.Expiry+1e-9 {
+					cost[i][j] = Inf
+				} else {
+					cost[i][j] = tt
+					finite = true
+				}
+			}
+		}
+		if !finite {
+			break
+		}
+		match, _ := Hungarian(cost)
+		progressed := false
+		taken := make([]bool, len(remaining))
+		for i, j := range match {
+			if j < 0 || math.IsInf(cost[i][j], 1) {
+				continue
+			}
+			ws := active[i]
+			tid := remaining[j]
+			task := in.Task(tid)
+			ws.t += cost[i][j]
+			ws.loc = task.Loc
+			ws.taken++
+			ws.route = append(ws.route, tid)
+			taken[j] = true
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+		next := remaining[:0]
+		for j, tid := range remaining {
+			if !taken[j] {
+				next = append(next, tid)
+			}
+		}
+		remaining = next
+	}
+
+	for _, ws := range states {
+		if len(ws.route) == 0 {
+			res.LeftWorkers = append(res.LeftWorkers, ws.id)
+		} else {
+			res.Routes = append(res.Routes, model.Route{Worker: ws.id, Center: c.ID, Tasks: ws.route})
+		}
+	}
+	res.LeftTasks = remaining
+	return res
+}
+
+// Feasible cross-checks every produced route against the routing rules.
+func (r *Result) Feasible(in *model.Instance) bool {
+	for i := range r.Routes {
+		if !routing.RouteFeasible(in, &r.Routes[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+func TestHungarianTiny(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match, total := Hungarian(cost)
+	if math.Abs(total-5) > 1e-9 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5 (match %v)", total, match)
+	}
+	seen := map[int]bool{}
+	for i, j := range match {
+		if j < 0 {
+			t.Fatalf("row %d unmatched on complete matrix", i)
+		}
+		if seen[j] {
+			t.Fatalf("column %d matched twice", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// 2 rows, 3 columns.
+	cost := [][]float64{
+		{10, 1, 7},
+		{1, 10, 7},
+	}
+	match, total := Hungarian(cost)
+	if math.Abs(total-2) > 1e-9 {
+		t.Fatalf("total = %v, want 2", total)
+	}
+	if match[0] != 1 || match[1] != 0 {
+		t.Fatalf("match = %v", match)
+	}
+	// 3 rows, 2 columns (transposed path).
+	cost = [][]float64{
+		{10, 1},
+		{1, 10},
+		{5, 5},
+	}
+	match, total = Hungarian(cost)
+	if math.Abs(total-2) > 1e-9 {
+		t.Fatalf("transposed total = %v, want 2", total)
+	}
+	unmatched := 0
+	for _, j := range match {
+		if j < 0 {
+			unmatched++
+		}
+	}
+	if unmatched != 1 {
+		t.Fatalf("exactly one row must stay unmatched, got %d (%v)", unmatched, match)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if m, total := Hungarian(nil); m != nil || total != 0 {
+		t.Error("nil matrix")
+	}
+	if m, total := Hungarian([][]float64{{}}); len(m) != 1 || total != 0 {
+		t.Error("zero columns")
+	}
+}
+
+func TestHungarianInfForbidden(t *testing.T) {
+	cost := [][]float64{
+		{Inf, 1},
+		{Inf, Inf},
+	}
+	match, total := Hungarian(cost)
+	if match[0] != 1 || match[1] != -1 {
+		t.Fatalf("match = %v", match)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total = %v", total)
+	}
+}
+
+// bruteMatch finds the min-cost maximum matching by exhaustive search.
+func bruteMatch(cost [][]float64) (int, float64) {
+	n := len(cost)
+	if n == 0 {
+		return 0, 0
+	}
+	m := len(cost[0])
+	bestSize, bestCost := 0, math.Inf(1)
+	usedCols := make([]bool, m)
+	var rec func(row, size int, total float64)
+	rec = func(row, size int, total float64) {
+		if row == n {
+			if size > bestSize || (size == bestSize && total < bestCost) {
+				bestSize, bestCost = size, total
+			}
+			return
+		}
+		rec(row+1, size, total) // leave row unmatched
+		for j := 0; j < m; j++ {
+			if !usedCols[j] && !math.IsInf(cost[row][j], 1) {
+				usedCols[j] = true
+				rec(row+1, size+1, total+cost[row][j])
+				usedCols[j] = false
+			}
+		}
+	}
+	rec(0, 0, 0)
+	if bestSize == 0 {
+		bestCost = 0
+	}
+	return bestSize, bestCost
+}
+
+// Property: on random small matrices (finite entries), Hungarian matches the
+// brute-force optimum.
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 80; trial++ {
+		n, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*100) / 10
+			}
+		}
+		match, total := Hungarian(cost)
+		wantSize, wantCost := bruteMatch(cost)
+		size := 0
+		for _, j := range match {
+			if j >= 0 {
+				size++
+			}
+		}
+		if size != wantSize {
+			t.Fatalf("trial %d: size %d != %d (cost %v)", trial, size, wantSize, cost)
+		}
+		if math.Abs(total-wantCost) > 1e-6 {
+			t.Fatalf("trial %d: cost %v != %v for %v", trial, total, wantCost, cost)
+		}
+	}
+}
+
+func centerScene(workerLocs, taskLocs []geo.Point, expiry float64, maxT int) *model.Instance {
+	in := &model.Instance{
+		Centers: []model.Center{{ID: 0, Loc: geo.Pt(0, 0)}},
+		Speed:   1,
+		Bounds:  geo.NewRect(geo.Pt(-1000, -1000), geo.Pt(1000, 1000)),
+	}
+	for i, l := range taskLocs {
+		in.Tasks = append(in.Tasks, model.Task{ID: model.TaskID(i), Center: 0, Loc: l, Expiry: expiry, Reward: 1})
+		in.Centers[0].Tasks = append(in.Centers[0].Tasks, model.TaskID(i))
+	}
+	for i, l := range workerLocs {
+		in.Workers = append(in.Workers, model.Worker{ID: model.WorkerID(i), Home: 0, Loc: l, MaxT: maxT})
+		in.Centers[0].Workers = append(in.Centers[0].Workers, model.WorkerID(i))
+	}
+	return in
+}
+
+func TestRoundMatchingBasic(t *testing.T) {
+	in := centerScene(
+		[]geo.Point{geo.Pt(0, 0), geo.Pt(0, 0)},
+		[]geo.Point{geo.Pt(5, 0), geo.Pt(-5, 0), geo.Pt(6, 0)},
+		100, 4,
+	)
+	res := RoundMatching(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks)
+	if res.AssignedCount() != 3 {
+		t.Fatalf("assigned %d, want 3", res.AssignedCount())
+	}
+	if !res.Feasible(in) {
+		t.Fatal("infeasible routes")
+	}
+}
+
+func TestRoundMatchingCapacityAndDeadline(t *testing.T) {
+	in := centerScene(
+		[]geo.Point{geo.Pt(0, 0)},
+		[]geo.Point{geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0)},
+		100, 2,
+	)
+	res := RoundMatching(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks)
+	if res.AssignedCount() != 2 {
+		t.Fatalf("capacity: assigned %d, want 2", res.AssignedCount())
+	}
+	in2 := centerScene([]geo.Point{geo.Pt(0, 0)}, []geo.Point{geo.Pt(50, 0)}, 10, 4)
+	res2 := RoundMatching(in2, in2.Center(0), in2.Centers[0].Workers, in2.Centers[0].Tasks)
+	if res2.AssignedCount() != 0 {
+		t.Fatal("deadline: unreachable task assigned")
+	}
+	if len(res2.LeftWorkers) != 1 || len(res2.LeftTasks) != 1 {
+		t.Fatalf("leftovers: %+v", res2)
+	}
+}
+
+// Property: RoundMatching always yields feasible, conservation-respecting
+// results on random scenes.
+func TestRoundMatchingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 30; trial++ {
+		nw, nt := 1+rng.Intn(6), 1+rng.Intn(25)
+		wl := make([]geo.Point, nw)
+		tl := make([]geo.Point, nt)
+		for i := range wl {
+			wl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		for i := range tl {
+			tl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		in := centerScene(wl, tl, 30+rng.Float64()*300, 1+rng.Intn(4))
+		res := RoundMatching(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks)
+		if !res.Feasible(in) {
+			t.Fatalf("trial %d: infeasible", trial)
+		}
+		seen := map[model.TaskID]bool{}
+		for _, r := range res.Routes {
+			for _, tid := range r.Tasks {
+				if seen[tid] {
+					t.Fatalf("trial %d: duplicate task", trial)
+				}
+				seen[tid] = true
+			}
+		}
+		if len(seen)+len(res.LeftTasks) != nt {
+			t.Fatalf("trial %d: conservation", trial)
+		}
+		if len(res.Routes)+len(res.LeftWorkers) != nw {
+			t.Fatalf("trial %d: worker conservation", trial)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// The paper measures collaboration fairness with U_ρ (Eq. 3). The indices
+// below are standard alternatives kept for extended analysis and the
+// fairness-metric ablation: they let users confirm that IMTAO's improvements
+// are not an artifact of the specific unfairness definition.
+
+// Gini computes the Gini coefficient of the (non-negative) values:
+// 0 = perfectly equal, values approaching 1 = maximally concentrated.
+// It returns 0 for fewer than two values or an all-zero vector.
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n < 2 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*sum) / (float64(n) * sum)
+}
+
+// Jain computes Jain's fairness index: 1 = perfectly equal, 1/n = maximally
+// unfair. It returns 1 for empty or all-zero input (nothing to be unfair
+// about).
+func Jain(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, v := range values {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sq)
+}
+
+// MaxMinGap returns max - min of the values (0 for empty input): the
+// worst-case pairwise ratio difference, an upper bound on U_ρ.
+func MaxMinGap(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	mn, mx := values[0], values[0]
+	for _, v := range values[1:] {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	return mx - mn
+}

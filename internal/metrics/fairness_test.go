@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Errorf("equal values: Gini = %v", g)
+	}
+	// One person owns everything among 4: Gini = (n-1)/n = 0.75.
+	if g := Gini([]float64{0, 0, 0, 1}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated: Gini = %v", g)
+	}
+	if g := Gini([]float64{5}); g != 0 {
+		t.Errorf("single value: Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("all-zero: Gini = %v", g)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if j := Jain([]float64{1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Errorf("equal values: Jain = %v", j)
+	}
+	// One non-zero among n: Jain = 1/n.
+	if j := Jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Errorf("concentrated: Jain = %v", j)
+	}
+	if j := Jain(nil); j != 1 {
+		t.Errorf("empty: Jain = %v", j)
+	}
+	if j := Jain([]float64{0, 0}); j != 1 {
+		t.Errorf("all-zero: Jain = %v", j)
+	}
+}
+
+func TestMaxMinGap(t *testing.T) {
+	if g := MaxMinGap([]float64{0.2, 0.9, 0.5}); math.Abs(g-0.7) > 1e-12 {
+		t.Errorf("gap = %v", g)
+	}
+	if g := MaxMinGap(nil); g != 0 {
+		t.Errorf("empty gap = %v", g)
+	}
+}
+
+// Properties: Gini ∈ [0,1), Jain ∈ (0,1], U_ρ ≤ MaxMinGap, and all three
+// agree on "perfectly fair".
+func TestFairnessIndicesProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, math.Abs(math.Mod(v, 1)))
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		g, j := Gini(vals), Jain(vals)
+		if g < -1e-12 || g >= 1 {
+			return false
+		}
+		if j <= 0 || j > 1+1e-12 {
+			return false
+		}
+		if Unfairness(vals) > MaxMinGap(vals)+1e-12 {
+			return false
+		}
+		// Uniform vector: all indices report perfect fairness.
+		uniform := make([]float64, len(vals))
+		for i := range uniform {
+			uniform[i] = 0.6
+		}
+		return Gini(uniform) < 1e-12 && math.Abs(Jain(uniform)-1) < 1e-12 && Unfairness(uniform) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package metrics implements the evaluation quantities of the paper:
+// task assignment ratios ρ (Definition 9, Eq. 2), collaboration unfairness
+// U_ρ (Definition 10, Eq. 3), the utility of unfair punishment UUP (Eq. 4)
+// and the game's potential function Φ (Eq. 7).
+package metrics
+
+import (
+	"math"
+
+	"imtao/internal/model"
+)
+
+// Ratio returns the task assignment ratio ρ of one center given its assigned
+// and total task counts. A center with no tasks needs nothing, so its ratio
+// is defined as 1 — it is never a recipient in the collaboration game
+// (consistent with the ρ < 1 filter of paper Algorithm 3 line 5).
+func Ratio(assigned, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(assigned) / float64(total)
+}
+
+// Ratios returns the per-center assignment ratios ρ_i of a solution.
+func Ratios(in *model.Instance, s *model.Solution) []float64 {
+	out := make([]float64, len(in.Centers))
+	for ci := range in.Centers {
+		out[ci] = Ratio(s.PerCenter[ci].AssignedCount(), len(in.Centers[ci].Tasks))
+	}
+	return out
+}
+
+// Unfairness computes the collaboration unfairness U_ρ of Eq. 3: the mean
+// absolute pairwise difference of assignment ratios. It is 0 for fewer than
+// two centers.
+func Unfairness(rhos []float64) float64 {
+	n := len(rhos)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += math.Abs(rhos[i] - rhos[j])
+			}
+		}
+	}
+	return sum / float64(n*(n-1))
+}
+
+// SolutionUnfairness is Unfairness over the ratios of a solution.
+func SolutionUnfairness(in *model.Instance, s *model.Solution) float64 {
+	return Unfairness(Ratios(in, s))
+}
+
+// UUP computes the utility of unfair punishment of center i (Eq. 4):
+// its own ratio minus the mean ratio of all other centers. With a single
+// center the second term is empty and the utility is just ρ_i.
+func UUP(rhos []float64, i int) float64 {
+	n := len(rhos)
+	if n == 1 {
+		return rhos[0]
+	}
+	var others float64
+	for j, r := range rhos {
+		if j != i {
+			others += r
+		}
+	}
+	return rhos[i] - others/float64(n-1)
+}
+
+// Potential computes the potential function Φ of Eq. 7, the sum of all
+// centers' UUP utilities. Algebraically this sum telescopes to zero for any
+// ratio vector — the paper's potential argument holds the other players'
+// utilities fixed during a unilateral deviation (see the proof of Lemma 1),
+// which the game package models explicitly. Potential is kept for
+// completeness and as a numerical invariant exercised in tests.
+func Potential(rhos []float64) float64 {
+	var sum float64
+	for i := range rhos {
+		sum += UUP(rhos, i)
+	}
+	return sum
+}
+
+// MinRatioCenter returns the index with the lowest ratio, breaking ties
+// toward the smaller index — the recipient-selection rule of Algorithm 3
+// line 13. among restricts the choice to the given center set; it must be
+// non-empty.
+func MinRatioCenter(rhos []float64, among []model.CenterID) model.CenterID {
+	best := among[0]
+	for _, c := range among[1:] {
+		if rhos[c] < rhos[best] || (rhos[c] == rhos[best] && c < best) {
+			best = c
+		}
+	}
+	return best
+}

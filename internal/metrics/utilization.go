@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"imtao/internal/model"
+	"imtao/internal/routing"
+)
+
+// Utilization summarises how the workforce is used by a solution — the
+// operational view platform operators care about beyond the paper's two
+// objectives.
+type Utilization struct {
+	// Workers is the total workforce size.
+	Workers int
+	// Active is the number of workers with a non-empty route.
+	Active int
+	// Dispatched is the number of workers sent to a foreign center.
+	Dispatched int
+	// TasksPerActive is the mean route length over active workers.
+	TasksPerActive float64
+	// MeanRouteHours is the mean total travel time of active workers'
+	// routes (worker → center → deliveries).
+	MeanRouteHours float64
+	// MaxRouteHours is the longest route.
+	MaxRouteHours float64
+	// CapacityUsed is assigned tasks / Σ maxT over all workers — how much
+	// of the fleet's theoretical capacity the plan consumes.
+	CapacityUsed float64
+}
+
+// ComputeUtilization derives workforce statistics from a solution.
+func ComputeUtilization(in *model.Instance, s *model.Solution) Utilization {
+	u := Utilization{Workers: len(in.Workers), Dispatched: len(s.Transfers)}
+	var capTotal int
+	for _, w := range in.Workers {
+		capTotal += w.MaxT
+	}
+	var tasks int
+	var hours float64
+	for ci := range s.PerCenter {
+		for _, r := range s.PerCenter[ci].Routes {
+			if len(r.Tasks) == 0 {
+				continue
+			}
+			u.Active++
+			tasks += len(r.Tasks)
+			h := routing.TravelTime(in, in.Worker(r.Worker), in.Center(r.Center), r.Tasks)
+			hours += h
+			if h > u.MaxRouteHours {
+				u.MaxRouteHours = h
+			}
+		}
+	}
+	if u.Active > 0 {
+		u.TasksPerActive = float64(tasks) / float64(u.Active)
+		u.MeanRouteHours = hours / float64(u.Active)
+	}
+	if capTotal > 0 {
+		u.CapacityUsed = float64(tasks) / float64(capTotal)
+	}
+	return u
+}

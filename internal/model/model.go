@@ -1,0 +1,307 @@
+// Package model defines the spatial-crowdsourcing entities of the CMCTA
+// problem (paper §II): distribution centers, workers, spatial tasks, delivery
+// routes and whole-platform problem instances, together with the travel-time
+// model of Eq. 1 (constant speed, Euclidean distance, zero handling time).
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"imtao/internal/geo"
+)
+
+// TaskID identifies a task; it is the task's index in Instance.Tasks.
+type TaskID int
+
+// WorkerID identifies a worker; it is the worker's index in Instance.Workers.
+type WorkerID int
+
+// CenterID identifies a distribution center; it is the center's index in
+// Instance.Centers.
+type CenterID int
+
+// NoCenter marks a task or worker not (yet) attached to any center.
+const NoCenter CenterID = -1
+
+// Task is a spatial task s = (c, l, e, r) per paper Definition 3.
+type Task struct {
+	ID     TaskID
+	Center CenterID  // s.c — the center the task belongs to (fixed)
+	Loc    geo.Point // s.l — delivery location
+	Expiry float64   // s.e — deadline in hours from the planning instant
+	Reward float64   // s.r — requester's reward
+}
+
+// Worker is a worker w = (c, l, maxT) per paper Definition 2.
+type Worker struct {
+	ID   WorkerID
+	Home CenterID  // w.c — the center the worker primarily works for
+	Loc  geo.Point // w.l — current location
+	MaxT int       // w.maxT — capacity (max tasks per delivery run)
+}
+
+// Center is a distribution center c = (l, S, W) per paper Definition 1.
+// Tasks and Workers hold the IDs attached to this center by the service-area
+// partition.
+type Center struct {
+	ID      CenterID
+	Loc     geo.Point
+	Tasks   []TaskID
+	Workers []WorkerID
+}
+
+// TravelMetric computes the travel time in hours between two locations.
+// Instances default to straight-line travel at the uniform Speed; a custom
+// metric (e.g. a road network from the roadnet package) can replace it.
+type TravelMetric interface {
+	TravelTime(a, b geo.Point) float64
+}
+
+// Instance is a complete CMCTA problem instance: the platform's centers,
+// tasks and workers plus the shared travel-speed parameter.
+// All tasks and workers are indexed by their IDs: Tasks[i].ID == TaskID(i).
+type Instance struct {
+	Centers []Center
+	Tasks   []Task
+	Workers []Worker
+	// Speed is the uniform worker travel speed in distance units per hour,
+	// used by the default straight-line metric (and as a fallback scale).
+	Speed float64
+	// Bounds is the service area; Voronoi cells are clipped to it.
+	Bounds geo.Rect
+	// Metric, when non-nil, replaces the straight-line travel-time model —
+	// e.g. a road network. Every algorithm in this repository calls
+	// TravelTime, so swapping the metric re-targets the whole pipeline.
+	Metric TravelMetric
+}
+
+// Errors returned by Validate.
+var (
+	ErrNoSpeed      = errors.New("model: speed must be positive")
+	ErrBadID        = errors.New("model: entity ID does not match its index")
+	ErrBadReference = errors.New("model: dangling center reference")
+)
+
+// Validate checks the structural invariants the algorithms rely on:
+// positive speed, IDs equal to indices, and center membership lists that
+// agree with the per-entity Center/Home fields.
+func (in *Instance) Validate() error {
+	if in.Speed <= 0 {
+		return ErrNoSpeed
+	}
+	for i, c := range in.Centers {
+		if c.ID != CenterID(i) {
+			return fmt.Errorf("%w: center %d has ID %d", ErrBadID, i, c.ID)
+		}
+	}
+	for i, s := range in.Tasks {
+		if s.ID != TaskID(i) {
+			return fmt.Errorf("%w: task %d has ID %d", ErrBadID, i, s.ID)
+		}
+		if s.Center != NoCenter && (int(s.Center) < 0 || int(s.Center) >= len(in.Centers)) {
+			return fmt.Errorf("%w: task %d -> center %d", ErrBadReference, i, s.Center)
+		}
+	}
+	for i, w := range in.Workers {
+		if w.ID != WorkerID(i) {
+			return fmt.Errorf("%w: worker %d has ID %d", ErrBadID, i, w.ID)
+		}
+		if w.Home != NoCenter && (int(w.Home) < 0 || int(w.Home) >= len(in.Centers)) {
+			return fmt.Errorf("%w: worker %d -> center %d", ErrBadReference, i, w.Home)
+		}
+		if w.MaxT < 0 {
+			return fmt.Errorf("model: worker %d has negative MaxT %d", i, w.MaxT)
+		}
+	}
+	for ci, c := range in.Centers {
+		for _, t := range c.Tasks {
+			if int(t) < 0 || int(t) >= len(in.Tasks) || in.Tasks[t].Center != CenterID(ci) {
+				return fmt.Errorf("%w: center %d lists task %d", ErrBadReference, ci, t)
+			}
+		}
+		for _, w := range c.Workers {
+			if int(w) < 0 || int(w) >= len(in.Workers) || in.Workers[w].Home != CenterID(ci) {
+				return fmt.Errorf("%w: center %d lists worker %d", ErrBadReference, ci, w)
+			}
+		}
+	}
+	return nil
+}
+
+// TravelTime returns the travel time in hours between two locations — the
+// tt(·,·) of Eq. 1. The default is straight-line distance at the uniform
+// speed; a non-nil Metric overrides it.
+func (in *Instance) TravelTime(a, b geo.Point) float64 {
+	if in.Metric != nil {
+		return in.Metric.TravelTime(a, b)
+	}
+	return a.Dist(b) / in.Speed
+}
+
+// Task returns the task with the given ID.
+func (in *Instance) Task(id TaskID) *Task { return &in.Tasks[id] }
+
+// Worker returns the worker with the given ID.
+func (in *Instance) Worker(id WorkerID) *Worker { return &in.Workers[id] }
+
+// Center returns the center with the given ID.
+func (in *Instance) Center(id CenterID) *Center { return &in.Centers[id] }
+
+// Clone returns a deep copy of the instance. The collaboration game mutates
+// center membership during what-if evaluation, so cheap cloning matters.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		Centers: make([]Center, len(in.Centers)),
+		Tasks:   append([]Task(nil), in.Tasks...),
+		Workers: append([]Worker(nil), in.Workers...),
+		Speed:   in.Speed,
+		Bounds:  in.Bounds,
+		Metric:  in.Metric, // metrics are immutable; sharing is safe
+	}
+	for i, c := range in.Centers {
+		out.Centers[i] = Center{
+			ID:      c.ID,
+			Loc:     c.Loc,
+			Tasks:   append([]TaskID(nil), c.Tasks...),
+			Workers: append([]WorkerID(nil), c.Workers...),
+		}
+	}
+	return out
+}
+
+// Route is a worker's delivery run out of one pick-up center: the worker
+// travels to Center, picks up all deliveries and visits Tasks in order
+// (paper Definition 4). An empty Tasks slice means the worker is unused.
+// Center may differ from the worker's home when the worker was dispatched by
+// the inter-center workforce transfer.
+type Route struct {
+	Worker WorkerID
+	Center CenterID
+	Tasks  []TaskID
+}
+
+// Assignment is the spatial task assignment A(c) of one center (paper
+// Definition 8): one route per worker serving the center, including borrowed
+// workers.
+type Assignment struct {
+	Center CenterID
+	Routes []Route
+}
+
+// AssignedCount returns the number of tasks assigned in A(c).
+func (a *Assignment) AssignedCount() int {
+	n := 0
+	for _, r := range a.Routes {
+		n += len(r.Tasks)
+	}
+	return n
+}
+
+// Transfer is one inter-center workforce transfer tuple (c_src, c_dst, w)
+// per paper Definition 6.
+type Transfer struct {
+	Src    CenterID
+	Dst    CenterID
+	Worker WorkerID
+}
+
+// Solution is a platform-wide task assignment A = {A(c)} for all centers,
+// together with the transfers that produced it.
+type Solution struct {
+	PerCenter []Assignment // indexed by CenterID
+	Transfers []Transfer   // the union of all BWS(c) at the end of the game
+}
+
+// NewSolution returns an empty solution shell for an instance: one empty
+// assignment per center.
+func NewSolution(in *Instance) *Solution {
+	s := &Solution{PerCenter: make([]Assignment, len(in.Centers))}
+	for i := range s.PerCenter {
+		s.PerCenter[i].Center = CenterID(i)
+	}
+	return s
+}
+
+// AssignedCount returns the total number of assigned tasks across centers —
+// the paper's primary optimization objective.
+func (s *Solution) AssignedCount() int {
+	n := 0
+	for i := range s.PerCenter {
+		n += s.PerCenter[i].AssignedCount()
+	}
+	return n
+}
+
+// AssignedTasks returns the set of assigned task IDs.
+func (s *Solution) AssignedTasks() map[TaskID]bool {
+	out := make(map[TaskID]bool)
+	for i := range s.PerCenter {
+		for _, r := range s.PerCenter[i].Routes {
+			for _, t := range r.Tasks {
+				out[t] = true
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the solution.
+func (s *Solution) Clone() *Solution {
+	out := &Solution{
+		PerCenter: make([]Assignment, len(s.PerCenter)),
+		Transfers: append([]Transfer(nil), s.Transfers...),
+	}
+	for i, a := range s.PerCenter {
+		routes := make([]Route, len(a.Routes))
+		for j, r := range a.Routes {
+			routes[j] = Route{Worker: r.Worker, Center: r.Center, Tasks: append([]TaskID(nil), r.Tasks...)}
+		}
+		out.PerCenter[i] = Assignment{Center: a.Center, Routes: routes}
+	}
+	return out
+}
+
+// CheckConsistency verifies solution sanity against an instance: every task
+// assigned at most once, every worker routed at most once, route centers in
+// range, and tasks delivered by the center that owns them (tasks never move
+// between centers — only workers do; paper §I).
+func (s *Solution) CheckConsistency(in *Instance) error {
+	if len(s.PerCenter) != len(in.Centers) {
+		return fmt.Errorf("model: solution covers %d centers, instance has %d", len(s.PerCenter), len(in.Centers))
+	}
+	seenTask := make(map[TaskID]CenterID)
+	seenWorker := make(map[WorkerID]CenterID)
+	for ci := range s.PerCenter {
+		a := &s.PerCenter[ci]
+		if a.Center != CenterID(ci) {
+			return fmt.Errorf("model: assignment %d labelled center %d", ci, a.Center)
+		}
+		for _, r := range a.Routes {
+			if int(r.Worker) < 0 || int(r.Worker) >= len(in.Workers) {
+				return fmt.Errorf("model: route references worker %d", r.Worker)
+			}
+			if prev, dup := seenWorker[r.Worker]; dup {
+				return fmt.Errorf("model: worker %d routed by both center %d and %d", r.Worker, prev, ci)
+			}
+			seenWorker[r.Worker] = CenterID(ci)
+			if r.Center != CenterID(ci) {
+				return fmt.Errorf("model: route in assignment %d picks up at center %d", ci, r.Center)
+			}
+			for _, t := range r.Tasks {
+				if int(t) < 0 || int(t) >= len(in.Tasks) {
+					return fmt.Errorf("model: route references task %d", t)
+				}
+				if prev, dup := seenTask[t]; dup {
+					return fmt.Errorf("model: task %d assigned by both center %d and %d", t, prev, ci)
+				}
+				seenTask[t] = CenterID(ci)
+				if in.Tasks[t].Center != CenterID(ci) {
+					return fmt.Errorf("model: task %d belongs to center %d but delivered by %d",
+						t, in.Tasks[t].Center, ci)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Debug-friendly string forms. These show up in test failures, trace dumps
+// and the simulation CLI; they are not stable serialization formats (use
+// the workload package's JSON/CSV writers for that).
+
+// String renders a route like "w3@c1 -> [5 9 2]".
+func (r Route) String() string {
+	ids := make([]string, len(r.Tasks))
+	for i, t := range r.Tasks {
+		ids[i] = fmt.Sprintf("%d", t)
+	}
+	return fmt.Sprintf("w%d@c%d -> [%s]", r.Worker, r.Center, strings.Join(ids, " "))
+}
+
+// String renders a transfer like "w4: c0=>c2".
+func (t Transfer) String() string {
+	return fmt.Sprintf("w%d: c%d=>c%d", t.Worker, t.Src, t.Dst)
+}
+
+// Summary returns a one-line description of the solution: totals and
+// per-center assigned counts.
+func (s *Solution) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assigned=%d transfers=%d per-center=[", s.AssignedCount(), len(s.Transfers))
+	for i := range s.PerCenter {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", s.PerCenter[i].AssignedCount())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Summary returns a one-line description of the instance shape.
+func (in *Instance) Summary() string {
+	return fmt.Sprintf("centers=%d workers=%d tasks=%d speed=%g area=%gx%g",
+		len(in.Centers), len(in.Workers), len(in.Tasks), in.Speed,
+		in.Bounds.Width(), in.Bounds.Height())
+}

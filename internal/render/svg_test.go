@@ -1,0 +1,79 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/workload"
+)
+
+func testInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	p := workload.Defaults(workload.SYN)
+	p.NumTasks, p.NumWorkers, p.NumCenters = 30, 10, 4
+	raw, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := core.Partition(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestInstanceSVG(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := Instance(&buf, in, nil, Options{ShowCells: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(out, "<circle") < 4 {
+		t.Error("missing center/task glyphs")
+	}
+	if strings.Count(out, "<polygon") < 4 {
+		t.Error("missing Voronoi cells")
+	}
+	if strings.Count(out, "<rect") < 10 {
+		t.Error("missing worker glyphs")
+	}
+}
+
+func TestInstanceSVGWithSolution(t *testing.T) {
+	in := testInstance(t)
+	rep, err := core.Run(in, core.Config{Method: core.Method{Assigner: core.Seq, Collab: core.BDC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = Instance(&buf, in, rep.Solution, Options{ShowCells: true, ShowRoutes: true, ShowTransfers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<polyline") {
+		t.Error("missing route polylines")
+	}
+	if rep.Transfers > 0 && !strings.Contains(out, "stroke-dasharray") {
+		t.Error("missing transfer arrows")
+	}
+}
+
+func TestInstanceSVGDegenerateBounds(t *testing.T) {
+	in := &model.Instance{
+		Centers: []model.Center{{ID: 0, Loc: geo.Pt(0, 0)}},
+		Speed:   1,
+	}
+	var buf bytes.Buffer
+	if err := Instance(&buf, in, nil, Options{}); err == nil {
+		t.Error("degenerate bounds must error")
+	}
+}

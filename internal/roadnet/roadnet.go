@@ -1,0 +1,193 @@
+// Package roadnet provides a grid road network with Dijkstra shortest-path
+// travel times — a drop-in model.TravelMetric that replaces the paper's
+// straight-line travel model with street-constrained movement.
+//
+// The network is a 4-connected lattice over the service area. Each edge
+// carries a travel time derived from the base speed and an optional
+// per-cell congestion factor; a query snaps both endpoints to their nearest
+// lattice nodes, runs (cached) Dijkstra from the source node, and adds the
+// snap legs at base speed. With congestion 1 everywhere the metric is the
+// Manhattan-style road distance, always ≥ the Euclidean one.
+package roadnet
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"imtao/internal/geo"
+)
+
+// Network is an immutable-after-build grid road network.
+// Build one with New, optionally shape congestion with SetCongestion, then
+// hand it to model.Instance.Metric. Queries are cached per source node; the
+// cache is not safe for concurrent use.
+type Network struct {
+	bounds       geo.Rect
+	nx, ny       int // nodes per axis
+	stepX, stepY float64
+	speed        float64
+	// congestion[node] ≥ 1 multiplies the time of edges incident to the
+	// node (max of the two endpoints is used per edge).
+	congestion []float64
+
+	cache    map[int][]float64
+	cacheCap int
+}
+
+// New builds a grid network with nx × ny nodes over bounds, travelling at
+// the given base speed (distance units per hour).
+func New(bounds geo.Rect, nx, ny int, speed float64) (*Network, error) {
+	if nx < 2 || ny < 2 {
+		return nil, errors.New("roadnet: need at least a 2x2 grid")
+	}
+	if speed <= 0 {
+		return nil, errors.New("roadnet: speed must be positive")
+	}
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, errors.New("roadnet: bounds must have positive area")
+	}
+	n := &Network{
+		bounds: bounds,
+		nx:     nx, ny: ny,
+		stepX:      bounds.Width() / float64(nx-1),
+		stepY:      bounds.Height() / float64(ny-1),
+		speed:      speed,
+		congestion: make([]float64, nx*ny),
+		cache:      make(map[int][]float64),
+		cacheCap:   512,
+	}
+	for i := range n.congestion {
+		n.congestion[i] = 1
+	}
+	return n, nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.nx * n.ny }
+
+// NodeLoc returns the location of node id.
+func (n *Network) NodeLoc(id int) geo.Point {
+	x, y := id%n.nx, id/n.nx
+	return geo.Pt(n.bounds.Min.X+float64(x)*n.stepX, n.bounds.Min.Y+float64(y)*n.stepY)
+}
+
+// SetCongestion sets the slowdown factor (≥ 1) of the node nearest to p;
+// edges touching the node take factor× longer. Setting congestion resets
+// the query cache.
+func (n *Network) SetCongestion(p geo.Point, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.congestion[n.nearestNode(p)] = factor
+	n.cache = make(map[int][]float64)
+}
+
+// SetCongestionDisk applies the factor to every node within radius of p.
+func (n *Network) SetCongestionDisk(p geo.Point, radius, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	for id := 0; id < n.Nodes(); id++ {
+		if n.NodeLoc(id).Dist(p) <= radius {
+			n.congestion[id] = factor
+		}
+	}
+	n.cache = make(map[int][]float64)
+}
+
+func (n *Network) nearestNode(p geo.Point) int {
+	x := int(math.Round((p.X - n.bounds.Min.X) / n.stepX))
+	y := int(math.Round((p.Y - n.bounds.Min.Y) / n.stepY))
+	if x < 0 {
+		x = 0
+	}
+	if x >= n.nx {
+		x = n.nx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= n.ny {
+		y = n.ny - 1
+	}
+	return y*n.nx + x
+}
+
+// TravelTime implements model.TravelMetric: snap both points to the grid,
+// take the shortest road path between the nodes, and add the snap legs at
+// base speed.
+func (n *Network) TravelTime(a, b geo.Point) float64 {
+	sa, sb := n.nearestNode(a), n.nearestNode(b)
+	snap := (a.Dist(n.NodeLoc(sa)) + b.Dist(n.NodeLoc(sb))) / n.speed
+	if sa == sb {
+		return snap
+	}
+	return snap + n.shortest(sa)[sb]
+}
+
+// shortest returns (and caches) the Dijkstra distance array from src.
+func (n *Network) shortest(src int) []float64 {
+	if d, ok := n.cache[src]; ok {
+		return d
+	}
+	if len(n.cache) >= n.cacheCap {
+		n.cache = make(map[int][]float64) // simple full eviction
+	}
+	dist := n.dijkstra(src)
+	n.cache[src] = dist
+	return dist
+}
+
+func (n *Network) dijkstra(src int) []float64 {
+	total := n.Nodes()
+	dist := make([]float64, total)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeEntry)
+		if cur.d > dist[cur.id] {
+			continue
+		}
+		x, y := cur.id%n.nx, cur.id/n.nx
+		for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
+			if nb[0] < 0 || nb[0] >= n.nx || nb[1] < 0 || nb[1] >= n.ny {
+				continue
+			}
+			nid := nb[1]*n.nx + nb[0]
+			step := n.stepX
+			if nb[0] == x {
+				step = n.stepY
+			}
+			factor := math.Max(n.congestion[cur.id], n.congestion[nid])
+			nd := cur.d + step*factor/n.speed
+			if nd < dist[nid] {
+				dist[nid] = nd
+				heap.Push(pq, nodeEntry{id: nid, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeEntry struct {
+	id int
+	d  float64
+}
+
+type nodeHeap []nodeEntry
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

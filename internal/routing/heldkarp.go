@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"math"
+
+	"imtao/internal/model"
+)
+
+// HeldKarpLimit is the largest stop count handled by the bitmask dynamic
+// program. 2^15 × 15 states ≈ 500k — well under a millisecond.
+const HeldKarpLimit = 15
+
+// heldKarp finds the minimum-travel-time feasible order over tasks using the
+// Held–Karp dynamic program extended with deadline feasibility: a DP state
+// (visited set, last task) stores the minimal completion time of the last
+// task; transitions that would violate the next task's deadline are pruned.
+// Minimising the arrival time at every prefix is exact for the travel-time
+// objective and sound for feasibility: if any order of set S ending at task
+// j is feasible, the minimal-time one is.
+//
+// ok is false when no feasible order exists.
+func heldKarp(in *model.Instance, w *model.Worker, c *model.Center, tasks []model.TaskID) ([]model.TaskID, bool) {
+	n := len(tasks)
+	if n == 0 {
+		return nil, true
+	}
+	if n > HeldKarpLimit {
+		return nil, false
+	}
+	start := in.TravelTime(w.Loc, c.Loc)
+
+	// Distance matrix: d0[j] from center to task j, d[i][j] between tasks.
+	d0 := make([]float64, n)
+	d := make([][]float64, n)
+	deadline := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ti := in.Task(tasks[i])
+		d0[i] = in.TravelTime(c.Loc, ti.Loc)
+		deadline[i] = ti.Expiry
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d[i][j] = in.TravelTime(ti.Loc, in.Task(tasks[j]).Loc)
+		}
+	}
+
+	size := 1 << n
+	const inf = math.MaxFloat64
+	// dp[mask*n + j] = minimal completion time of task j having visited mask.
+	dp := make([]float64, size*n)
+	parent := make([]int8, size*n)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for j := 0; j < n; j++ {
+		t := start + d0[j]
+		if t <= deadline[j]+timeEps {
+			dp[(1<<j)*n+j] = t
+			parent[(1<<j)*n+j] = -1
+		}
+	}
+	for mask := 1; mask < size; mask++ {
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cur := dp[mask*n+j]
+			if cur == inf {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				t := cur + d[j][k]
+				if t > deadline[k]+timeEps {
+					continue
+				}
+				nm := mask | 1<<k
+				if t < dp[nm*n+k] {
+					dp[nm*n+k] = t
+					parent[nm*n+k] = int8(j)
+				}
+			}
+		}
+	}
+
+	full := size - 1
+	bestJ, bestT := -1, inf
+	for j := 0; j < n; j++ {
+		if dp[full*n+j] < bestT {
+			bestJ, bestT = j, dp[full*n+j]
+		}
+	}
+	if bestJ < 0 {
+		return nil, false
+	}
+	// Reconstruct.
+	order := make([]model.TaskID, n)
+	mask, j := full, bestJ
+	for i := n - 1; i >= 0; i-- {
+		order[i] = tasks[j]
+		pj := parent[mask*n+j]
+		mask &^= 1 << j
+		if pj < 0 {
+			break
+		}
+		j = int(pj)
+	}
+	return order, true
+}

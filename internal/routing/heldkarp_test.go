@@ -1,0 +1,154 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// Held–Karp must agree exactly with brute force on every instance small
+// enough to brute-force, including deadline-constrained ones.
+func TestHeldKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		xs := make([]float64, n)
+		in := lineInstance(xs, 1)
+		for i := range in.Tasks {
+			in.Tasks[i].Loc = geo.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			in.Tasks[i].Expiry = 5 + rng.Float64()*40
+		}
+		in.Workers[0].MaxT = n
+		w, c := in.Worker(0), in.Center(0)
+		ids := make([]model.TaskID, n)
+		for i := range ids {
+			ids[i] = model.TaskID(i)
+		}
+		hk, hkOK := heldKarp(in, w, c, ids)
+		brute, bruteOK := bruteBest(in, w, c, ids)
+		if hkOK != bruteOK {
+			t.Fatalf("trial %d: feasibility mismatch hk=%v brute=%v", trial, hkOK, bruteOK)
+		}
+		if !hkOK {
+			continue
+		}
+		if !OrderFeasible(in, w, c, hk) {
+			t.Fatalf("trial %d: held-karp returned infeasible order %v", trial, hk)
+		}
+		ht, bt := TravelTime(in, w, c, hk), TravelTime(in, w, c, brute)
+		if math.Abs(ht-bt) > 1e-9 {
+			t.Fatalf("trial %d: held-karp travel %v != optimal %v", trial, ht, bt)
+		}
+	}
+}
+
+func TestHeldKarpTightDeadlines(t *testing.T) {
+	// Force a non-greedy order: the far task must be first.
+	in := lineInstance([]float64{2, 0}, 100)
+	in.Tasks[1].Loc = geo.Pt(0, 5)
+	in.Tasks[1].Expiry = 5
+	w, c := in.Worker(0), in.Center(0)
+	got, ok := heldKarp(in, w, c, []model.TaskID{0, 1})
+	if !ok {
+		t.Fatal("a feasible order exists")
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("order = %v, want [1 0]", got)
+	}
+}
+
+func TestHeldKarpInfeasible(t *testing.T) {
+	in := lineInstance([]float64{50}, 10)
+	w, c := in.Worker(0), in.Center(0)
+	if _, ok := heldKarp(in, w, c, []model.TaskID{0}); ok {
+		t.Fatal("unreachable task accepted")
+	}
+}
+
+func TestHeldKarpEmptyAndOversize(t *testing.T) {
+	in := lineInstance([]float64{1}, 100)
+	w, c := in.Worker(0), in.Center(0)
+	if got, ok := heldKarp(in, w, c, nil); !ok || got != nil {
+		t.Error("empty set must be trivially feasible")
+	}
+	big := make([]model.TaskID, HeldKarpLimit+1)
+	if _, ok := heldKarp(in, w, c, big); ok {
+		t.Error("oversize set must report !ok (delegates to heuristic elsewhere)")
+	}
+}
+
+// BestOrder in the Held–Karp band (ExactLimit < n ≤ HeldKarpLimit) returns
+// a feasible order that is no worse than the heuristic path.
+func TestBestOrderHeldKarpBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	n := ExactLimit + 3
+	xs := make([]float64, n)
+	in := lineInstance(xs, 1e9)
+	for i := range in.Tasks {
+		in.Tasks[i].Loc = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	in.Workers[0].MaxT = n
+	w, c := in.Worker(0), in.Center(0)
+	ids := make([]model.TaskID, n)
+	for i := range ids {
+		ids[i] = model.TaskID(i)
+	}
+	got, ok := BestOrder(in, w, c, ids)
+	if !ok || !OrderFeasible(in, w, c, got) {
+		t.Fatal("HK band BestOrder failed")
+	}
+	heur, ok := bestOrderHeuristic(in, w, c, ids)
+	if !ok {
+		t.Fatal("heuristic failed on open deadlines")
+	}
+	if TravelTime(in, w, c, got) > TravelTime(in, w, c, heur)+1e-9 {
+		t.Fatalf("exact HK %v worse than heuristic %v",
+			TravelTime(in, w, c, got), TravelTime(in, w, c, heur))
+	}
+}
+
+// BestOrder beyond HeldKarpLimit exercises the heuristic path.
+func TestBestOrderBeyondHeldKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	n := HeldKarpLimit + 3
+	xs := make([]float64, n)
+	in := lineInstance(xs, 1e9)
+	for i := range in.Tasks {
+		in.Tasks[i].Loc = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	in.Workers[0].MaxT = n
+	w, c := in.Worker(0), in.Center(0)
+	ids := make([]model.TaskID, n)
+	for i := range ids {
+		ids[i] = model.TaskID(i)
+	}
+	got, ok := BestOrder(in, w, c, ids)
+	if !ok || len(got) != n || !OrderFeasible(in, w, c, got) {
+		t.Fatal("heuristic BestOrder failed")
+	}
+}
+
+func BenchmarkHeldKarp12(b *testing.B) {
+	rng := rand.New(rand.NewSource(134))
+	n := 12
+	xs := make([]float64, n)
+	in := lineInstance(xs, 1e9)
+	for i := range in.Tasks {
+		in.Tasks[i].Loc = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	in.Workers[0].MaxT = n
+	w, c := in.Worker(0), in.Center(0)
+	ids := make([]model.TaskID, n)
+	for i := range ids {
+		ids[i] = model.TaskID(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := heldKarp(in, w, c, ids); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}

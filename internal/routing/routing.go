@@ -1,0 +1,273 @@
+// Package routing evaluates delivery sequences against the travel model of
+// the paper: Eq. 1 completion times, the VTDS validity predicate of
+// Definition 5, and the minimum-travel-time ordering that Definition 5
+// prescribes when several feasible sequences exist.
+//
+// The orderings are deadline-constrained open TSP paths starting at the
+// worker's pick-up center. Sequences are tiny (bounded by w.maxT, 4 in the
+// paper), so exact permutation search is used up to ExactLimit stops; larger
+// sequences — possible in the extension packages — fall back to a
+// nearest-neighbour construction with 2-opt improvement and a deadline
+// repair pass.
+package routing
+
+import (
+	"math"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// ExactLimit is the largest sequence length solved by exhaustive permutation
+// search in BestOrder. 8! = 40320 orders, microseconds of work.
+const ExactLimit = 8
+
+// CompletionTimes returns, for each position i of order, the time
+// t_{w,c,R}(s_i.l) at which worker w completes the i-th task when picking up
+// at center c — exactly Eq. 1 of the paper. An empty order yields nil.
+func CompletionTimes(in *model.Instance, w *model.Worker, c *model.Center, order []model.TaskID) []float64 {
+	if len(order) == 0 {
+		return nil
+	}
+	out := make([]float64, len(order))
+	t := in.TravelTime(w.Loc, c.Loc)
+	cur := c.Loc
+	for i, id := range order {
+		loc := in.Task(id).Loc
+		t += in.TravelTime(cur, loc)
+		out[i] = t
+		cur = loc
+	}
+	return out
+}
+
+// TravelTime returns the total travel time of the order, from the worker's
+// location through the center to the last delivery.
+func TravelTime(in *model.Instance, w *model.Worker, c *model.Center, order []model.TaskID) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	times := CompletionTimes(in, w, c, order)
+	return times[len(times)-1]
+}
+
+// OrderFeasible reports whether the given delivery order is a valid task
+// delivery sequence: every task completes no later than its expiry
+// (Definition 5) and the order respects the worker's capacity.
+func OrderFeasible(in *model.Instance, w *model.Worker, c *model.Center, order []model.TaskID) bool {
+	if len(order) > w.MaxT {
+		return false
+	}
+	if len(order) == 0 {
+		return true
+	}
+	t := in.TravelTime(w.Loc, c.Loc)
+	cur := c.Loc
+	for _, id := range order {
+		task := in.Task(id)
+		t += in.TravelTime(cur, task.Loc)
+		if t > task.Expiry+timeEps {
+			return false
+		}
+		cur = task.Loc
+	}
+	return true
+}
+
+// timeEps absorbs floating-point noise in deadline comparisons.
+const timeEps = 1e-9
+
+// BestOrder searches for a feasible delivery order over tasks with minimal
+// total travel time. ok is false when no feasible order exists (the task set
+// is not a VTDS for this worker). The input slice is not modified.
+//
+// Up to ExactLimit tasks the search is exact branch-and-bound over
+// permutations (pruning on deadline violations and on the incumbent travel
+// time); between ExactLimit and HeldKarpLimit it switches to the exact
+// Held–Karp dynamic program with deadline pruning. Beyond that it is
+// heuristic: earliest-deadline-first and nearest-neighbour constructions
+// followed by feasibility-preserving 2-opt.
+func BestOrder(in *model.Instance, w *model.Worker, c *model.Center, tasks []model.TaskID) ([]model.TaskID, bool) {
+	n := len(tasks)
+	if n == 0 {
+		return nil, true
+	}
+	if n > w.MaxT {
+		return nil, false
+	}
+	if n <= ExactLimit {
+		return bestOrderExact(in, w, c, tasks)
+	}
+	if n <= HeldKarpLimit {
+		return heldKarp(in, w, c, tasks)
+	}
+	return bestOrderHeuristic(in, w, c, tasks)
+}
+
+func bestOrderExact(in *model.Instance, w *model.Worker, c *model.Center, tasks []model.TaskID) ([]model.TaskID, bool) {
+	n := len(tasks)
+	perm := append([]model.TaskID(nil), tasks...)
+	best := make([]model.TaskID, 0, n)
+	bestT := math.Inf(1)
+	start := in.TravelTime(w.Loc, c.Loc)
+
+	var rec func(depth int, t float64, cur geo.Point)
+	rec = func(depth int, t float64, cur geo.Point) {
+		if t >= bestT {
+			return // incumbent already better
+		}
+		if depth == n {
+			bestT = t
+			best = append(best[:0], perm...)
+			return
+		}
+		for i := depth; i < n; i++ {
+			perm[depth], perm[i] = perm[i], perm[depth]
+			task := in.Task(perm[depth])
+			nt := t + in.TravelTime(cur, task.Loc)
+			if nt <= task.Expiry+timeEps {
+				rec(depth+1, nt, task.Loc)
+			}
+			perm[depth], perm[i] = perm[i], perm[depth]
+		}
+	}
+	rec(0, start, c.Loc)
+	if math.IsInf(bestT, 1) {
+		return nil, false
+	}
+	return best, true
+}
+
+func bestOrderHeuristic(in *model.Instance, w *model.Worker, c *model.Center, tasks []model.TaskID) ([]model.TaskID, bool) {
+	candidates := [][]model.TaskID{
+		nearestNeighborOrder(in, c, tasks),
+		earliestDeadlineOrder(in, tasks),
+	}
+	var best []model.TaskID
+	bestT := math.Inf(1)
+	for _, cand := range candidates {
+		cand = twoOptFeasible(in, w, c, cand)
+		if !OrderFeasible(in, w, c, cand) {
+			continue
+		}
+		if t := TravelTime(in, w, c, cand); t < bestT {
+			bestT = t
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// nearestNeighborOrder builds an order by repeatedly visiting the closest
+// remaining task, starting from the center.
+func nearestNeighborOrder(in *model.Instance, c *model.Center, tasks []model.TaskID) []model.TaskID {
+	remaining := append([]model.TaskID(nil), tasks...)
+	out := make([]model.TaskID, 0, len(tasks))
+	cur := c.Loc
+	for len(remaining) > 0 {
+		bi, bd := 0, math.Inf(1)
+		for i, id := range remaining {
+			if d := cur.Dist2(in.Task(id).Loc); d < bd {
+				bi, bd = i, d
+			}
+		}
+		id := remaining[bi]
+		out = append(out, id)
+		cur = in.Task(id).Loc
+		remaining[bi] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return out
+}
+
+// earliestDeadlineOrder sorts tasks by expiry ascending (ties by ID).
+func earliestDeadlineOrder(in *model.Instance, tasks []model.TaskID) []model.TaskID {
+	out := append([]model.TaskID(nil), tasks...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := in.Task(out[j-1]), in.Task(out[j])
+			if b.Expiry < a.Expiry || (b.Expiry == a.Expiry && b.ID < a.ID) {
+				out[j-1], out[j] = out[j], out[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// twoOptFeasible applies 2-opt segment reversals that strictly reduce travel
+// time while keeping the order feasible (or keeping it no less feasible than
+// before — reversals are only accepted when the result passes the full
+// deadline check).
+func twoOptFeasible(in *model.Instance, w *model.Worker, c *model.Center, order []model.TaskID) []model.TaskID {
+	out := append([]model.TaskID(nil), order...)
+	n := len(out)
+	if n < 3 {
+		return out
+	}
+	improved := true
+	cur := TravelTime(in, w, c, out)
+	feasible := OrderFeasible(in, w, c, out)
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				reverse(out, i, j)
+				nf := OrderFeasible(in, w, c, out)
+				nt := TravelTime(in, w, c, out)
+				if (nf && !feasible) || (nf == feasible && nt < cur-timeEps) {
+					cur, feasible, improved = nt, nf, true
+				} else {
+					reverse(out, i, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func reverse(a []model.TaskID, i, j int) {
+	for i < j {
+		a[i], a[j] = a[j], a[i]
+		i++
+		j--
+	}
+}
+
+// RouteFeasible is OrderFeasible lifted to a model.Route.
+func RouteFeasible(in *model.Instance, r *model.Route) bool {
+	w := in.Worker(r.Worker)
+	c := in.Center(r.Center)
+	return OrderFeasible(in, w, c, r.Tasks)
+}
+
+// SolutionFeasible verifies every route of a solution against Definition 5
+// and the structural consistency checks of the model package.
+func SolutionFeasible(in *model.Instance, s *model.Solution) error {
+	if err := s.CheckConsistency(in); err != nil {
+		return err
+	}
+	for ci := range s.PerCenter {
+		for ri := range s.PerCenter[ci].Routes {
+			r := &s.PerCenter[ci].Routes[ri]
+			if !RouteFeasible(in, r) {
+				return &InfeasibleRouteError{Center: model.CenterID(ci), Route: *r}
+			}
+		}
+	}
+	return nil
+}
+
+// InfeasibleRouteError reports a route violating deadline or capacity.
+type InfeasibleRouteError struct {
+	Center model.CenterID
+	Route  model.Route
+}
+
+func (e *InfeasibleRouteError) Error() string {
+	return "routing: infeasible route for worker in center"
+}

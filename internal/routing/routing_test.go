@@ -1,0 +1,302 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// lineInstance puts one center at the origin and tasks along the x-axis;
+// speed 1 so distances are times.
+func lineInstance(taskXs []float64, expiry float64) *model.Instance {
+	in := &model.Instance{
+		Centers: []model.Center{{ID: 0, Loc: geo.Pt(0, 0)}},
+		Speed:   1,
+		Bounds:  geo.NewRect(geo.Pt(-100, -100), geo.Pt(100, 100)),
+	}
+	for i, x := range taskXs {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: model.TaskID(i), Center: 0, Loc: geo.Pt(x, 0), Expiry: expiry, Reward: 1,
+		})
+		in.Centers[0].Tasks = append(in.Centers[0].Tasks, model.TaskID(i))
+	}
+	in.Workers = []model.Worker{{ID: 0, Home: 0, Loc: geo.Pt(0, 0), MaxT: 10}}
+	in.Centers[0].Workers = []model.WorkerID{0}
+	return in
+}
+
+func TestCompletionTimesEq1(t *testing.T) {
+	in := lineInstance([]float64{2, 5}, 100)
+	in.Workers[0].Loc = geo.Pt(0, 3) // 3 units from the center
+	w, c := in.Worker(0), in.Center(0)
+	got := CompletionTimes(in, w, c, []model.TaskID{0, 1})
+	// t(s1) = tt(w,c) + tt(c,s1) = 3 + 2 = 5; t(s2) = 5 + tt(s1,s2) = 5 + 3 = 8.
+	want := []float64{5, 8}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("completion[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if CompletionTimes(in, w, c, nil) != nil {
+		t.Error("empty order must give nil")
+	}
+}
+
+func TestTravelTime(t *testing.T) {
+	in := lineInstance([]float64{2, 5}, 100)
+	w, c := in.Worker(0), in.Center(0)
+	if got := TravelTime(in, w, c, []model.TaskID{0, 1}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("TravelTime = %v, want 5", got)
+	}
+	if got := TravelTime(in, w, c, nil); got != 0 {
+		t.Errorf("empty TravelTime = %v", got)
+	}
+}
+
+func TestOrderFeasible(t *testing.T) {
+	in := lineInstance([]float64{2, 5}, 6)
+	w, c := in.Worker(0), in.Center(0)
+	if !OrderFeasible(in, w, c, []model.TaskID{0, 1}) {
+		t.Error("0,1 completes at 2 and 5, both within 6")
+	}
+	// Reversed order: task 0 completes at 5+3=8 > 6.
+	if OrderFeasible(in, w, c, []model.TaskID{1, 0}) {
+		t.Error("1,0 violates the deadline of task 0")
+	}
+	// Capacity.
+	in.Workers[0].MaxT = 1
+	if OrderFeasible(in, w, c, []model.TaskID{0, 1}) {
+		t.Error("capacity 1 cannot take 2 tasks")
+	}
+	if !OrderFeasible(in, w, c, nil) {
+		t.Error("empty order is always feasible")
+	}
+}
+
+func TestBestOrderPicksMinTravel(t *testing.T) {
+	in := lineInstance([]float64{2, 5, 9}, 100)
+	w, c := in.Worker(0), in.Center(0)
+	got, ok := BestOrder(in, w, c, []model.TaskID{2, 0, 1})
+	if !ok {
+		t.Fatal("feasible set reported infeasible")
+	}
+	want := []model.TaskID{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BestOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBestOrderRespectsDeadlines(t *testing.T) {
+	// Task 1 is far but urgent; pure distance order would visit task 0 first
+	// and miss it. Off-axis layout so the detour through task 0 is real.
+	in := lineInstance([]float64{2, 5}, 100)
+	in.Tasks[1].Loc = geo.Pt(0, 5)
+	in.Tasks[1].Expiry = 5
+	in.Tasks[0].Expiry = 100
+	w, c := in.Worker(0), in.Center(0)
+	got, ok := BestOrder(in, w, c, []model.TaskID{0, 1})
+	if !ok {
+		t.Fatal("a feasible order exists: 1 then 0")
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("BestOrder = %v, want [1 0]", got)
+	}
+}
+
+func TestBestOrderInfeasible(t *testing.T) {
+	in := lineInstance([]float64{50}, 10) // 50 units away, deadline 10
+	w, c := in.Worker(0), in.Center(0)
+	if _, ok := BestOrder(in, w, c, []model.TaskID{0}); ok {
+		t.Error("unreachable task must be infeasible")
+	}
+	// Over capacity.
+	in = lineInstance([]float64{1, 2, 3}, 100)
+	in.Workers[0].MaxT = 2
+	if _, ok := BestOrder(in.Clone(), in.Worker(0), in.Center(0), []model.TaskID{0, 1, 2}); ok {
+		t.Error("over-capacity set must be infeasible")
+	}
+	// Empty set is trivially feasible.
+	if got, ok := BestOrder(in, in.Worker(0), in.Center(0), nil); !ok || got != nil {
+		t.Errorf("empty set: %v, %v", got, ok)
+	}
+}
+
+func TestBestOrderDoesNotMutateInput(t *testing.T) {
+	in := lineInstance([]float64{5, 2, 9}, 100)
+	w, c := in.Worker(0), in.Center(0)
+	tasks := []model.TaskID{0, 1, 2}
+	if _, ok := BestOrder(in, w, c, tasks); !ok {
+		t.Fatal("feasible")
+	}
+	if tasks[0] != 0 || tasks[1] != 1 || tasks[2] != 2 {
+		t.Fatalf("input mutated: %v", tasks)
+	}
+}
+
+// Property: the exact search result is feasible and no permutation beats it.
+func TestBestOrderExactIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*20 - 10
+		}
+		in := lineInstance(xs, 5+rng.Float64()*20)
+		// Random 2-D scatter rather than a line, to exercise geometry.
+		for i := range in.Tasks {
+			in.Tasks[i].Loc = geo.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+			in.Tasks[i].Expiry = 5 + rng.Float64()*25
+		}
+		w, c := in.Worker(0), in.Center(0)
+		ids := make([]model.TaskID, n)
+		for i := range ids {
+			ids[i] = model.TaskID(i)
+		}
+		got, ok := BestOrder(in, w, c, ids)
+		bestBrute, okBrute := bruteBest(in, w, c, ids)
+		if ok != okBrute {
+			t.Fatalf("trial %d: feasibility mismatch exact=%v brute=%v", trial, ok, okBrute)
+		}
+		if !ok {
+			continue
+		}
+		if !OrderFeasible(in, w, c, got) {
+			t.Fatalf("trial %d: BestOrder returned infeasible order", trial)
+		}
+		gt, bt := TravelTime(in, w, c, got), TravelTime(in, w, c, bestBrute)
+		if gt > bt+1e-9 {
+			t.Fatalf("trial %d: BestOrder travel %v worse than brute %v", trial, gt, bt)
+		}
+	}
+}
+
+func bruteBest(in *model.Instance, w *model.Worker, c *model.Center, ids []model.TaskID) ([]model.TaskID, bool) {
+	var best []model.TaskID
+	bestT := math.Inf(1)
+	perm := append([]model.TaskID(nil), ids...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			if OrderFeasible(in, w, c, perm) {
+				if tt := TravelTime(in, w, c, perm); tt < bestT {
+					bestT = tt
+					best = append([]model.TaskID(nil), perm...)
+				}
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best, best != nil
+}
+
+func TestBestOrderHeuristicLargeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := ExactLimit + 4 // force the heuristic path
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 30
+	}
+	in := lineInstance(xs, 1e9)
+	in.Workers[0].MaxT = n
+	w, c := in.Worker(0), in.Center(0)
+	ids := make([]model.TaskID, n)
+	for i := range ids {
+		ids[i] = model.TaskID(i)
+	}
+	got, ok := BestOrder(in, w, c, ids)
+	if !ok || len(got) != n {
+		t.Fatalf("heuristic failed: ok=%v len=%d", ok, len(got))
+	}
+	if !OrderFeasible(in, w, c, got) {
+		t.Fatal("heuristic order infeasible")
+	}
+	// On a line with generous deadlines, NN+2-opt should find the sorted
+	// sweep (optimal); allow 10% slack for safety.
+	sorted := earliestDeadlineOrder(in, ids) // same expiry → sorted by ID = input order
+	_ = sorted
+	best := TravelTime(in, w, c, nearestNeighborOrder(in, c, ids))
+	if tt := TravelTime(in, w, c, got); tt > best+1e-9 {
+		t.Errorf("2-opt result %v worse than plain NN %v", tt, best)
+	}
+}
+
+func TestSolutionFeasible(t *testing.T) {
+	in := lineInstance([]float64{2, 5}, 6)
+	s := model.NewSolution(in)
+	s.PerCenter[0].Routes = []model.Route{{Worker: 0, Center: 0, Tasks: []model.TaskID{0, 1}}}
+	if err := SolutionFeasible(in, s); err != nil {
+		t.Fatalf("feasible solution rejected: %v", err)
+	}
+	s.PerCenter[0].Routes[0].Tasks = []model.TaskID{1, 0} // misses deadline of 0
+	if err := SolutionFeasible(in, s); err == nil {
+		t.Fatal("infeasible route accepted")
+	}
+}
+
+func TestRouteFeasible(t *testing.T) {
+	in := lineInstance([]float64{2}, 6)
+	r := model.Route{Worker: 0, Center: 0, Tasks: []model.TaskID{0}}
+	if !RouteFeasible(in, &r) {
+		t.Error("route should be feasible")
+	}
+	in.Tasks[0].Expiry = 1
+	if RouteFeasible(in, &r) {
+		t.Error("route should be infeasible after deadline tightening")
+	}
+}
+
+func BenchmarkBestOrder4(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	in := lineInstance([]float64{1, 2, 3, 4}, 1e9)
+	for i := range in.Tasks {
+		in.Tasks[i].Loc = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	w, c := in.Worker(0), in.Center(0)
+	ids := []model.TaskID{0, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestOrder(in, w, c, ids)
+	}
+}
+
+// Property: when the identity order is feasible, BestOrder's travel time
+// never exceeds it.
+func TestBestOrderNeverWorseThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		xs := make([]float64, n)
+		in := lineInstance(xs, 1e6)
+		for i := range in.Tasks {
+			in.Tasks[i].Loc = geo.Pt(rng.Float64()*50, rng.Float64()*50)
+		}
+		in.Workers[0].MaxT = n
+		w, c := in.Worker(0), in.Center(0)
+		ids := make([]model.TaskID, n)
+		for i := range ids {
+			ids[i] = model.TaskID(i)
+		}
+		if !OrderFeasible(in, w, c, ids) {
+			continue
+		}
+		best, ok := BestOrder(in, w, c, ids)
+		if !ok {
+			t.Fatalf("trial %d: identity feasible but BestOrder infeasible", trial)
+		}
+		if TravelTime(in, w, c, best) > TravelTime(in, w, c, ids)+1e-9 {
+			t.Fatalf("trial %d: BestOrder worse than identity", trial)
+		}
+	}
+}

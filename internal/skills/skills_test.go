@@ -1,0 +1,276 @@
+package skills
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtao/internal/assign"
+	"imtao/internal/collab"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/routing"
+)
+
+func TestSetOperations(t *testing.T) {
+	s := Of(0, 3, 7)
+	if !s.Has(Of(0)) || !s.Has(Of(3, 7)) || !s.Has(0) {
+		t.Error("Has failed on subsets")
+	}
+	if s.Has(Of(1)) || s.Has(Of(0, 1)) {
+		t.Error("Has accepted missing skills")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if got := s.String(); got != "{0,3,7}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Of().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func scene(workerLocs, taskLocs []geo.Point) *model.Instance {
+	in := &model.Instance{
+		Centers: []model.Center{{ID: 0, Loc: geo.Pt(0, 0)}},
+		Speed:   1,
+		Bounds:  geo.NewRect(geo.Pt(-500, -500), geo.Pt(500, 500)),
+	}
+	for i, l := range taskLocs {
+		in.Tasks = append(in.Tasks, model.Task{ID: model.TaskID(i), Center: 0, Loc: l, Expiry: 1000, Reward: 1})
+		in.Centers[0].Tasks = append(in.Centers[0].Tasks, model.TaskID(i))
+	}
+	for i, l := range workerLocs {
+		in.Workers = append(in.Workers, model.Worker{ID: model.WorkerID(i), Home: 0, Loc: l, MaxT: 4})
+		in.Centers[0].Workers = append(in.Centers[0].Workers, model.WorkerID(i))
+	}
+	return in
+}
+
+func TestProfileCompatible(t *testing.T) {
+	p := NewProfile()
+	p.Required[0] = Of(1)
+	p.Owned[0] = Of(1, 2)
+	if !p.Compatible(0, 0) {
+		t.Error("qualified worker rejected")
+	}
+	p.Owned[1] = Of(2)
+	if p.Compatible(1, 0) {
+		t.Error("unqualified worker accepted")
+	}
+	// No requirement → anyone qualifies, even with no skills.
+	if !p.Compatible(2, 1) {
+		t.Error("skill-free task must accept anyone")
+	}
+}
+
+func TestUnservable(t *testing.T) {
+	p := NewProfile()
+	p.Required[0] = Of(5)
+	p.Required[1] = 0
+	p.Owned[0] = Of(1)
+	got := p.Unservable([]model.TaskID{0, 1}, []model.WorkerID{0})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Unservable = %v", got)
+	}
+}
+
+func TestSequentialRespectsSkills(t *testing.T) {
+	// Two tasks: task 0 needs the "fridge van" skill, task 1 needs nothing.
+	// Worker 0 has the skill, worker 1 does not. Task 0 is nearest to both.
+	in := scene(
+		[]geo.Point{geo.Pt(0, 1), geo.Pt(1, 0)},
+		[]geo.Point{geo.Pt(2, 0), geo.Pt(50, 0)},
+	)
+	prof := NewProfile()
+	prof.Required[0] = Of(0)
+	prof.Owned[0] = Of(0)
+
+	res := Sequential(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks, prof)
+	if res.AssignedCount() != 2 {
+		t.Fatalf("assigned %d, want 2", res.AssignedCount())
+	}
+	for _, r := range res.Routes {
+		for _, tid := range r.Tasks {
+			if !prof.Compatible(r.Worker, tid) {
+				t.Fatalf("worker %d delivered task %d without the skills", r.Worker, tid)
+			}
+		}
+	}
+}
+
+func TestSequentialSkillsBlockEverything(t *testing.T) {
+	in := scene([]geo.Point{geo.Pt(0, 1)}, []geo.Point{geo.Pt(2, 0)})
+	prof := NewProfile()
+	prof.Required[0] = Of(9) // nobody has skill 9
+	res := Sequential(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks, prof)
+	if res.AssignedCount() != 0 {
+		t.Fatal("unqualified assignment happened")
+	}
+	if len(res.LeftWorkers) != 1 || len(res.LeftTasks) != 1 {
+		t.Fatalf("leftovers wrong: %+v", res)
+	}
+}
+
+func TestSequentialNoSkillsMatchesPlain(t *testing.T) {
+	// With an empty profile the skill-aware assigner must behave like a
+	// plain greedy nearest assigner: everything reachable gets assigned.
+	rng := rand.New(rand.NewSource(91))
+	wl := make([]geo.Point, 4)
+	tl := make([]geo.Point, 15)
+	for i := range wl {
+		wl[i] = geo.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+	}
+	for i := range tl {
+		tl[i] = geo.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+	}
+	in := scene(wl, tl)
+	res := Sequential(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks, NewProfile())
+	if res.AssignedCount() != 15 {
+		t.Fatalf("assigned %d, want all 15 (capacity 4×4=16 ≥ 15, no deadline pressure)", res.AssignedCount())
+	}
+	for _, r := range res.Routes {
+		if !routing.OrderFeasible(in, in.Worker(r.Worker), in.Center(0), r.Tasks) {
+			t.Fatalf("infeasible route %v", r)
+		}
+	}
+}
+
+func TestSequentialEmptyWorkers(t *testing.T) {
+	in := scene(nil, []geo.Point{geo.Pt(1, 0)})
+	res := Sequential(in, in.Center(0), nil, in.Centers[0].Tasks, NewProfile())
+	if res.AssignedCount() != 0 || len(res.LeftTasks) != 1 {
+		t.Fatalf("empty workers: %+v", res)
+	}
+}
+
+// Property: routes never violate skills, capacity or deadlines, and task
+// conservation holds.
+func TestSequentialSkillInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 30; trial++ {
+		nw, nt := 1+rng.Intn(6), 1+rng.Intn(20)
+		wl := make([]geo.Point, nw)
+		tl := make([]geo.Point, nt)
+		for i := range wl {
+			wl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		for i := range tl {
+			tl[i] = geo.Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		in := scene(wl, tl)
+		for i := range in.Tasks {
+			in.Tasks[i].Expiry = 50 + rng.Float64()*300
+		}
+		prof := NewProfile()
+		for i := 0; i < nt; i++ {
+			if rng.Intn(2) == 0 {
+				prof.Required[model.TaskID(i)] = Of(rng.Intn(4))
+			}
+		}
+		for i := 0; i < nw; i++ {
+			prof.Owned[model.WorkerID(i)] = Set(rng.Intn(16))
+		}
+		res := Sequential(in, in.Center(0), in.Centers[0].Workers, in.Centers[0].Tasks, prof)
+		seen := map[model.TaskID]bool{}
+		for _, r := range res.Routes {
+			if !routing.OrderFeasible(in, in.Worker(r.Worker), in.Center(0), r.Tasks) {
+				t.Fatalf("trial %d: infeasible route", trial)
+			}
+			for _, tid := range r.Tasks {
+				if seen[tid] {
+					t.Fatalf("trial %d: duplicate task", trial)
+				}
+				seen[tid] = true
+				if !prof.Compatible(r.Worker, tid) {
+					t.Fatalf("trial %d: skill violation", trial)
+				}
+			}
+		}
+		if len(seen)+len(res.LeftTasks) != nt {
+			t.Fatalf("trial %d: conservation broken", trial)
+		}
+	}
+}
+
+// Skill-aware collaboration end to end: a skill-constrained Sequential
+// wrapped as a collab.Assigner drives the full Algorithm 3 loop, and the
+// final solution never hands a task to an unqualified worker.
+func TestSkillAwareCollaboration(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	in := &model.Instance{
+		Centers: []model.Center{
+			{ID: 0, Loc: geo.Pt(100, 100)},
+			{ID: 1, Loc: geo.Pt(400, 100)},
+		},
+		Speed:  500,
+		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(500, 200)),
+	}
+	prof := NewProfile()
+	for i := 0; i < 24; i++ {
+		c := model.CenterID(0)
+		base := geo.Pt(100, 100)
+		if i >= 8 { // two thirds of the load near center 1
+			c = 1
+			base = geo.Pt(400, 100)
+		}
+		id := model.TaskID(i)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: id, Center: c,
+			Loc:    geo.Pt(base.X+rng.Float64()*60-30, base.Y+rng.Float64()*60-30),
+			Expiry: 1, Reward: 1,
+		})
+		in.Centers[c].Tasks = append(in.Centers[c].Tasks, id)
+		if i%3 == 0 {
+			prof.Required[id] = Of(0) // every third task needs the skill
+		}
+	}
+	for i := 0; i < 6; i++ {
+		c := model.CenterID(0)
+		base := geo.Pt(100, 100)
+		if i >= 4 {
+			c = 1
+			base = geo.Pt(400, 100)
+		}
+		id := model.WorkerID(i)
+		in.Workers = append(in.Workers, model.Worker{
+			ID: id, Home: c,
+			Loc:  geo.Pt(base.X+rng.Float64()*40-20, base.Y+rng.Float64()*40-20),
+			MaxT: 4,
+		})
+		in.Centers[c].Workers = append(in.Centers[c].Workers, id)
+		if i%2 == 0 {
+			prof.Owned[id] = Of(0)
+		}
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	assigner := func(in *model.Instance, c *model.Center, ws []model.WorkerID, ts []model.TaskID) assign.Result {
+		r := Sequential(in, c, ws, ts, prof)
+		return assign.Result{Routes: r.Routes, LeftWorkers: r.LeftWorkers, LeftTasks: r.LeftTasks}
+	}
+	p1 := make([]assign.Result, len(in.Centers))
+	for ci := range in.Centers {
+		c := in.Center(model.CenterID(ci))
+		p1[ci] = assigner(in, c, c.Workers, c.Tasks)
+	}
+	base := collab.NoCollaboration(in, p1).AssignedCount()
+	out := collab.Run(in, p1, collab.Config{Assigner: assigner})
+	if err := routing.SolutionFeasible(in, out.Solution); err != nil {
+		t.Fatal(err)
+	}
+	if out.Solution.AssignedCount() < base {
+		t.Fatalf("collaboration lost tasks: %d -> %d", base, out.Solution.AssignedCount())
+	}
+	for ci := range out.Solution.PerCenter {
+		for _, r := range out.Solution.PerCenter[ci].Routes {
+			for _, tid := range r.Tasks {
+				if !prof.Compatible(r.Worker, tid) {
+					t.Fatalf("unqualified delivery: worker %d task %d", r.Worker, tid)
+				}
+			}
+		}
+	}
+}

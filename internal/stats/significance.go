@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Paired significance tests for method comparisons: the experiment harness
+// runs every method on the same seeded instances, so differences are
+// naturally paired per seed.
+
+// ErrTooFewPairs is returned when a test needs more data.
+var ErrTooFewPairs = errors.New("stats: need at least two pairs")
+
+// PairedT runs a paired t-test on the per-seed differences a[i] − b[i].
+// It returns the t statistic and the two-sided p-value (normal
+// approximation for df ≥ 30, Student-t via an incomplete-beta-free
+// approximation below). A zero-variance difference vector returns t = ±Inf
+// with p = 0 when the mean difference is non-zero, and t = 0, p = 1 when
+// every pair ties.
+func PairedT(a, b []float64) (t, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, errors.New("stats: paired samples must have equal length")
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, 0, ErrTooFewPairs
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	s := Summarize(diffs)
+	if s.Std == 0 {
+		if s.Mean == 0 {
+			return 0, 1, nil
+		}
+		return math.Inf(sign(s.Mean)), 0, nil
+	}
+	t = s.Mean / (s.Std / math.Sqrt(float64(n)))
+	p = 2 * (1 - studentCDF(math.Abs(t), float64(n-1)))
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return t, p, nil
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentCDF approximates the Student-t CDF at x with df degrees of freedom
+// using the Hill (1970) normal-correction expansion — accurate to ~1e-3 for
+// df ≥ 3, which is ample for reporting experiment significance.
+func studentCDF(x, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	// For large df the t distribution is normal.
+	if df > 100 {
+		return normalCDF(x)
+	}
+	// Transform t -> z via the Wallace approximation.
+	a := df - 0.5
+	b := 48 * a * a
+	z := math.Sqrt(a * math.Log(1+x*x/df))
+	z = z + (z*z*z+3*z)/b
+	return normalCDF(z)
+}
+
+// normalCDF is Φ(x) via erfc.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// SignTest runs the two-sided sign test on the pairs: it counts how often
+// a[i] > b[i] among non-ties and returns the number of wins, the number of
+// non-tied pairs, and the two-sided binomial p-value (exact for n ≤ 30,
+// normal approximation beyond).
+func SignTest(a, b []float64) (wins, nonTies int, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, 0, errors.New("stats: paired samples must have equal length")
+	}
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			wins++
+			nonTies++
+		case a[i] < b[i]:
+			nonTies++
+		}
+	}
+	if nonTies == 0 {
+		return 0, 0, 1, nil
+	}
+	k := wins
+	if k > nonTies-k {
+		k = nonTies - k
+	}
+	if nonTies <= 30 {
+		// Exact two-sided binomial tail with p = 0.5.
+		var tail float64
+		for i := 0; i <= k; i++ {
+			tail += binomPMF(nonTies, i)
+		}
+		p = math.Min(1, 2*tail)
+		return wins, nonTies, p, nil
+	}
+	// Normal approximation with continuity correction.
+	mean := float64(nonTies) / 2
+	sd := math.Sqrt(float64(nonTies)) / 2
+	z := (float64(k) + 0.5 - mean) / sd
+	p = math.Min(1, 2*normalCDF(z))
+	return wins, nonTies, p, nil
+}
+
+func binomPMF(n, k int) float64 {
+	// C(n, k) * 0.5^n computed in log space for stability.
+	lg := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	return math.Exp(lg + float64(n)*math.Log(0.5))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

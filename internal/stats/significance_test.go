@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPairedTErrors(t *testing.T) {
+	if _, _, err := PairedT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, _, err := PairedT([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair must fail")
+	}
+}
+
+func TestPairedTTies(t *testing.T) {
+	tt, p, err := PairedT([]float64{3, 3, 3}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 0 || p != 1 {
+		t.Fatalf("all-ties: t=%v p=%v", tt, p)
+	}
+	// Constant non-zero difference: infinitely significant.
+	tt, p, err = PairedT([]float64{4, 4, 4}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tt, 1) || p != 0 {
+		t.Fatalf("constant diff: t=%v p=%v", tt, p)
+	}
+}
+
+func TestPairedTDetectsClearDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	n := 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := rng.Float64() * 100
+		a[i] = base + 5 + rng.NormFloat64() // consistently ~5 higher
+		b[i] = base + rng.NormFloat64()
+	}
+	tt, p, err := PairedT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt <= 0 {
+		t.Fatalf("t = %v, want positive", tt)
+	}
+	if p > 0.01 {
+		t.Fatalf("p = %v, want clearly significant", p)
+	}
+}
+
+func TestPairedTNullIsInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(232))
+	significant := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		n := 12
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		_, p, err := PairedT(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.05 {
+			significant++
+		}
+	}
+	// Under the null ~5% of trials are significant; allow generous slack.
+	if significant > trials/4 {
+		t.Fatalf("%d/%d null trials significant", significant, trials)
+	}
+}
+
+func TestSignTest(t *testing.T) {
+	// 9 wins out of 10 non-ties: clearly significant.
+	a := []float64{2, 2, 2, 2, 2, 2, 2, 2, 2, 0}
+	b := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	wins, nonTies, p, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wins != 9 || nonTies != 10 {
+		t.Fatalf("wins=%d nonTies=%d", wins, nonTies)
+	}
+	if p > 0.05 {
+		t.Fatalf("p = %v, want significant", p)
+	}
+	// All ties.
+	_, _, p, err = SignTest([]float64{1, 1}, []float64{1, 1})
+	if err != nil || p != 1 {
+		t.Fatalf("ties: p=%v err=%v", p, err)
+	}
+	// Balanced wins: insignificant.
+	a = []float64{2, 0, 2, 0, 2, 0}
+	b = []float64{1, 1, 1, 1, 1, 1}
+	_, _, p, err = SignTest(a, b)
+	if err != nil || p < 0.5 {
+		t.Fatalf("balanced: p=%v err=%v", p, err)
+	}
+	if _, _, _, err := SignTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestSignTestLargeNormalApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64() + 0.3 // wins ~80% of the time
+		b[i] = rng.Float64()
+	}
+	wins, nonTies, p, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nonTies != n {
+		t.Fatalf("nonTies = %d", nonTies)
+	}
+	if wins <= n/2 {
+		t.Fatalf("wins = %d, expected a clear majority", wins)
+	}
+	if p > 0.001 {
+		t.Fatalf("p = %v, want very significant", p)
+	}
+}
+
+func TestStudentCDFSanity(t *testing.T) {
+	// Symmetric around 0.
+	if got := studentCDF(0, 10); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	// Approaches the normal for large df.
+	if got, want := studentCDF(1.96, 1e6), normalCDF(1.96); math.Abs(got-want) > 1e-3 {
+		t.Errorf("large-df CDF = %v, want %v", got, want)
+	}
+	// Known quantile: t_{0.975, df=10} ≈ 2.228.
+	if got := studentCDF(2.228, 10); math.Abs(got-0.975) > 5e-3 {
+		t.Errorf("CDF(2.228; 10) = %v, want ≈0.975", got)
+	}
+	if !math.IsNaN(studentCDF(1, 0)) {
+		t.Error("df=0 must be NaN")
+	}
+}

@@ -1,0 +1,171 @@
+// Package textplot renders small ASCII line charts for the benchmark CLI,
+// approximating the figures of the paper in terminal output: multiple named
+// series over a shared x axis, auto-scaled y axis, and a legend.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers cycles through per-series plot glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Chart holds everything needed to render one plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string // one label per x position; optional
+	Series []Series
+	Width  int // plot area width in columns  (default 60)
+	Height int // plot area height in rows    (default 16)
+}
+
+// Render draws the chart into a string. Series of different lengths are
+// allowed; each series is spread uniformly over the x axis.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		prevX, prevY := -1, -1
+		for i, v := range s.Values {
+			x := 0
+			if n > 1 {
+				x = i * (w - 1) / (n - 1)
+			}
+			y := int(math.Round((hi - v) / (hi - lo) * float64(h-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= h {
+				y = h - 1
+			}
+			// Connect to the previous point with a faint line.
+			if prevX >= 0 {
+				steps := x - prevX
+				for t := 1; t < steps; t++ {
+					ix := prevX + t
+					iy := prevY + (y-prevY)*t/steps
+					if grid[iy][ix] == ' ' {
+						grid[iy][ix] = '.'
+					}
+				}
+			}
+			grid[y][x] = m
+			prevX, prevY = x, y
+		}
+	}
+
+	yTop := formatTick(hi)
+	yBot := formatTick(lo)
+	lab := len(yTop)
+	if len(yBot) > lab {
+		lab = len(yBot)
+	}
+	for y := 0; y < h; y++ {
+		tick := strings.Repeat(" ", lab)
+		switch y {
+		case 0:
+			tick = fmt.Sprintf("%*s", lab, yTop)
+		case h - 1:
+			tick = fmt.Sprintf("%*s", lab, yBot)
+		case h / 2:
+			tick = fmt.Sprintf("%*s", lab, formatTick((hi+lo)/2))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", tick, string(grid[y]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", lab), strings.Repeat("-", w))
+	if len(c.XTicks) > 0 {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", lab), spreadTicks(c.XTicks, w))
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", lab), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s    %c %s\n", strings.Repeat(" ", lab), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// spreadTicks lays the x tick labels across the axis width.
+func spreadTicks(ticks []string, w int) string {
+	if len(ticks) == 0 {
+		return ""
+	}
+	out := []byte(strings.Repeat(" ", w+8))
+	n := len(ticks)
+	for i, t := range ticks {
+		x := 0
+		if n > 1 {
+			x = i * (w - 1) / (n - 1)
+		}
+		start := x - len(t)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(t) > len(out) {
+			start = len(out) - len(t)
+		}
+		copy(out[start:], t)
+	}
+	return strings.TrimRight(string(out), " ")
+}

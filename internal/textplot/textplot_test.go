@@ -1,0 +1,120 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		XTicks: []string{"1", "2", "3"},
+		Series: []Series{
+			{Name: "up", Values: []float64{1, 2, 3}},
+			{Name: "down", Values: []float64{3, 2, 1}},
+		},
+	}.Render()
+	for _, want := range []string{"demo", "up", "down", "x: x", "y: y", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Chart{Series: []Series{{Name: "flat", Values: []float64{5, 5, 5}}}}.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series must still plot:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Chart{Series: []Series{{Name: "dot", Values: []float64{7}}}}.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point must plot:\n%s", out)
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	out := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "s", Values: []float64{0, 10}}},
+	}.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 plot rows + axis + legend.
+	if len(lines) < 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[:5] {
+		if len(l) > 20+10 {
+			t.Errorf("row too wide: %q", l)
+		}
+	}
+}
+
+func TestSpreadTicks(t *testing.T) {
+	got := spreadTicks([]string{"a", "b", "c"}, 20)
+	if !strings.Contains(got, "a") || !strings.Contains(got, "b") || !strings.Contains(got, "c") {
+		t.Errorf("ticks missing: %q", got)
+	}
+	if spreadTicks(nil, 20) != "" {
+		t.Error("no ticks must render empty")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{12345, "12345"},
+		{42.42, "42.4"},
+		{0.1234, "0.123"},
+	}
+	for _, c := range cases {
+		if got := formatTick(c.v); got != c.want {
+			t.Errorf("formatTick(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRenderManySeriesMarkerWrap(t *testing.T) {
+	ch := Chart{}
+	for i := 0; i < 10; i++ { // more series than distinct markers
+		ch.Series = append(ch.Series, Series{
+			Name:   "s",
+			Values: []float64{float64(i), float64(10 - i)},
+		})
+	}
+	out := ch.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marker wrap failed:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 16 {
+		t.Errorf("missing rows: %d", lines)
+	}
+}
+
+func TestRenderEmptySeriesAmongFull(t *testing.T) {
+	out := Chart{Series: []Series{
+		{Name: "empty"},
+		{Name: "full", Values: []float64{1, 2}},
+	}}.Render()
+	if !strings.Contains(out, "full") || !strings.Contains(out, "empty") {
+		t.Errorf("legend broken:\n%s", out)
+	}
+}

@@ -1,0 +1,54 @@
+package voronoi
+
+import (
+	"math"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+// FuzzDiagramNearestSite drives the diagram with fuzzer-chosen site layouts
+// and verifies the fundamental property: NearestSite agrees with brute
+// force up to distance ties.
+func FuzzDiagramNearestSite(f *testing.F) {
+	f.Add(100.0, 100.0, 500.0, 900.0, 900.0, 100.0, 333.0, 777.0)
+	f.Add(0.0, 0.0, 1000.0, 1000.0, 0.0, 1000.0, 500.0, 500.0)
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, qx, qy float64) {
+		clampF := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(v), 1000)
+		}
+		sites := []geo.Point{
+			geo.Pt(clampF(x1), clampF(y1)),
+			geo.Pt(clampF(x2), clampF(y2)),
+			geo.Pt(clampF(x3), clampF(y3)),
+		}
+		// Skip duplicate-site layouts — rejected by construction.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if sites[i].Eq(sites[j]) {
+					t.Skip()
+				}
+			}
+		}
+		bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+		d, err := NewDiagram(sites, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geo.Pt(clampF(qx), clampF(qy))
+		got := d.NearestSite(q)
+		want := bruteNearest(sites, q)
+		if got != want && math.Abs(sites[got].Dist(q)-sites[want].Dist(q)) > 1e-9 {
+			t.Fatalf("NearestSite(%v) = %d (d=%v), brute %d (d=%v)",
+				q, got, sites[got].Dist(q), want, sites[want].Dist(q))
+		}
+		// Cells tile the bounds.
+		if a := d.TotalArea(); math.Abs(a-bounds.Area()) > 1e-3*bounds.Area() {
+			t.Fatalf("cells do not tile bounds: %v vs %v", a, bounds.Area())
+		}
+	})
+}

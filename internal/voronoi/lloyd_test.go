@@ -1,0 +1,90 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+func TestLloydEvensOutCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	sites := make([]geo.Point, 16)
+	// Start with a badly clumped placement.
+	for i := range sites {
+		sites[i] = geo.Pt(100+rng.Float64()*150, 100+rng.Float64()*150)
+	}
+	before, err := CellAreas(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Lloyd(sites, bounds, 40, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := CellAreas(relaxed, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread(after) >= spread(before)*0.5 {
+		t.Fatalf("Lloyd did not even out cells: spread %v -> %v", spread(before), spread(after))
+	}
+	// Total area is conserved (cells still tile the bounds).
+	if math.Abs(total(after)-bounds.Area()) > 1e-3*bounds.Area() {
+		t.Fatalf("area not conserved: %v", total(after))
+	}
+	// Input untouched.
+	if !sites[0].Eq(geo.Pt(sites[0].X, sites[0].Y)) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestLloydStableOnCentroidal(t *testing.T) {
+	// A perfectly regular grid is already centroidal; Lloyd must not move
+	// sites meaningfully.
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(400, 400))
+	var sites []geo.Point
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sites = append(sites, geo.Pt(50+float64(i)*100, 50+float64(j)*100))
+		}
+	}
+	relaxed, err := Lloyd(sites, bounds, 5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if relaxed[i].Dist(sites[i]) > 1e-6 {
+			t.Fatalf("site %d moved %v on a centroidal layout", i, relaxed[i].Dist(sites[i]))
+		}
+	}
+}
+
+func TestLloydErrors(t *testing.T) {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	if _, err := Lloyd(nil, bounds, 3, 0); err == nil {
+		t.Error("no sites must error")
+	}
+	if _, err := CellAreas(nil, bounds); err == nil {
+		t.Error("no sites must error")
+	}
+}
+
+func spread(xs []float64) float64 {
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	return mx - mn
+}
+
+func total(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

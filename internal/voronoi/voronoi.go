@@ -1,0 +1,105 @@
+package voronoi
+
+import (
+	"imtao/internal/geo"
+	"imtao/internal/index"
+)
+
+// Diagram is a Voronoi diagram over a set of sites, clipped to a bounding
+// rectangle. Cell i contains exactly the points of Bounds closer to site i
+// than to any other site, which is the delivery-region semantics of paper
+// Definition 1 / Algorithm 1.
+type Diagram struct {
+	Sites  []geo.Point
+	Bounds geo.Rect
+	Cells  []geo.Polygon
+
+	tree *index.KDTree
+}
+
+// NewDiagram computes the Voronoi diagram of sites clipped to bounds.
+// Cell geometry is built by half-plane intersection per site (O(n) half
+// planes per cell, O(n²) total) — exact, robust, and instantaneous at the
+// paper's scale of |C| ≤ 60 centers; the Delaunay dual is exposed separately
+// for neighbour queries.
+func NewDiagram(sites []geo.Point, bounds geo.Rect) (*Diagram, error) {
+	if len(sites) == 0 {
+		return nil, ErrTooFewSites
+	}
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			if sites[i].Eq(sites[j]) {
+				return nil, ErrDuplicateSites
+			}
+		}
+	}
+	d := &Diagram{
+		Sites:  append([]geo.Point(nil), sites...),
+		Bounds: bounds,
+		Cells:  make([]geo.Polygon, len(sites)),
+	}
+	items := make([]index.Item, len(sites))
+	for i, s := range sites {
+		items[i] = index.Item{ID: i, Point: s}
+	}
+	d.tree = index.NewKDTree(items)
+
+	for i, si := range d.Sites {
+		cell := geo.RectPolygon(bounds)
+		for j, sj := range d.Sites {
+			if i == j {
+				continue
+			}
+			// Keep the half-plane of points nearer to si than sj: the left
+			// side of the perpendicular bisector directed so si is on it.
+			mid := geo.Mid(si, sj)
+			dir := sj.Sub(si)
+			// Perpendicular (rotate dir by +90°): points left of
+			// (mid -> mid+perp) satisfy perp × (p-mid) >= 0 ⇔ nearer to si.
+			perp := geo.Pt(-dir.Y, dir.X)
+			a := mid
+			b := mid.Add(perp)
+			if geo.Orientation(a, b, si) < 0 {
+				a, b = b, a
+			}
+			cell = cell.ClipHalfPlane(a, b)
+			if len(cell) == 0 {
+				break
+			}
+		}
+		d.Cells[i] = cell
+	}
+	return d, nil
+}
+
+// NearestSite returns the index of the site closest to p, breaking distance
+// ties toward the smaller index (deterministic partitions).
+func (d *Diagram) NearestSite(p geo.Point) int {
+	it, _ := d.tree.Nearest(p, nil) // non-empty by construction
+	return it.ID
+}
+
+// Assign partitions points among sites: result[i] lists the indices of points
+// whose nearest site is i. This is paper Algorithm 1 with both the task and
+// the worker stream expressed as one call each.
+func (d *Diagram) Assign(points []geo.Point) [][]int {
+	out := make([][]int, len(d.Sites))
+	for pi, p := range points {
+		s := d.NearestSite(p)
+		out[s] = append(out[s], pi)
+	}
+	return out
+}
+
+// CellOf returns the clipped cell polygon of site i.
+func (d *Diagram) CellOf(i int) geo.Polygon { return d.Cells[i] }
+
+// TotalArea returns the summed area of all cells; for sites inside Bounds it
+// equals the bounds area (used as a diagram sanity invariant in tests).
+func (d *Diagram) TotalArea() float64 {
+	var a float64
+	for _, c := range d.Cells {
+		a += c.Area()
+	}
+	return a
+}

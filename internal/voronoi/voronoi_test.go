@@ -1,0 +1,274 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+func randSites(rng *rand.Rand, n int, scale float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*scale, rng.Float64()*scale)
+	}
+	return pts
+}
+
+func TestNewDelaunayErrors(t *testing.T) {
+	if _, err := NewDelaunay(nil); err == nil {
+		t.Error("empty sites must error")
+	}
+	if _, err := NewDelaunay([]geo.Point{geo.Pt(1, 1), geo.Pt(1, 1)}); err == nil {
+		t.Error("duplicate sites must error")
+	}
+}
+
+func TestDelaunaySmall(t *testing.T) {
+	// One or two sites: valid, no triangles.
+	d, err := NewDelaunay([]geo.Point{geo.Pt(0, 0)})
+	if err != nil || len(d.Triangles) != 0 {
+		t.Fatalf("single site: %v, %d triangles", err, len(d.Triangles))
+	}
+	d, err = NewDelaunay([]geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)})
+	if err != nil || len(d.Triangles) != 0 {
+		t.Fatalf("two sites: %v, %d triangles", err, len(d.Triangles))
+	}
+	// Three sites: exactly one triangle.
+	d, err = NewDelaunay([]geo.Point{geo.Pt(0, 0), geo.Pt(4, 0), geo.Pt(0, 4)})
+	if err != nil || len(d.Triangles) != 1 {
+		t.Fatalf("three sites: %v, %d triangles", err, len(d.Triangles))
+	}
+}
+
+func TestDelaunaySquare(t *testing.T) {
+	// A unit square triangulates into 2 triangles.
+	d, err := NewDelaunay([]geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(1, 1), geo.Pt(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Triangles) != 2 {
+		t.Fatalf("square: %d triangles, want 2", len(d.Triangles))
+	}
+}
+
+// The empty-circumcircle property is THE Delaunay invariant: no site lies
+// strictly inside any triangle's circumcircle.
+func TestDelaunayEmptyCircumcircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		sites := randSites(rng, 4+rng.Intn(60), 1000)
+		d, err := NewDelaunay(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tri := range d.Triangles {
+			a, b, c := sites[tri.V[0]], sites[tri.V[1]], sites[tri.V[2]]
+			if geo.Orientation(a, b, c) <= 0 {
+				t.Fatalf("trial %d: triangle %v not CCW", trial, tri)
+			}
+			for si, s := range sites {
+				if si == tri.V[0] || si == tri.V[1] || si == tri.V[2] {
+					continue
+				}
+				if geo.InCircumcircle(a, b, c, s) {
+					t.Fatalf("trial %d: site %d violates empty circumcircle of %v", trial, si, tri)
+				}
+			}
+		}
+	}
+}
+
+// Triangle count of a Delaunay triangulation: 2n - 2 - h where h is the
+// number of hull vertices.
+func TestDelaunayTriangleCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		sites := randSites(rng, 5+rng.Intn(40), 1000)
+		d, err := NewDelaunay(sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hull := geo.ConvexHull(sites)
+		want := 2*len(sites) - 2 - len(hull)
+		if len(d.Triangles) != want {
+			t.Fatalf("trial %d: %d triangles, want %d (n=%d, hull=%d)",
+				trial, len(d.Triangles), want, len(sites), len(hull))
+		}
+	}
+}
+
+func TestDelaunayNeighborsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sites := randSites(rng, 30, 500)
+	d, err := NewDelaunay(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := d.Neighbors()
+	for i, ns := range nb {
+		if len(ns) == 0 {
+			t.Errorf("site %d has no neighbours", i)
+		}
+		for _, j := range ns {
+			found := false
+			for _, k := range nb[j] {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestNewDiagramErrors(t *testing.T) {
+	b := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	if _, err := NewDiagram(nil, b); err == nil {
+		t.Error("empty sites must error")
+	}
+	if _, err := NewDiagram([]geo.Point{geo.Pt(1, 1), geo.Pt(1, 1)}, b); err == nil {
+		t.Error("duplicate sites must error")
+	}
+}
+
+func TestDiagramSingleSite(t *testing.T) {
+	b := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	d, err := NewDiagram([]geo.Point{geo.Pt(5, 5)}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Cells[0].Area()-100) > 1e-6 {
+		t.Errorf("single cell area = %v", d.Cells[0].Area())
+	}
+	if d.NearestSite(geo.Pt(3, 3)) != 0 {
+		t.Error("NearestSite must be 0")
+	}
+}
+
+func TestDiagramTwoSites(t *testing.T) {
+	b := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	d, err := NewDiagram([]geo.Point{geo.Pt(2, 5), geo.Pt(8, 5)}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bisector at x=5 splits the square in half.
+	if math.Abs(d.Cells[0].Area()-50) > 1e-6 || math.Abs(d.Cells[1].Area()-50) > 1e-6 {
+		t.Errorf("cell areas = %v, %v", d.Cells[0].Area(), d.Cells[1].Area())
+	}
+	if d.NearestSite(geo.Pt(1, 1)) != 0 || d.NearestSite(geo.Pt(9, 9)) != 1 {
+		t.Error("nearest-site misassigns")
+	}
+}
+
+// The fundamental Voronoi property: each cell contains exactly the points of
+// the bounds nearest to its site, and cells tile the bounds.
+func TestDiagramNearestSiteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	for trial := 0; trial < 8; trial++ {
+		sites := randSites(rng, 3+rng.Intn(40), 2000)
+		d, err := NewDiagram(sites, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tiling: total area equals bounds area.
+		if got := d.TotalArea(); math.Abs(got-bounds.Area()) > 1e-3*bounds.Area() {
+			t.Fatalf("trial %d: total cell area %v != bounds area %v", trial, got, bounds.Area())
+		}
+		// Sample random points; the cell containing each must be its nearest site.
+		for q := 0; q < 200; q++ {
+			p := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+			want := bruteNearest(sites, p)
+			got := d.NearestSite(p)
+			if got != want && sites[got].Dist(p) > sites[want].Dist(p)+1e-9 {
+				t.Fatalf("trial %d: NearestSite(%v) = %d, want %d", trial, p, got, want)
+			}
+			// Geometry check: point must lie in the cell of its nearest site
+			// (allowing boundary fuzz).
+			if !d.Cells[want].Contains(p) {
+				// p may sit on a boundary shared with another equally-near cell.
+				dNear := sites[want].Dist(p)
+				onBoundary := false
+				for i := range sites {
+					if i != want && math.Abs(sites[i].Dist(p)-dNear) < 1e-6 {
+						onBoundary = true
+						break
+					}
+				}
+				if !onBoundary {
+					t.Fatalf("trial %d: cell %d does not contain its nearest point %v", trial, want, p)
+				}
+			}
+		}
+	}
+}
+
+func bruteNearest(sites []geo.Point, p geo.Point) int {
+	best, bd := 0, math.Inf(1)
+	for i, s := range sites {
+		if d := s.Dist2(p); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func TestDiagramAssign(t *testing.T) {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10))
+	sites := []geo.Point{geo.Pt(2, 5), geo.Pt(8, 5)}
+	d, err := NewDiagram(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []geo.Point{geo.Pt(1, 1), geo.Pt(9, 9), geo.Pt(2.4, 5), geo.Pt(7, 5)}
+	got := d.Assign(points)
+	if len(got[0]) != 2 || got[0][0] != 0 || got[0][1] != 2 {
+		t.Errorf("site 0 points = %v", got[0])
+	}
+	if len(got[1]) != 2 || got[1][0] != 1 || got[1][1] != 3 {
+		t.Errorf("site 1 points = %v", got[1])
+	}
+}
+
+func TestDiagramCellsContainTheirSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000))
+	sites := randSites(rng, 25, 1000)
+	d, err := NewDiagram(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sites {
+		if !d.Cells[i].Contains(s) {
+			t.Errorf("cell %d does not contain its own site %v", i, s)
+		}
+	}
+}
+
+func BenchmarkDelaunay50(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	sites := randSites(rng, 50, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDelaunay(sites); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiagram50(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	sites := randSites(rng, 50, 2000)
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDiagram(sites, bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

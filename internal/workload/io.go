@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// instanceJSON is the serialised form of an instance. Center membership
+// lists are not stored: partitioning is recomputed on load when needed,
+// keeping files small and eliminating inconsistency.
+type instanceJSON struct {
+	Speed   float64      `json:"speed"`
+	Bounds  [4]float64   `json:"bounds"` // minX, minY, maxX, maxY
+	Centers [][2]float64 `json:"centers"`
+	Tasks   []taskJSON   `json:"tasks"`
+	Workers []workerJSON `json:"workers"`
+}
+
+type taskJSON struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Expiry float64 `json:"expiry"`
+	Reward float64 `json:"reward"`
+}
+
+type workerJSON struct {
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	MaxT int     `json:"maxT"`
+}
+
+// WriteJSON serialises an instance (ignoring any existing partition).
+func WriteJSON(w io.Writer, in *model.Instance) error {
+	out := instanceJSON{
+		Speed:  in.Speed,
+		Bounds: [4]float64{in.Bounds.Min.X, in.Bounds.Min.Y, in.Bounds.Max.X, in.Bounds.Max.Y},
+	}
+	for _, c := range in.Centers {
+		out.Centers = append(out.Centers, [2]float64{c.Loc.X, c.Loc.Y})
+	}
+	for _, t := range in.Tasks {
+		out.Tasks = append(out.Tasks, taskJSON{X: t.Loc.X, Y: t.Loc.Y, Expiry: t.Expiry, Reward: t.Reward})
+	}
+	for _, wk := range in.Workers {
+		out.Workers = append(out.Workers, workerJSON{X: wk.Loc.X, Y: wk.Loc.Y, MaxT: wk.MaxT})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserialises an instance written by WriteJSON. The result is
+// unpartitioned.
+func ReadJSON(r io.Reader) (*model.Instance, error) {
+	var raw instanceJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding instance: %w", err)
+	}
+	in := &model.Instance{
+		Speed:  raw.Speed,
+		Bounds: geo.NewRect(geo.Pt(raw.Bounds[0], raw.Bounds[1]), geo.Pt(raw.Bounds[2], raw.Bounds[3])),
+	}
+	for i, c := range raw.Centers {
+		in.Centers = append(in.Centers, model.Center{ID: model.CenterID(i), Loc: geo.Pt(c[0], c[1])})
+	}
+	for i, t := range raw.Tasks {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: model.TaskID(i), Center: model.NoCenter,
+			Loc: geo.Pt(t.X, t.Y), Expiry: t.Expiry, Reward: t.Reward,
+		})
+	}
+	for i, wk := range raw.Workers {
+		in.Workers = append(in.Workers, model.Worker{
+			ID: model.WorkerID(i), Home: model.NoCenter,
+			Loc: geo.Pt(wk.X, wk.Y), MaxT: wk.MaxT,
+		})
+	}
+	return in, nil
+}
+
+// WriteCSV writes the instance as three CSV sections (centers, tasks,
+// workers), each introduced by a header row. The format is meant for
+// eyeballing and spreadsheet import.
+func WriteCSV(w io.Writer, in *model.Instance) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	rows := [][]string{{"kind", "x", "y", "expiry", "reward", "maxT", "speed"}}
+	rows = append(rows, []string{"meta", f(in.Bounds.Min.X), f(in.Bounds.Min.Y), f(in.Bounds.Max.X), f(in.Bounds.Max.Y), "", f(in.Speed)})
+	for _, c := range in.Centers {
+		rows = append(rows, []string{"center", f(c.Loc.X), f(c.Loc.Y), "", "", "", ""})
+	}
+	for _, t := range in.Tasks {
+		rows = append(rows, []string{"task", f(t.Loc.X), f(t.Loc.Y), f(t.Expiry), f(t.Reward), "", ""})
+	}
+	for _, wk := range in.Workers {
+		rows = append(rows, []string{"worker", f(wk.Loc.X), f(wk.Loc.Y), "", "", strconv.Itoa(wk.MaxT), ""})
+	}
+	return cw.WriteAll(rows)
+}
+
+// ReadCSV parses the format written by WriteCSV into an unpartitioned
+// instance.
+func ReadCSV(r io.Reader) (*model.Instance, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading csv: %w", err)
+	}
+	in := &model.Instance{}
+	for i, rec := range records {
+		if i == 0 {
+			continue // header
+		}
+		if len(rec) < 7 {
+			return nil, fmt.Errorf("workload: csv row %d has %d fields", i, len(rec))
+		}
+		switch rec[0] {
+		case "meta":
+			minX, _ := strconv.ParseFloat(rec[1], 64)
+			minY, _ := strconv.ParseFloat(rec[2], 64)
+			maxX, _ := strconv.ParseFloat(rec[3], 64)
+			maxY, _ := strconv.ParseFloat(rec[4], 64)
+			in.Bounds = geo.NewRect(geo.Pt(minX, minY), geo.Pt(maxX, maxY))
+			in.Speed, _ = strconv.ParseFloat(rec[6], 64)
+		case "center":
+			x, _ := strconv.ParseFloat(rec[1], 64)
+			y, _ := strconv.ParseFloat(rec[2], 64)
+			in.Centers = append(in.Centers, model.Center{ID: model.CenterID(len(in.Centers)), Loc: geo.Pt(x, y)})
+		case "task":
+			x, _ := strconv.ParseFloat(rec[1], 64)
+			y, _ := strconv.ParseFloat(rec[2], 64)
+			e, _ := strconv.ParseFloat(rec[3], 64)
+			rw, _ := strconv.ParseFloat(rec[4], 64)
+			in.Tasks = append(in.Tasks, model.Task{
+				ID: model.TaskID(len(in.Tasks)), Center: model.NoCenter,
+				Loc: geo.Pt(x, y), Expiry: e, Reward: rw,
+			})
+		case "worker":
+			x, _ := strconv.ParseFloat(rec[1], 64)
+			y, _ := strconv.ParseFloat(rec[2], 64)
+			mt, _ := strconv.Atoi(rec[5])
+			in.Workers = append(in.Workers, model.Worker{
+				ID: model.WorkerID(len(in.Workers)), Home: model.NoCenter,
+				Loc: geo.Pt(x, y), MaxT: mt,
+			})
+		default:
+			return nil, fmt.Errorf("workload: csv row %d has unknown kind %q", i, rec[0])
+		}
+	}
+	return in, nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

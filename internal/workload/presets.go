@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// Preset names a structured city topology beyond the paper's two datasets.
+// Presets stress the collaboration machinery in specific ways and back the
+// topology-robustness tests: the paper's conclusions should not depend on
+// uniform or Gaussian geometry.
+type Preset int
+
+const (
+	// Corridor is a linear city: everything concentrated along a band
+	// (think a coastal strip or a river town). Centers far down the line
+	// cannot realistically help each other.
+	Corridor Preset = iota
+	// TwinCities is a bimodal metro: two dense cores with a sparse gap.
+	// Collaboration within a core is cheap, across cores expensive.
+	TwinCities
+	// RingRoad places demand along an annulus around an empty center —
+	// every center has exactly two natural neighbours.
+	RingRoad
+)
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	switch p {
+	case TwinCities:
+		return "TwinCities"
+	case RingRoad:
+		return "RingRoad"
+	default:
+		return "Corridor"
+	}
+}
+
+// GeneratePreset builds an unpartitioned instance with the given topology.
+// Counts, expiry, capacity and speed come from params (the Dataset field is
+// ignored); the preset only shapes the geometry.
+func GeneratePreset(preset Preset, p Params) (*model.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	speed := p.Speed
+	if speed == 0 {
+		speed = DefaultSpeed
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &model.Instance{
+		Speed:  speed,
+		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(Side, Side)),
+	}
+	var sample func() geo.Point
+	switch preset {
+	case Corridor:
+		// A horizontal band through the middle, 15% of the height wide.
+		sample = func() geo.Point {
+			return clampToArea(geo.Pt(
+				rng.Float64()*Side,
+				Side/2+rng.NormFloat64()*Side*0.075,
+			))
+		}
+	case TwinCities:
+		sample = func() geo.Point {
+			cx := Side * 0.25
+			if rng.Intn(2) == 1 {
+				cx = Side * 0.75
+			}
+			return clampToArea(geo.Pt(
+				cx+rng.NormFloat64()*Side*0.08,
+				Side/2+rng.NormFloat64()*Side*0.10,
+			))
+		}
+	case RingRoad:
+		sample = func() geo.Point {
+			theta := rng.Float64() * 2 * math.Pi
+			r := Side*0.35 + rng.NormFloat64()*Side*0.04
+			return clampToArea(geo.Pt(
+				Side/2+r*math.Cos(theta),
+				Side/2+r*math.Sin(theta),
+			))
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown preset %v", preset)
+	}
+
+	// Centers follow the same topology so every region is covered.
+	for len(in.Centers) < p.NumCenters {
+		loc := sample()
+		dup := false
+		for _, c := range in.Centers {
+			if c.Loc.Eq(loc) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		in.Centers = append(in.Centers, model.Center{ID: model.CenterID(len(in.Centers)), Loc: loc})
+	}
+	for i := 0; i < p.NumTasks; i++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: model.TaskID(i), Center: model.NoCenter,
+			Loc: sample(), Expiry: p.Expiry, Reward: p.Reward,
+		})
+	}
+	for i := 0; i < p.NumWorkers; i++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID: model.WorkerID(i), Home: model.NoCenter,
+			Loc: sample(), MaxT: p.MaxT,
+		})
+	}
+	return in, nil
+}

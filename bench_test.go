@@ -227,3 +227,36 @@ func BenchmarkCollaborationGame(b *testing.B) {
 		collab.Run(in, phase1, collab.Config{})
 	}
 }
+
+// BenchmarkParallelism sweeps the engine's worker-pool bound on the
+// proposed Seq-BDC at the Table I defaults of both datasets. P=1 is the
+// legacy serial pipeline; the output is bit-identical at every setting, so
+// the only difference the sweep can show is wall-clock.
+func BenchmarkParallelism(b *testing.B) {
+	for _, d := range []Dataset{SYN, GM} {
+		in := instanceFor(b, d, nil)
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/P=%d", d, p), func(b *testing.B) {
+				benchMethod(b, in, SeqBDC, WithParallelism(p))
+			})
+		}
+	}
+}
+
+// BenchmarkParallelismPhase2 isolates the concurrent best-response trials:
+// the collaboration game alone at SYN defaults across worker-pool bounds.
+func BenchmarkParallelismPhase2(b *testing.B) {
+	in := instanceFor(b, SYN, nil)
+	phase1 := make([]assign.Result, len(in.Centers))
+	for ci := range in.Centers {
+		c := &in.Centers[ci]
+		phase1[ci] = assign.Sequential(in, c, c.Workers, c.Tasks)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				collab.Run(in, phase1, collab.Config{Parallelism: p})
+			}
+		})
+	}
+}

@@ -43,8 +43,23 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
 		report   = flag.String("report", "", "run a fresh reproduction pass and write a markdown report to this file")
 		parallel = flag.Int("parallel", 1, "concurrent sweep cells per experiment")
+
+		parallelism  = flag.String("parallelism", "", `engine-parallelism sweep, e.g. "1,2,4,8": time Seq-BDC at Table I defaults per value and write a JSON timing record`)
+		parallelOut  = flag.String("parallelism-json", "BENCH_parallel.json", "output path of the -parallelism timing record")
+		parallelReps = flag.Int("parallelism-reps", 3, "runs per -parallelism point (best wall-clock is recorded)")
 	)
 	flag.Parse()
+
+	if *parallelism != "" {
+		levels, err := parseParallelism(*parallelism)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runParallelSweep(levels, *parallelReps, *parallelOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *report != "" {
 		seedList, err := parseSeeds(*seeds)

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"imtao/internal/core"
+	"imtao/internal/model"
+	"imtao/internal/workload"
+)
+
+// parallelSweepRecord is the schema of BENCH_parallel.json: one timing
+// record per (dataset, parallelism) point, so future PRs have a perf
+// trajectory to diff against.
+type parallelSweepRecord struct {
+	Benchmark  string               `json:"benchmark"`
+	Method     string               `json:"method"`
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Generated  string               `json:"generated"`
+	Datasets   []parallelSweepTable `json:"datasets"`
+}
+
+type parallelSweepTable struct {
+	Dataset string              `json:"dataset"`
+	Tasks   int                 `json:"tasks"`
+	Workers int                 `json:"workers"`
+	Centers int                 `json:"centers"`
+	Points  []parallelSweepStat `json:"points"`
+}
+
+type parallelSweepStat struct {
+	Parallelism int     `json:"parallelism"`
+	Runs        int     `json:"runs"`
+	BestMs      float64 `json:"best_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	Phase1Ms    float64 `json:"phase1_ms"`
+	Phase2Ms    float64 `json:"phase2_ms"`
+	Assigned    int     `json:"assigned"`
+	// Speedup is best serial wall-clock over this point's best wall-clock.
+	Speedup float64 `json:"speedup"`
+}
+
+func parseParallelism(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad parallelism %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no parallelism values given")
+	}
+	return out, nil
+}
+
+// runParallelSweep times the proposed Seq-BDC across engine parallelism
+// values at Table I defaults on both datasets, prints the table, and writes
+// the JSON record.
+func runParallelSweep(levels []int, reps int, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	rec := parallelSweepRecord{
+		Benchmark:  "parallelism-sweep",
+		Method:     "Seq-BDC",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	method := core.Method{Assigner: core.Seq, Collab: core.BDC}
+	for _, d := range []workload.Dataset{workload.SYN, workload.GM} {
+		p := workload.Defaults(d)
+		raw, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		in, _, err := core.Partition(raw)
+		if err != nil {
+			return err
+		}
+		table := parallelSweepTable{
+			Dataset: d.String(),
+			Tasks:   p.NumTasks, Workers: p.NumWorkers, Centers: p.NumCenters,
+		}
+		var serialBest float64
+		var reference *core.Report
+		for _, lvl := range levels {
+			stat, rep, err := timeParallelPoint(in, method, lvl, reps)
+			if err != nil {
+				return err
+			}
+			if lvl == 1 || serialBest == 0 {
+				serialBest = stat.BestMs
+			}
+			stat.Speedup = serialBest / stat.BestMs
+			if reference == nil {
+				reference = rep
+			} else if rep.Assigned != reference.Assigned || rep.Transfers != reference.Transfers {
+				return fmt.Errorf("determinism violation on %s: P=%d assigned %d/transfers %d, reference %d/%d",
+					d, lvl, rep.Assigned, rep.Transfers, reference.Assigned, reference.Transfers)
+			}
+			table.Points = append(table.Points, stat)
+		}
+		rec.Datasets = append(rec.Datasets, table)
+
+		fmt.Printf("parallelism sweep — %s (|S|=%d |W|=%d |C|=%d), %s, best of %d:\n",
+			d, p.NumTasks, p.NumWorkers, p.NumCenters, method, reps)
+		fmt.Printf("  %-12s %10s %10s %10s %10s %8s\n", "parallelism", "wall ms", "mean ms", "ph1 ms", "ph2 ms", "speedup")
+		for _, s := range table.Points {
+			fmt.Printf("  %-12d %10.2f %10.2f %10.2f %10.2f %7.2fx\n",
+				s.Parallelism, s.BestMs, s.MeanMs, s.Phase1Ms, s.Phase2Ms, s.Speedup)
+		}
+		fmt.Println()
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "timing record written to %s\n", jsonPath)
+	return nil
+}
+
+// timeParallelPoint runs one (instance, parallelism) cell reps times and
+// keeps the best wall-clock (and its phase split) plus the mean.
+func timeParallelPoint(in *model.Instance, m core.Method, lvl, reps int) (parallelSweepStat, *core.Report, error) {
+	stat := parallelSweepStat{Parallelism: lvl, Runs: reps}
+	var rep *core.Report
+	var sum float64
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		out, err := core.Run(in, core.Config{Method: m, Parallelism: lvl})
+		if err != nil {
+			return stat, nil, err
+		}
+		wall := float64(time.Since(t0).Microseconds()) / 1000
+		sum += wall
+		if rep == nil || wall < stat.BestMs {
+			stat.BestMs = wall
+			stat.Phase1Ms = float64(out.Phase1Time.Microseconds()) / 1000
+			stat.Phase2Ms = float64(out.Phase2Time.Microseconds()) / 1000
+		}
+		rep = out
+		stat.Assigned = out.Assigned
+	}
+	stat.MeanMs = sum / float64(reps)
+	return stat, rep, nil
+}

@@ -152,6 +152,17 @@ func WithOptBudget(d time.Duration) RunOption {
 	return func(c *core.Config) { c.OptBudget = d }
 }
 
+// WithParallelism bounds the worker goroutines of the IMTAO pipeline:
+// phase-1 per-center assignment runs concurrently across centers, and
+// phase-2 best-response trials run concurrently within each game iteration
+// (with trial results memoized across iterations). The default, 0, uses
+// GOMAXPROCS; 1 forces the legacy serial pipeline. The output is
+// bit-identical at every setting — see DESIGN.md §8 for the determinism
+// contract.
+func WithParallelism(n int) RunOption {
+	return func(c *core.Config) { c.Parallelism = n }
+}
+
 // Run executes the IMTAO pipeline on a partitioned instance with the given
 // method.
 func Run(in *Instance, m Method, opts ...RunOption) (*Report, error) {

@@ -19,6 +19,7 @@ package assign
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"imtao/internal/geo"
 	"imtao/internal/index"
@@ -129,6 +130,9 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 	for _, wid := range order {
 		w := in.Worker(wid)
 		route := model.Route{Worker: wid, Center: c.ID}
+		if hint := min(w.MaxT, pool.len()); hint > 0 {
+			route.Tasks = make([]model.TaskID, 0, hint)
+		}
 		// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
 		t := in.TravelTime(w.Loc, c.Loc)
 		cur := c.Loc
@@ -159,6 +163,9 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 		}
 	}
 	res.LeftTasks = pool.remaining()
+	if gp, ok := pool.(*gridPool); ok {
+		gp.release()
+	}
 	sort.Slice(res.LeftTasks, func(i, j int) bool { return res.LeftTasks[i] < res.LeftTasks[j] })
 	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
 	return res
@@ -177,14 +184,25 @@ type taskPool interface {
 
 type gridPool struct{ g *index.Grid }
 
+// gridFree recycles gridPool instances (and their Grid backing arrays)
+// across assignment calls. Phase 2 runs one full assignment per candidate
+// trial, so without reuse every trial pays a fresh cells-array allocation;
+// sync.Pool keeps the scratch per-P, which also suits the per-goroutine
+// trial evaluation.
+var gridFree = sync.Pool{New: func() any { return &gridPool{g: &index.Grid{}} }}
+
 func newGridPool(in *model.Instance, tasks []model.TaskID) *gridPool {
-	bounds := in.Bounds
-	g := index.NewGrid(bounds, max(len(tasks), 1), 4)
+	p := gridFree.Get().(*gridPool)
+	p.g.Reset(in.Bounds, max(len(tasks), 1), 4)
 	for _, id := range tasks {
-		g.Insert(index.Item{ID: int(id), Point: in.Task(id).Loc})
+		p.g.Insert(index.Item{ID: int(id), Point: in.Task(id).Loc})
 	}
-	return &gridPool{g: g}
+	return p
 }
+
+// release returns the pool's scratch to the free list. The caller must not
+// touch the gridPool afterwards.
+func (p *gridPool) release() { gridFree.Put(p) }
 
 func (p *gridPool) nearest(q geo.Point) (model.TaskID, bool) {
 	it, ok := p.g.Nearest(q)
@@ -236,9 +254,3 @@ func (p *linearPool) remaining() []model.TaskID {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

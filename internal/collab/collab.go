@@ -86,6 +86,17 @@ type Config struct {
 	// MaxIterations caps the game loop as a safety net; 0 means the natural
 	// bound (every worker transferred once plus every center dropped once).
 	MaxIterations int
+	// Parallelism bounds the goroutines evaluating best-response trials
+	// within one game iteration. 0 means GOMAXPROCS; 1 forces the legacy
+	// serial path. Results are bit-identical at every setting: trials are
+	// written to fixed slots and the winner is selected by a serial scan
+	// (max ρ, ties to the lowest worker ID). Custom Assigners must be safe
+	// for concurrent calls when Parallelism != 1.
+	Parallelism int
+	// noMemo disables the cross-iteration trial cache. Test hook only: the
+	// cache is semantics-preserving for deterministic assigners, so there is
+	// no reason to expose it.
+	noMemo bool
 }
 
 // TraceStep records one iteration of the collaboration game, feeding the
@@ -109,6 +120,13 @@ type Result struct {
 	// Iterations is the number of game iterations executed (accepted or
 	// rejected), matching η in Algorithm 3.
 	Iterations int
+	// trialMemo is the surviving (recipient, worker) → trial cache at game
+	// end. Every entry was computed against its center's final state (stale
+	// entries are dropped the moment a center's state changes), so the
+	// equilibrium check can reuse them verbatim — see
+	// Result.VerifyEquilibrium. Populated only for FullReassign runs; DC
+	// trials have different semantics than the verifier's.
+	trialMemo []map[model.WorkerID]assign.Result
 }
 
 // NoCollaboration assembles the phase-1 results into a Solution without any
@@ -201,6 +219,23 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		return out
 	}
 
+	// memo caches trial re-assignment results per (recipient, worker). A
+	// trial depends only on the recipient's state (worker set, routes,
+	// leftover tasks) and the candidate, so an entry stays valid until the
+	// recipient's state changes: the whole per-center map is dropped when the
+	// center accepts a dispatch (its routes/borrowed/leftTasks change) or
+	// lends one of its own workers out (its worker set shrinks). Workers that
+	// leave the pool simply stop being looked up.
+	//
+	// In the paper-exact dynamics every turn ends by either mutating the
+	// recipient (accept) or removing it from the game (reject), so the cache
+	// cannot re-hit during Run itself with the built-in policies; it exists
+	// to carry each center's final-state trials out of the game, where
+	// Result.VerifyEquilibrium reuses them instead of re-running the
+	// assigner over the whole pool, and to keep future recipient policies
+	// that revisit centers incremental for free.
+	memo := make([]map[model.WorkerID]assign.Result, n)
+
 	for iter := 1; iter <= maxIter && len(recipients) > 0 && len(pool) > 0; iter++ {
 		res.Iterations = iter
 		// Line 13: recipient selection.
@@ -246,23 +281,33 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 
 		// Line 14: best response — the candidate maximising the
 		// post-reassignment ratio. Line 15: evaluated via re-assignment.
+		// Trials are independent of each other (each re-assigns a copy of the
+		// recipient's worker set), so cache misses are evaluated concurrently
+		// into fixed slots; the winner is then picked by the same serial scan
+		// as the legacy loop, keeping the output bit-identical.
+		var baseWS []model.WorkerID
+		if cfg.Scope != LeftoverOnly {
+			baseWS = workerSetOf(ci)
+		}
+		trials := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci])
+		if !cfg.noMemo {
+			if memo[ci] == nil {
+				memo[ci] = make(map[model.WorkerID]assign.Result, len(cands))
+			}
+			for i, w := range cands {
+				memo[ci][w] = trials[i]
+			}
+		}
+
+		curAssigned := countTasks(st.routes)
 		bestRho := st.rho
 		bestIdx := -1
 		var bestRes assign.Result
-		for i, w := range cands {
-			var trial assign.Result
-			switch cfg.Scope {
-			case LeftoverOnly:
-				trial = cfg.Assigner(in, center, []model.WorkerID{w}, st.leftTasks)
-			default:
-				ws := append(workerSetOf(ci), w)
-				trial = cfg.Assigner(in, center, ws, center.Tasks)
-			}
-			var newAssigned int
+		for i := range cands {
+			trial := trials[i]
+			newAssigned := trial.AssignedCount()
 			if cfg.Scope == LeftoverOnly {
-				newAssigned = countTasks(st.routes) + trial.AssignedCount()
-			} else {
-				newAssigned = trial.AssignedCount()
+				newAssigned += curAssigned
 			}
 			newRho := metrics.Ratio(newAssigned, len(center.Tasks))
 			if newRho > bestRho+rhoEps {
@@ -292,6 +337,11 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 			delete(states[src].own, w)
 			st.borrowed = append(st.borrowed, w)
 			transfers = append(transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
+			// Both centers' states changed: the recipient's routes, borrowed
+			// set and leftover tasks, and the lender's own-worker set. Their
+			// cached trials are stale; every other center's remain valid.
+			memo[ci] = nil
+			memo[src] = nil
 
 			if cfg.Scope == LeftoverOnly {
 				st.routes = append(st.routes, cloneRoutes(bestRes.Routes)...)
@@ -330,6 +380,9 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 	}
 	sol.Transfers = transfers
 	res.Solution = sol
+	if cfg.Scope != LeftoverOnly && !cfg.noMemo {
+		res.trialMemo = memo
+	}
 	return res
 }
 

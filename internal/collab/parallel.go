@@ -1,0 +1,87 @@
+package collab
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"imtao/internal/assign"
+	"imtao/internal/model"
+)
+
+// parallelism resolves a Config.Parallelism value: 0 (and negatives) mean
+// GOMAXPROCS, 1 is the serial path.
+func parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// evalTrials returns one trial re-assignment result per candidate worker,
+// in candidate order. Results already present in cache are reused verbatim;
+// the misses are evaluated — concurrently when cfg.Parallelism != 1 — each
+// goroutine writing its result to a fixed slot so the output is independent
+// of scheduling order.
+//
+// baseWS is the recipient's current worker set (ignored for LeftoverOnly);
+// each trial appends its candidate to a private copy, so the shared slice is
+// never mutated. leftTasks is read-only for the assigners.
+func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID,
+	baseWS []model.WorkerID, leftTasks []model.TaskID, cfg Config,
+	cache map[model.WorkerID]assign.Result) []assign.Result {
+
+	trials := make([]assign.Result, len(cands))
+	misses := make([]int, 0, len(cands))
+	for i, w := range cands {
+		if r, ok := cache[w]; ok {
+			trials[i] = r
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	if len(misses) == 0 {
+		return trials
+	}
+
+	eval := func(i int) assign.Result {
+		w := cands[i]
+		if cfg.Scope == LeftoverOnly {
+			return cfg.Assigner(in, center, []model.WorkerID{w}, leftTasks)
+		}
+		ws := make([]model.WorkerID, len(baseWS)+1)
+		copy(ws, baseWS)
+		ws[len(baseWS)] = w
+		return cfg.Assigner(in, center, ws, center.Tasks)
+	}
+
+	workers := parallelism(cfg.Parallelism)
+	if workers > len(misses) {
+		workers = len(misses)
+	}
+	if workers <= 1 {
+		for _, i := range misses {
+			trials[i] = eval(i)
+		}
+		return trials
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := next.Add(1) - 1
+				if int(k) >= len(misses) {
+					return
+				}
+				i := misses[k]
+				trials[i] = eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return trials
+}

@@ -17,6 +17,22 @@ import (
 // The available pool is reconstructed from the solution: every worker that
 // appears in no route is available (from its home center).
 func VerifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigner) error {
+	return verifyEquilibrium(in, sol, assigner, nil)
+}
+
+// VerifyEquilibrium checks the run's own solution, reusing the trial cache
+// that survived the game: a center that dropped out evaluated every pool
+// candidate against its final state in its last turn, which is exactly the
+// deviation the verifier probes, so most trials come from the cache instead
+// of re-running the assigner. Cache misses (e.g. workers returned to the
+// pool after the center's last turn) fall back to fresh evaluation; the
+// verdict is identical to the package-level VerifyEquilibrium.
+func (r *Result) VerifyEquilibrium(in *model.Instance, assigner Assigner) error {
+	return verifyEquilibrium(in, r.Solution, assigner, r.trialMemo)
+}
+
+func verifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigner,
+	memo []map[model.WorkerID]assign.Result) error {
 	if assigner == nil {
 		assigner = assign.Sequential
 	}
@@ -64,7 +80,13 @@ func VerifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigne
 			if in.Worker(cand).Home == model.CenterID(ci) {
 				continue
 			}
-			trial := assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+			trial, cached := assign.Result{}, false
+			if ci < len(memo) && memo[ci] != nil {
+				trial, cached = memo[ci][cand]
+			}
+			if !cached {
+				trial = assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+			}
 			newRho := metrics.Ratio(trial.AssignedCount(), len(center.Tasks))
 			if newRho > rho+rhoEps {
 				return fmt.Errorf(

@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"imtao/internal/assign"
@@ -128,6 +131,13 @@ type Config struct {
 	// OptBudget caps the per-center branch-and-bound time of the Opt
 	// assigner; zero means run to optimality.
 	OptBudget time.Duration
+	// Parallelism bounds the worker goroutines of both phases: phase-1
+	// per-center assignment runs concurrently across centers, and phase-2
+	// best-response trials run concurrently within each game iteration.
+	// 0 means GOMAXPROCS; 1 forces the legacy serial pipeline. Output is
+	// bit-identical at every setting on deterministic assigners (Seq
+	// always; Opt with a zero time budget).
+	Parallelism int
 }
 
 // Report is the outcome of an IMTAO run.
@@ -209,12 +219,42 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		}
 	}
 
-	// Phase 1: center-independent task assignment.
+	// Phase 1: center-independent task assignment. Centers are independent
+	// by construction (the Voronoi partition is disjoint), so they are
+	// assigned concurrently, each result landing in its fixed slot — the
+	// output is identical to the serial loop at any parallelism.
 	t0 := time.Now()
 	phase1 := make([]assign.Result, len(in.Centers))
-	for ci := range in.Centers {
-		c := in.Center(model.CenterID(ci))
-		phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(in.Centers) {
+		par = len(in.Centers)
+	}
+	if par <= 1 {
+		for ci := range in.Centers {
+			c := in.Center(model.CenterID(ci))
+			phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(par)
+		for g := 0; g < par; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1) - 1)
+					if ci >= len(in.Centers) {
+						return
+					}
+					c := in.Center(model.CenterID(ci))
+					phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	phase1Time := time.Since(t0)
 
@@ -229,7 +269,7 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	case WoC:
 		rep.Solution = p1sol
 	default:
-		ccfg := collab.Config{Assigner: assigner}
+		ccfg := collab.Config{Assigner: assigner, Parallelism: cfg.Parallelism}
 		switch cfg.Method.Collab {
 		case RBDC:
 			ccfg.Recipient = collab.RandomRecipient

@@ -24,6 +24,17 @@ type Grid struct {
 // cell assuming n items uniformly spread. n and targetPerCell merely size the
 // cells; any number of items may be inserted.
 func NewGrid(bounds geo.Rect, n, targetPerCell int) *Grid {
+	g := &Grid{}
+	g.Reset(bounds, n, targetPerCell)
+	return g
+}
+
+// Reset re-initialises the grid to cover bounds with the given sizing,
+// discarding all stored items. It reuses the cell and item backing arrays
+// when they are large enough, so a pooled Grid can serve many short-lived
+// index builds without re-allocating — the hot pattern of the trial
+// re-assignments in phase 2.
+func (g *Grid) Reset(bounds geo.Rect, n, targetPerCell int) {
 	if targetPerCell <= 0 {
 		targetPerCell = 4
 	}
@@ -46,14 +57,23 @@ func NewGrid(bounds geo.Rect, n, targetPerCell int) *Grid {
 	if ny < 1 {
 		ny = 1
 	}
-	return &Grid{
-		bounds: bounds,
-		cell:   cell,
-		nx:     nx,
-		ny:     ny,
-		cells:  make([][]Item, nx*ny),
-		byID:   make(map[int]geo.Point, n),
+	g.bounds = bounds
+	g.cell = cell
+	g.nx, g.ny = nx, ny
+	if cap(g.cells) >= nx*ny {
+		g.cells = g.cells[:nx*ny]
+		for i := range g.cells {
+			g.cells[i] = g.cells[i][:0]
+		}
+	} else {
+		g.cells = make([][]Item, nx*ny)
 	}
+	if g.byID == nil {
+		g.byID = make(map[int]geo.Point, n)
+	} else {
+		clear(g.byID)
+	}
+	g.count = 0
 }
 
 // Len returns the number of items currently stored.

@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"errors"
 	"math"
+	"sync"
 
 	"imtao/internal/geo"
 )
@@ -21,7 +22,9 @@ import (
 // Network is an immutable-after-build grid road network.
 // Build one with New, optionally shape congestion with SetCongestion, then
 // hand it to model.Instance.Metric. Queries are cached per source node; the
-// cache is not safe for concurrent use.
+// cache is guarded by a mutex, so TravelTime may be called from the parallel
+// IMTAO engine's worker goroutines. The SetCongestion mutators are not
+// concurrency-safe — reshape congestion only between runs.
 type Network struct {
 	bounds       geo.Rect
 	nx, ny       int // nodes per axis
@@ -31,6 +34,7 @@ type Network struct {
 	// node (max of the two endpoints is used per edge).
 	congestion []float64
 
+	mu       sync.Mutex
 	cache    map[int][]float64
 	cacheCap int
 }
@@ -80,7 +84,9 @@ func (n *Network) SetCongestion(p geo.Point, factor float64) {
 		factor = 1
 	}
 	n.congestion[n.nearestNode(p)] = factor
+	n.mu.Lock()
 	n.cache = make(map[int][]float64)
+	n.mu.Unlock()
 }
 
 // SetCongestionDisk applies the factor to every node within radius of p.
@@ -93,7 +99,9 @@ func (n *Network) SetCongestionDisk(p geo.Point, radius, factor float64) {
 			n.congestion[id] = factor
 		}
 	}
+	n.mu.Lock()
 	n.cache = make(map[int][]float64)
+	n.mu.Unlock()
 }
 
 func (n *Network) nearestNode(p geo.Point) int {
@@ -127,15 +135,23 @@ func (n *Network) TravelTime(a, b geo.Point) float64 {
 }
 
 // shortest returns (and caches) the Dijkstra distance array from src.
+// Concurrent callers missing on the same source may both run Dijkstra; the
+// duplicated work is harmless (the result is identical) and keeps the search
+// itself outside the lock.
 func (n *Network) shortest(src int) []float64 {
+	n.mu.Lock()
 	if d, ok := n.cache[src]; ok {
+		n.mu.Unlock()
 		return d
 	}
+	n.mu.Unlock()
+	dist := n.dijkstra(src)
+	n.mu.Lock()
 	if len(n.cache) >= n.cacheCap {
 		n.cache = make(map[int][]float64) // simple full eviction
 	}
-	dist := n.dijkstra(src)
 	n.cache[src] = dist
+	n.mu.Unlock()
 	return dist
 }
 

@@ -1,0 +1,123 @@
+// Determinism contract of the parallel engine: for any fixed seed and any
+// deterministic assigner, WithParallelism(N) and WithParallelism(1) must
+// produce bit-identical Reports — same routes, transfers, trace, and
+// metrics. Phase 1 writes per-center results to fixed slots and phase 2
+// selects the best-response winner by a serial scan over the trial slots,
+// so scheduling order can never leak into the output.
+package imtao
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// reducedParams shrinks a dataset to a size where the exact Opt assigner
+// (zero time budget, hence deterministic) finishes quickly — its VTDS
+// enumeration is exponential in tasks-per-worker, so both the counts and
+// the capacity must stay small.
+func reducedParams(p *Params) {
+	p.NumTasks, p.NumWorkers, p.NumCenters = 40, 10, 4
+	p.MaxT = 2
+}
+
+func runPair(t *testing.T, in *Instance, m Method, par int) (*Report, *Report) {
+	t.Helper()
+	serial, err := Run(in, m, WithSeed(1), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(in, m, WithSeed(1), WithParallelism(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serial, parallel
+}
+
+func assertReportsIdentical(t *testing.T, serial, parallel *Report) {
+	t.Helper()
+	if serial.Assigned != parallel.Assigned {
+		t.Errorf("Assigned: serial %d, parallel %d", serial.Assigned, parallel.Assigned)
+	}
+	if serial.Phase1Assigned != parallel.Phase1Assigned {
+		t.Errorf("Phase1Assigned: serial %d, parallel %d", serial.Phase1Assigned, parallel.Phase1Assigned)
+	}
+	if serial.Unfairness != parallel.Unfairness {
+		t.Errorf("Unfairness: serial %v, parallel %v", serial.Unfairness, parallel.Unfairness)
+	}
+	if serial.Transfers != parallel.Transfers {
+		t.Errorf("Transfers: serial %d, parallel %d", serial.Transfers, parallel.Transfers)
+	}
+	if serial.Iterations != parallel.Iterations {
+		t.Errorf("Iterations: serial %d, parallel %d", serial.Iterations, parallel.Iterations)
+	}
+	if !reflect.DeepEqual(serial.Ratios, parallel.Ratios) {
+		t.Errorf("Ratios differ:\nserial   %v\nparallel %v", serial.Ratios, parallel.Ratios)
+	}
+	if !reflect.DeepEqual(serial.Solution.Transfers, parallel.Solution.Transfers) {
+		t.Errorf("transfer lists differ:\nserial   %v\nparallel %v",
+			serial.Solution.Transfers, parallel.Solution.Transfers)
+	}
+	for ci := range serial.Solution.PerCenter {
+		s, p := serial.Solution.PerCenter[ci].Routes, parallel.Solution.PerCenter[ci].Routes
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("center %d routes differ:\nserial   %v\nparallel %v", ci, s, p)
+		}
+	}
+	if !reflect.DeepEqual(serial.Trace, parallel.Trace) {
+		t.Errorf("game traces differ (%d vs %d steps)", len(serial.Trace), len(parallel.Trace))
+	}
+}
+
+// TestParallelMatchesSerial covers all eight method presets on both
+// datasets. Seq methods run at the paper's Table I defaults; Opt methods run
+// exact (zero budget) on a reduced instance, since a time-budgeted Opt is
+// wall-clock dependent and outside the determinism contract.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, d := range []Dataset{SYN, GM} {
+		for _, m := range Methods() {
+			m := m
+			t.Run(fmt.Sprintf("%s/%s", d, m), func(t *testing.T) {
+				t.Parallel()
+				p := DefaultParams(d)
+				if m.Assigner == OptBDC.Assigner {
+					reducedParams(&p)
+				}
+				raw, err := Generate(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in, err := Partition(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial, parallel := runPair(t, in, m, 8)
+				assertReportsIdentical(t, serial, parallel)
+			})
+		}
+	}
+}
+
+// TestParallelDefaultMatchesSerial pins the default (Parallelism 0 =
+// GOMAXPROCS) to the serial reference on the proposed method.
+func TestParallelDefaultMatchesSerial(t *testing.T) {
+	for _, d := range []Dataset{SYN, GM} {
+		raw, err := Generate(DefaultParams(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := Partition(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := Run(in, SeqBDC, WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		def, err := Run(in, SeqBDC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertReportsIdentical(t, serial, def)
+	}
+}

@@ -6,6 +6,7 @@
 //	imtao-bench -experiment fig3              # one figure, Seq methods
 //	imtao-bench -experiment fig7 -methods all # include the Opt methods
 //	imtao-bench -experiment fig11             # convergence trace (Fig. 11)
+//	imtao-bench -experiment fig11 -trace trace.jsonl -metrics-out metrics.prom
 //	imtao-bench -experiment table1            # print Table I
 //	imtao-bench -all                          # every figure, Seq methods
 //	imtao-bench -all -seeds 1,2,3,4,5         # more seeds per point
@@ -27,6 +28,7 @@ import (
 
 	"imtao/internal/core"
 	"imtao/internal/experiments"
+	"imtao/internal/obs"
 	"imtao/internal/workload"
 )
 
@@ -47,8 +49,31 @@ func main() {
 		parallelism  = flag.String("parallelism", "", `engine-parallelism sweep, e.g. "1,2,4,8": time Seq-BDC at Table I defaults per value and write a JSON timing record`)
 		parallelOut  = flag.String("parallelism-json", "BENCH_parallel.json", "output path of the -parallelism timing record")
 		parallelReps = flag.Int("parallelism-reps", 3, "runs per -parallelism point (best wall-clock is recorded)")
+
+		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
+		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
 	)
 	flag.Parse()
+
+	var benchObs obs.Observer = obs.Nop
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		j := obs.NewJSONL(f)
+		benchObs = j
+		defer func() {
+			if err := j.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "imtao-bench: trace:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "telemetry trace written to %s\n", *tracePath)
+		}()
+	}
+	if *metricsOut != "" {
+		defer writeMetricsSnapshot(*metricsOut)
+	}
 
 	if *parallelism != "" {
 		levels, err := parseParallelism(*parallelism)
@@ -157,7 +182,11 @@ func main() {
 			}
 		case "fig11":
 			for _, d := range []workload.Dataset{workload.GM, workload.SYN} {
-				res, err := experiments.Convergence(d, *convSeed)
+				benchObs.Event("bench_dataset",
+					obs.F("experiment", "fig11"),
+					obs.F("dataset", d.String()),
+					obs.F("seed", *convSeed))
+				res, err := experiments.ConvergenceObserved(d, *convSeed, benchObs)
 				if err != nil {
 					fatal(err)
 				}
@@ -262,6 +291,21 @@ func parseMethods(s string) ([]core.Method, error) {
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// writeMetricsSnapshot dumps the process-wide metrics registry (with env
+// info) to path in Prometheus text format.
+func writeMetricsSnapshot(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	obs.RecordEnvInfo(obs.Default)
+	if _, err := obs.Default.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", path)
 }
 
 func fatal(err error) {

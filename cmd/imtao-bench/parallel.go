@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
 	"strconv"
@@ -11,17 +12,20 @@ import (
 
 	"imtao/internal/core"
 	"imtao/internal/model"
+	"imtao/internal/obs"
 	"imtao/internal/workload"
 )
 
 // parallelSweepRecord is the schema of BENCH_parallel.json: one timing
 // record per (dataset, parallelism) point, so future PRs have a perf
-// trajectory to diff against.
+// trajectory to diff against. GoVersion and GOMAXPROCS predate the Env
+// block and are kept so older records stay diffable.
 type parallelSweepRecord struct {
 	Benchmark  string               `json:"benchmark"`
 	Method     string               `json:"method"`
 	GoVersion  string               `json:"go_version"`
 	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Env        map[string]string    `json:"env"`
 	Generated  string               `json:"generated"`
 	Datasets   []parallelSweepTable `json:"datasets"`
 }
@@ -77,6 +81,7 @@ func runParallelSweep(levels []int, reps int, jsonPath string) error {
 		Method:     "Seq-BDC",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        obs.EnvMeta(),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 	}
 	method := core.Method{Assigner: core.Seq, Collab: core.BDC}
@@ -107,9 +112,8 @@ func runParallelSweep(levels []int, reps int, jsonPath string) error {
 			stat.Speedup = serialBest / stat.BestMs
 			if reference == nil {
 				reference = rep
-			} else if rep.Assigned != reference.Assigned || rep.Transfers != reference.Transfers {
-				return fmt.Errorf("determinism violation on %s: P=%d assigned %d/transfers %d, reference %d/%d",
-					d, lvl, rep.Assigned, rep.Transfers, reference.Assigned, reference.Transfers)
+			} else if err := crossCheck(reference, rep); err != nil {
+				return fmt.Errorf("determinism violation on %s at P=%d: %w", d, lvl, err)
 			}
 			table.Points = append(table.Points, stat)
 		}
@@ -137,6 +141,57 @@ func runParallelSweep(levels []int, reps int, jsonPath string) error {
 	}
 	fmt.Fprintf(os.Stderr, "timing record written to %s\n", jsonPath)
 	return nil
+}
+
+// crossCheck compares a sweep point's report against the serial reference
+// across every determinism-contract dimension — scalar outcomes plus a
+// fingerprint of the full route structure, so a scheduling leak that
+// reshuffles routes without moving the totals still trips the sweep.
+func crossCheck(ref, got *core.Report) error {
+	if got.Assigned != ref.Assigned {
+		return fmt.Errorf("assigned %d, reference %d", got.Assigned, ref.Assigned)
+	}
+	if got.Transfers != ref.Transfers {
+		return fmt.Errorf("transfers %d, reference %d", got.Transfers, ref.Transfers)
+	}
+	if got.Unfairness != ref.Unfairness {
+		return fmt.Errorf("unfairness %v, reference %v", got.Unfairness, ref.Unfairness)
+	}
+	if got.Iterations != ref.Iterations {
+		return fmt.Errorf("iterations %d, reference %d", got.Iterations, ref.Iterations)
+	}
+	if g, r := solutionFingerprint(got.Solution), solutionFingerprint(ref.Solution); g != r {
+		return fmt.Errorf("route fingerprint %016x, reference %016x", g, r)
+	}
+	return nil
+}
+
+// solutionFingerprint hashes every route and transfer, in order, into one
+// FNV-1a value.
+func solutionFingerprint(s *model.Solution) uint64 {
+	h := fnv.New64a()
+	word := func(vs ...int64) {
+		var b [8]byte
+		for _, v := range vs {
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	for _, a := range s.PerCenter {
+		word(int64(a.Center), int64(len(a.Routes)))
+		for _, r := range a.Routes {
+			word(int64(r.Worker), int64(r.Center), int64(len(r.Tasks)))
+			for _, t := range r.Tasks {
+				word(int64(t))
+			}
+		}
+	}
+	for _, t := range s.Transfers {
+		word(int64(t.Src), int64(t.Dst), int64(t.Worker))
+	}
+	return h.Sum64()
 }
 
 // timeParallelPoint runs one (instance, parallelism) cell reps times and

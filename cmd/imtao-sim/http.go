@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"imtao"
+)
+
+// obsMux builds the diagnostics handler served by -listen: a Prometheus
+// text-format snapshot of the pipeline metrics at /metrics and the standard
+// Go profiler endpoints under /debug/pprof/.
+func obsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := imtao.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "imtao-sim diagnostics\n\n/metrics      Prometheus text snapshot\n/debug/pprof/ Go profiler index\n")
+	})
+	return mux
+}
+
+// serveObs starts the diagnostics listener in the background and returns
+// the bound address. Fine-grained latency histograms are enabled for the
+// lifetime of the process: anyone running with -listen has opted into
+// observation, so the clock reads are wanted.
+func serveObs(addr string) (string, error) {
+	imtao.EnableTiming(true)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, obsMux()); err != nil {
+			fmt.Fprintln(os.Stderr, "imtao-sim: serve:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"imtao"
+)
+
+// TestObsMux exercises the diagnostics handler in-process: after one
+// pipeline run, /metrics must serve a well-formed Prometheus snapshot with
+// the run counters, and the pprof index must answer.
+func TestObsMux(t *testing.T) {
+	if _, err := imtao.Solve(imtao.DefaultParams(imtao.SYN), imtao.SeqBDC); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obsMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE imtao_runs_total counter",
+		"imtao_runs_total",
+		"imtao_collab_iterations_total",
+		"imtao_roadnet_cache_hits_total",
+		"imtao_env_info{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d, body %.80q", code, body)
+	}
+	if code, _ := get("/"); code != http.StatusOK {
+		t.Errorf("/: status %d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: status %d, want 404", code)
+	}
+}

@@ -7,12 +7,16 @@
 //	imtao-sim -dataset syn -tasks 400 -workers 100 -centers 20 -method Seq-BDC
 //	imtao-sim -load scene.json -method Seq-BDC   # instance from imtao-datagen
 //	imtao-sim -dataset gm -trace                 # print every game iteration
+//	imtao-sim -listen :8080                      # serve /metrics + /debug/pprof, stay up
+//	imtao-sim -trace-out run.jsonl               # stream telemetry events to a file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"imtao"
@@ -35,8 +39,19 @@ func main() {
 		save    = flag.String("save", "", "write the final solution to a JSON file")
 		svg     = flag.String("svg", "", "render the solution (cells, routes, transfers) to an SVG file")
 		trace   = flag.Bool("trace", false, "print every collaboration game iteration")
+
+		listen   = flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. :8080) and keep running after the report")
+		traceOut = flag.String("trace-out", "", "stream run telemetry to this JSONL file")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		addr, err := serveObs(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("diagnostics: http://%s/metrics and http://%s/debug/pprof/\n\n", addr, addr)
+	}
 
 	m, err := imtao.ParseMethod(*method)
 	if err != nil {
@@ -80,9 +95,21 @@ func main() {
 		fmt.Printf("  %-8d %-8d %-8d\n", c.ID, len(c.Tasks), len(c.Workers))
 	}
 
-	rep, err := imtao.Run(in, m, imtao.WithSeed(*seed), imtao.WithOptBudget(*budget))
+	opts := []imtao.RunOption{imtao.WithSeed(*seed), imtao.WithOptBudget(*budget)}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, imtao.WithTrace(f))
+	}
+	rep, err := imtao.Run(in, m, opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		fmt.Printf("telemetry trace streaming to %s\n", *traceOut)
 	}
 
 	fmt.Printf("\nphase 1 (center-independent %s): assigned %d/%d, U_rho %.4f, %s\n",
@@ -150,6 +177,13 @@ func main() {
 	fmt.Printf("  %.2f tasks per active worker, capacity used %.0f%%\n",
 		u.TasksPerActive, 100*u.CapacityUsed)
 	fmt.Printf("  mean route %.2fh, longest route %.2fh\n", u.MeanRouteHours, u.MaxRouteHours)
+
+	if *listen != "" {
+		fmt.Printf("\nrun complete; still serving on %s — Ctrl-C to exit\n", *listen)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
 
 func fatal(err error) {

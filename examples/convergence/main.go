@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"imtao"
+	"imtao/internal/textplot"
 )
 
 func main() {
@@ -48,6 +49,24 @@ func main() {
 				s.Iteration, s.Recipient)
 		}
 	}
+
+	// The convergence witness: the game potential Φ = Σρ_i, recorded per
+	// iteration in the trace, climbs monotonically until no move improves it
+	// — that is the Nash equilibrium. Iteration 0 is the phase-1 state.
+	phis := []float64{imtao.Phi(rep.Phase1Ratios)}
+	ticks := []string{"0"}
+	for _, s := range rep.Trace {
+		if s.Accepted {
+			phis = append(phis, s.Phi)
+			ticks = append(ticks, fmt.Sprintf("%d", s.Iteration))
+		}
+	}
+	fmt.Println()
+	fmt.Print(textplot.Chart{
+		Title:  "game potential Phi per accepted iteration (monotone => convergence)",
+		XTicks: ticks,
+		Series: []textplot.Series{{Name: "Phi", Values: phis}},
+	}.Render())
 
 	fmt.Printf("\nreached a pure Nash equilibrium after %d iterations:\n", rep.Iterations)
 	fmt.Printf("  assigned    %d → %d\n", rep.Phase1Assigned, rep.Assigned)

@@ -36,12 +36,15 @@
 package imtao
 
 import (
+	"io"
 	"time"
 
+	"imtao/internal/collab"
 	"imtao/internal/core"
 	"imtao/internal/geo"
 	"imtao/internal/metrics"
 	"imtao/internal/model"
+	"imtao/internal/obs"
 	"imtao/internal/roadnet"
 	"imtao/internal/workload"
 )
@@ -87,6 +90,13 @@ type (
 	TravelMetric = model.TravelMetric
 	// RoadNetwork is a grid road network usable as an Instance's Metric.
 	RoadNetwork = roadnet.Network
+	// TraceStep is one phase-2 game iteration in Report.Trace.
+	TraceStep = collab.TraceStep
+	// Observer receives structured telemetry events from a run (see
+	// WithObserver). obs.Nop — the default — costs nothing.
+	Observer = obs.Observer
+	// Field is one key/value pair attached to an Observer event.
+	Field = obs.Field
 )
 
 // Dataset constants.
@@ -162,6 +172,46 @@ func WithOptBudget(d time.Duration) RunOption {
 func WithParallelism(n int) RunOption {
 	return func(c *core.Config) { c.Parallelism = n }
 }
+
+// WithObserver streams structured telemetry events from the run — pipeline
+// phase spans (run_start, phase1, phase2, run_end), per-center phase-1
+// summaries, and one game_iter event per phase-2 best-response iteration
+// carrying the potential Φ and the full ratio vector ρ. The default observer
+// is a no-op; event names and fields are catalogued in DESIGN.md §9.
+func WithObserver(o Observer) RunOption {
+	return func(c *core.Config) { c.Observer = o }
+}
+
+// WithTrace streams the run's telemetry events to w as JSON Lines, one
+// object per event:
+//
+//	{"seq":7,"t_ms":1.532,"event":"game_iter","iter":1,"phi":17.25,...}
+//
+// It is WithObserver with the built-in JSONL encoder. Writes are serialized
+// internally, so w need not be safe for concurrent use.
+func WithTrace(w io.Writer) RunOption {
+	return WithObserver(obs.NewJSONL(w))
+}
+
+// WriteMetrics writes a point-in-time snapshot of the process-wide metrics
+// registry (run, assignment, game, worker-pool, and road-network counters)
+// to w in Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error {
+	obs.RecordEnvInfo(obs.Default)
+	_, err := obs.Default.WriteTo(w)
+	return err
+}
+
+// EnableTiming turns on the fine-grained latency histograms (road-network
+// lock wait, trial-pool queue wait) that need a clock read on hot paths.
+// They are off by default so a no-op-observed run stays at zero overhead.
+func EnableTiming(on bool) { obs.EnableTiming(on) }
+
+// Phi computes the exact potential Φ = Σρ_i of the phase-2 transfer game
+// over a ratio vector. Along the accepted moves of Algorithm 3 it is
+// monotone non-decreasing, which is what makes the best-response dynamics
+// converge; Report.Trace records it per iteration.
+func Phi(rhos []float64) float64 { return metrics.Phi(rhos) }
 
 // Run executes the IMTAO pipeline on a partitioned instance with the given
 // method.

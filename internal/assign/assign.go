@@ -24,6 +24,7 @@ import (
 	"imtao/internal/geo"
 	"imtao/internal/index"
 	"imtao/internal/model"
+	"imtao/internal/obs"
 )
 
 // Result is the outcome of a per-center assignment: the routes of A(c) —
@@ -33,6 +34,44 @@ type Result struct {
 	Routes      []model.Route
 	LeftWorkers []model.WorkerID
 	LeftTasks   []model.TaskID
+	// Stats counts the work the call performed, feeding the obs layer's
+	// per-center events and pipeline counters. Deterministic for a given
+	// input, so results stay comparable across parallelism levels.
+	Stats Stats
+}
+
+// Stats is the work profile of one assignment call.
+type Stats struct {
+	// TasksScanned counts candidate-task evaluations: nearest-neighbour
+	// pool queries for Sequential, VTDS extension probes for Optimal.
+	TasksScanned int
+	// DeadlineRejections counts candidates discarded for missing their
+	// deadline: sequence-ending nearest-task failures for Sequential,
+	// infeasible VTDS extensions for Optimal.
+	DeadlineRejections int
+	// RouteExtensions counts accepted task placements: tasks appended to a
+	// route for Sequential, feasible VTDS extensions for Optimal.
+	RouteExtensions int
+}
+
+// Pipeline-wide work counters, aggregated once per assignment call from the
+// local Stats so the hot loops never touch shared cache lines.
+var (
+	mCalls = obs.Default.Counter("imtao_assign_calls_total",
+		"per-center assignment calls (phase 1 and phase-2 trials)")
+	mTasksScanned = obs.Default.Counter("imtao_assign_tasks_scanned_total",
+		"candidate-task evaluations across all assignment calls")
+	mDeadlineRej = obs.Default.Counter("imtao_assign_deadline_rejections_total",
+		"task candidates rejected for missing their deadline")
+	mRouteExt = obs.Default.Counter("imtao_assign_route_extensions_total",
+		"accepted task placements (route extensions)")
+)
+
+func recordStats(s Stats) {
+	mCalls.Inc()
+	mTasksScanned.Add(int64(s.TasksScanned))
+	mDeadlineRej.Add(int64(s.DeadlineRejections))
+	mRouteExt.Add(int64(s.RouteExtensions))
 }
 
 // AssignedCount returns the number of tasks assigned in the result.
@@ -85,6 +124,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 	res := Result{}
 	if len(workers) == 0 {
 		res.LeftTasks = append([]model.TaskID(nil), tasks...)
+		recordStats(res.Stats)
 		return res
 	}
 
@@ -142,16 +182,19 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 			if !ok {
 				break
 			}
+			res.Stats.TasksScanned++
 			task := in.Task(sid)
 			arrive := t + in.TravelTime(cur, task.Loc)
 			// Line 11: deadline check. Under the paper's uniform expiry a
 			// failing nearest task means every remaining task fails too, so
 			// the sequence ends here.
 			if arrive > task.Expiry+timeEps {
+				res.Stats.DeadlineRejections++
 				break
 			}
 			pool.remove(sid)
 			route.Tasks = append(route.Tasks, sid)
+			res.Stats.RouteExtensions++
 			t = arrive
 			cur = task.Loc
 		}
@@ -168,6 +211,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 	}
 	sort.Slice(res.LeftTasks, func(i, j int) bool { return res.LeftTasks[i] < res.LeftTasks[j] })
 	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
+	recordStats(res.Stats)
 	return res
 }
 

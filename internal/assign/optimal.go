@@ -36,6 +36,7 @@ func OptimalOpt(in *model.Instance, c *model.Center, workers []model.WorkerID, t
 		res.LeftTasks = append([]model.TaskID(nil), tasks...)
 		res.LeftWorkers = append([]model.WorkerID(nil), workers...)
 		sortResult(&res)
+		recordStats(res.Stats)
 		return res
 	}
 
@@ -85,13 +86,17 @@ func OptimalOpt(in *model.Instance, c *model.Center, workers []model.WorkerID, t
 					return
 				}
 				cur = append(cur, tasks[ti])
+				res.Stats.TasksScanned++
 				if order, ok := routing.BestOrder(in, w, c, cur); ok {
+					res.Stats.RouteExtensions++
 					mask := newBitset(n)
 					for _, id := range cur {
 						mask.set(taskIdx[id])
 					}
 					sets = append(sets, candidate{mask: mask, ids: append([]model.TaskID(nil), order...)})
 					rec(ti + 1)
+				} else {
+					res.Stats.DeadlineRejections++
 				}
 				cur = cur[:len(cur)-1]
 			}
@@ -207,6 +212,7 @@ func OptimalOpt(in *model.Instance, c *model.Center, workers []model.WorkerID, t
 		}
 	}
 	sortResult(&res)
+	recordStats(res.Stats)
 	return res
 }
 

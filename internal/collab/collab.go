@@ -23,10 +23,29 @@ package collab
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"imtao/internal/assign"
 	"imtao/internal/metrics"
 	"imtao/internal/model"
+	"imtao/internal/obs"
+)
+
+// Game-progress counters, aggregated across every collaboration run of the
+// process.
+var (
+	mIterations = obs.Default.Counter("imtao_collab_iterations_total",
+		"game iterations executed (accepted + rejected)")
+	mTransfers = obs.Default.Counter("imtao_collab_transfers_total",
+		"accepted workforce dispatches")
+	mRejections = obs.Default.Counter("imtao_collab_rejections_total",
+		"iterations ending with a center leaving the game")
+	mTrials = obs.Default.Counter("imtao_collab_trials_total",
+		"trial re-assignments evaluated (memo hits excluded)")
+	mMemoHits = obs.Default.Counter("imtao_collab_memo_hits_total",
+		"trial results served from the cross-iteration cache")
+	mMemoMisses = obs.Default.Counter("imtao_collab_memo_misses_total",
+		"trial lookups that missed the cache and were evaluated")
 )
 
 // RecipientPolicy selects the recipient center each iteration.
@@ -93,6 +112,11 @@ type Config struct {
 	// (max ρ, ties to the lowest worker ID). Custom Assigners must be safe
 	// for concurrent calls when Parallelism != 1.
 	Parallelism int
+	// Obs receives one "game_iter" event per iteration carrying the
+	// potential Φ, the full ρ vector, trial/memo counts and the iteration
+	// latency. Nil (or obs.Nop) disables emission; the TraceStep record is
+	// filled either way.
+	Obs obs.Observer
 	// noMemo disables the cross-iteration trial cache. Test hook only: the
 	// cache is semantics-preserving for deterministic assigners, so there is
 	// no reason to expose it.
@@ -111,6 +135,21 @@ type TraceStep struct {
 	RhoAfter   float64
 	Assigned   int     // platform-wide assigned tasks after the step
 	Unfairness float64 // platform-wide U_ρ after the step
+	// Phi is the game potential Φ after the step — the sum of per-center
+	// assignment ratios (metrics.Phi), monotonically non-decreasing along
+	// the dynamics.
+	Phi float64
+	// Rhos is the full per-center ratio vector after the step.
+	Rhos []float64
+	// Trials counts the trial re-assignments evaluated this iteration;
+	// MemoHits counts candidates served from the cross-iteration cache
+	// instead.
+	Trials   int
+	MemoHits int
+	// Duration is the iteration's wall-clock time. It is the one TraceStep
+	// field outside the determinism contract — everything else is
+	// bit-identical across parallelism levels.
+	Duration time.Duration
 }
 
 // Result bundles the collaboration outcome.
@@ -237,7 +276,9 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 	memo := make([]map[model.WorkerID]assign.Result, n)
 
 	for iter := 1; iter <= maxIter && len(recipients) > 0 && len(pool) > 0; iter++ {
+		iterStart := time.Now()
 		res.Iterations = iter
+		mIterations.Inc()
 		// Line 13: recipient selection.
 		var ci model.CenterID
 		switch cfg.Recipient {
@@ -289,7 +330,11 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		if cfg.Scope != LeftoverOnly {
 			baseWS = workerSetOf(ci)
 		}
-		trials := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci])
+		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci])
+		hits := len(cands) - evaluated
+		mTrials.Add(int64(evaluated))
+		mMemoMisses.Add(int64(evaluated))
+		mMemoHits.Add(int64(hits))
 		if !cfg.noMemo {
 			if memo[ci] == nil {
 				memo[ci] = make(map[model.WorkerID]assign.Result, len(cands))
@@ -317,12 +362,16 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 			}
 		}
 
-		step := TraceStep{Iteration: iter, Recipient: ci, RhoBefore: st.rho}
+		step := TraceStep{
+			Iteration: iter, Recipient: ci, RhoBefore: st.rho,
+			Trials: evaluated, MemoHits: hits,
+		}
 		if bestIdx < 0 {
 			// Lines 20–21: no improving dispatch — the center leaves C'.
 			step.Accepted = false
 			step.RhoAfter = st.rho
 			recipients = removeCenter(recipients, ci)
+			mRejections.Inc()
 		} else {
 			// Lines 16–19: accept the dispatch and update the assignment.
 			w := cands[bestIdx]
@@ -337,6 +386,7 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 			delete(states[src].own, w)
 			st.borrowed = append(st.borrowed, w)
 			transfers = append(transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
+			mTransfers.Inc()
 			// Both centers' states changed: the recipient's routes, borrowed
 			// set and leftover tasks, and the lender's own-worker set. Their
 			// cached trials are stale; every other center's remain valid.
@@ -369,9 +419,36 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 				recipients = removeCenter(recipients, ci)
 			}
 		}
+		rv := rhos()
 		step.Assigned = totalAssigned()
-		step.Unfairness = metrics.Unfairness(rhos())
+		step.Unfairness = metrics.Unfairness(rv)
+		step.Phi = metrics.Phi(rv)
+		step.Rhos = rv
+		step.Duration = time.Since(iterStart)
 		res.Trace = append(res.Trace, step)
+		if obs.Enabled(cfg.Obs) {
+			fields := make([]obs.Field, 0, 14)
+			fields = append(fields,
+				obs.F("iter", step.Iteration),
+				obs.F("recipient", int(step.Recipient)),
+				obs.F("accepted", step.Accepted))
+			if step.Accepted {
+				fields = append(fields,
+					obs.F("worker", int(step.Worker)),
+					obs.F("source", int(step.Source)))
+			}
+			fields = append(fields,
+				obs.F("rho_before", step.RhoBefore),
+				obs.F("rho_after", step.RhoAfter),
+				obs.F("phi", step.Phi),
+				obs.F("rhos", step.Rhos),
+				obs.F("assigned", step.Assigned),
+				obs.F("unfairness", step.Unfairness),
+				obs.F("trials", step.Trials),
+				obs.F("memo_hits", step.MemoHits),
+				obs.F("duration_ms", obs.DurationMs(step.Duration)))
+			cfg.Obs.Event("game_iter", fields...)
+		}
 	}
 
 	sol := model.NewSolution(in)

@@ -4,9 +4,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"imtao/internal/assign"
 	"imtao/internal/model"
+	"imtao/internal/obs"
+)
+
+// Trial-pool health metrics. Occupancy tracks live evaluation goroutines;
+// queue wait (time between dispatch and a goroutine picking a trial up)
+// needs a clock read per trial, so it only records when obs.EnableTiming is
+// on.
+var (
+	mPoolWorkers = obs.Default.Gauge("imtao_collab_pool_workers",
+		"live trial-evaluation goroutines")
+	mPoolDispatched = obs.Default.Counter("imtao_collab_pool_trials_total",
+		"trial evaluations dispatched to the parallel pool")
+	mPoolQueueWait = obs.Default.Histogram("imtao_collab_pool_queue_wait_seconds",
+		"time a dispatched trial waited before evaluation started (only with timing enabled)",
+		obs.TimeBuckets)
 )
 
 // parallelism resolves a Config.Parallelism value: 0 (and negatives) mean
@@ -19,8 +35,9 @@ func parallelism(n int) int {
 }
 
 // evalTrials returns one trial re-assignment result per candidate worker,
-// in candidate order. Results already present in cache are reused verbatim;
-// the misses are evaluated — concurrently when cfg.Parallelism != 1 — each
+// in candidate order, plus the number of trials actually evaluated (cache
+// hits excluded). Results already present in cache are reused verbatim; the
+// misses are evaluated — concurrently when cfg.Parallelism != 1 — each
 // goroutine writing its result to a fixed slot so the output is independent
 // of scheduling order.
 //
@@ -29,7 +46,7 @@ func parallelism(n int) int {
 // never mutated. leftTasks is read-only for the assigners.
 func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID,
 	baseWS []model.WorkerID, leftTasks []model.TaskID, cfg Config,
-	cache map[model.WorkerID]assign.Result) []assign.Result {
+	cache map[model.WorkerID]assign.Result) ([]assign.Result, int) {
 
 	trials := make([]assign.Result, len(cands))
 	misses := make([]int, 0, len(cands))
@@ -41,7 +58,7 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		}
 	}
 	if len(misses) == 0 {
-		return trials
+		return trials, 0
 	}
 
 	eval := func(i int) assign.Result {
@@ -63,19 +80,27 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		for _, i := range misses {
 			trials[i] = eval(i)
 		}
-		return trials
+		return trials, len(misses)
 	}
 
+	mPoolDispatched.Add(int64(len(misses)))
+	dispatched := time.Now()
+	timed := obs.TimingOn()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer wg.Done()
+			mPoolWorkers.Add(1)
+			defer mPoolWorkers.Add(-1)
 			for {
 				k := next.Add(1) - 1
 				if int(k) >= len(misses) {
 					return
+				}
+				if timed {
+					mPoolQueueWait.Observe(time.Since(dispatched).Seconds())
 				}
 				i := misses[k]
 				trials[i] = eval(i)
@@ -83,5 +108,5 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		}()
 	}
 	wg.Wait()
-	return trials
+	return trials, len(misses)
 }

@@ -22,7 +22,24 @@ import (
 	"imtao/internal/geo"
 	"imtao/internal/metrics"
 	"imtao/internal/model"
+	"imtao/internal/obs"
 	"imtao/internal/voronoi"
+)
+
+// Pipeline-level metrics: run and phase latencies land in histograms so a
+// /metrics scrape sees the latency distribution across runs, not just the
+// last Report.
+var (
+	mRuns = obs.Default.Counter("imtao_runs_total",
+		"IMTAO pipeline runs executed")
+	mPartitions = obs.Default.Counter("imtao_partitions_total",
+		"Voronoi service-area partitions computed")
+	mPartitionSeconds = obs.Default.Histogram("imtao_partition_seconds",
+		"wall-clock latency of the Voronoi partition", obs.TimeBuckets)
+	mPhase1Seconds = obs.Default.Histogram("imtao_phase1_seconds",
+		"wall-clock latency of phase 1 (center-independent assignment)", obs.TimeBuckets)
+	mPhase2Seconds = obs.Default.Histogram("imtao_phase2_seconds",
+		"wall-clock latency of phase 2 (collaboration game)", obs.TimeBuckets)
 )
 
 // AssignerKind selects the per-center assignment algorithm.
@@ -138,6 +155,11 @@ type Config struct {
 	// bit-identical at every setting on deterministic assigners (Seq
 	// always; Opt with a zero time budget).
 	Parallelism int
+	// Observer receives the run's structured event stream: run_start,
+	// per-center phase-1 statistics, phase latency spans, one game_iter per
+	// collaboration iteration, and run_end. Nil disables emission (the
+	// no-op default); see internal/obs for the event vocabulary.
+	Observer obs.Observer
 }
 
 // Report is the outcome of an IMTAO run.
@@ -148,7 +170,10 @@ type Report struct {
 	// phase, before any collaboration.
 	Phase1Assigned   int
 	Phase1Unfairness float64
-	Assigned         int
+	// Phase1Ratios is the per-center ratio vector after phase 1 — the game's
+	// starting state, and iteration 0 of any convergence curve.
+	Phase1Ratios []float64
+	Assigned     int
 	Ratios           []float64
 	Unfairness       float64
 	Transfers        int
@@ -173,6 +198,7 @@ func Partition(in *model.Instance) (*model.Instance, *voronoi.Diagram, error) {
 	for i, c := range in.Centers {
 		sites[i] = c.Loc
 	}
+	t0 := time.Now()
 	diagram, err := voronoi.NewDiagram(sites, in.Bounds)
 	if err != nil {
 		return nil, nil, err
@@ -192,6 +218,8 @@ func Partition(in *model.Instance) (*model.Instance, *voronoi.Diagram, error) {
 		out.Workers[wi].Home = c
 		out.Centers[c].Workers = append(out.Centers[c].Workers, model.WorkerID(wi))
 	}
+	mPartitions.Inc()
+	mPartitionSeconds.Observe(time.Since(t0).Seconds())
 	return out, diagram, nil
 }
 
@@ -217,6 +245,21 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		assigner = func(in *model.Instance, c *model.Center, ws []model.WorkerID, ts []model.TaskID) assign.Result {
 			return assign.OptimalOpt(in, c, ws, ts, assign.OptimalOptions{TimeBudget: budget})
 		}
+	}
+
+	o := cfg.Observer
+	if o == nil {
+		o = obs.Nop
+	}
+	mRuns.Inc()
+	runSpan := obs.StartSpan(o, "run_end", obs.F("method", cfg.Method.String()))
+	if obs.Enabled(o) {
+		o.Event("run_start",
+			obs.F("method", cfg.Method.String()),
+			obs.F("centers", len(in.Centers)),
+			obs.F("workers", len(in.Workers)),
+			obs.F("tasks", len(in.Tasks)),
+			obs.F("parallelism", cfg.Parallelism))
 	}
 
 	// Phase 1: center-independent task assignment. Centers are independent
@@ -257,11 +300,32 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		wg.Wait()
 	}
 	phase1Time := time.Since(t0)
+	mPhase1Seconds.Observe(phase1Time.Seconds())
 
 	rep := &Report{Method: cfg.Method, Phase1Time: phase1Time}
 	p1sol := collab.NoCollaboration(in, phase1)
 	rep.Phase1Assigned = p1sol.AssignedCount()
-	rep.Phase1Unfairness = metrics.SolutionUnfairness(in, p1sol)
+	rep.Phase1Ratios = metrics.Ratios(in, p1sol)
+	rep.Phase1Unfairness = metrics.Unfairness(rep.Phase1Ratios)
+	if obs.Enabled(o) {
+		for ci := range phase1 {
+			r := &phase1[ci]
+			o.Event("phase1_center",
+				obs.F("center", ci),
+				obs.F("assigned", r.AssignedCount()),
+				obs.F("left_workers", len(r.LeftWorkers)),
+				obs.F("left_tasks", len(r.LeftTasks)),
+				obs.F("rho", rep.Phase1Ratios[ci]),
+				obs.F("tasks_scanned", r.Stats.TasksScanned),
+				obs.F("deadline_rejections", r.Stats.DeadlineRejections),
+				obs.F("route_extensions", r.Stats.RouteExtensions))
+		}
+		o.Event("phase1",
+			obs.F("assigned", rep.Phase1Assigned),
+			obs.F("unfairness", rep.Phase1Unfairness),
+			obs.F("phi", metrics.Phi(rep.Phase1Ratios)),
+			obs.F("duration_ms", obs.DurationMs(phase1Time)))
+	}
 
 	// Phase 2: inter-center workforce transfer.
 	t1 := time.Now()
@@ -269,7 +333,7 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	case WoC:
 		rep.Solution = p1sol
 	default:
-		ccfg := collab.Config{Assigner: assigner, Parallelism: cfg.Parallelism}
+		ccfg := collab.Config{Assigner: assigner, Parallelism: cfg.Parallelism, Obs: cfg.Observer}
 		switch cfg.Method.Collab {
 		case RBDC:
 			ccfg.Recipient = collab.RandomRecipient
@@ -283,10 +347,25 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		rep.Iterations = out.Iterations
 	}
 	rep.Phase2Time = time.Since(t1)
+	mPhase2Seconds.Observe(rep.Phase2Time.Seconds())
 
 	rep.Assigned = rep.Solution.AssignedCount()
 	rep.Ratios = metrics.Ratios(in, rep.Solution)
 	rep.Unfairness = metrics.Unfairness(rep.Ratios)
 	rep.Transfers = len(rep.Solution.Transfers)
+	if obs.Enabled(o) {
+		o.Event("phase2",
+			obs.F("iterations", rep.Iterations),
+			obs.F("transfers", rep.Transfers),
+			obs.F("assigned", rep.Assigned),
+			obs.F("unfairness", rep.Unfairness),
+			obs.F("phi", metrics.Phi(rep.Ratios)),
+			obs.F("duration_ms", obs.DurationMs(rep.Phase2Time)))
+	}
+	runSpan.End(
+		obs.F("assigned", rep.Assigned),
+		obs.F("unfairness", rep.Unfairness),
+		obs.F("transfers", rep.Transfers),
+		obs.F("iterations", rep.Iterations))
 	return rep, nil
 }

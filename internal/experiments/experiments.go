@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"imtao/internal/core"
+	"imtao/internal/metrics"
+	"imtao/internal/obs"
 	"imtao/internal/stats"
 	"imtao/internal/textplot"
 	"imtao/internal/workload"
@@ -326,6 +328,9 @@ type ConvergencePoint struct {
 	Iteration  int
 	Assigned   int
 	Unfairness float64
+	// Phi is the game potential Φ = Σρ_i after the iteration (for iteration
+	// 0, after phase 1) — the monotone witness of convergence.
+	Phi float64
 }
 
 // ConvergenceResult is the Fig. 11 reproduction for one dataset.
@@ -335,10 +340,16 @@ type ConvergenceResult struct {
 	Points  []ConvergencePoint
 }
 
-// Convergence reproduces Fig. 11: the per-iteration assigned count and
-// unfairness of the Seq-BDC game at |C| = 50 (paper setting), other
-// parameters at defaults.
+// Convergence reproduces Fig. 11: the per-iteration assigned count,
+// unfairness and potential Φ of the Seq-BDC game at |C| = 50 (paper
+// setting), other parameters at defaults.
 func Convergence(d workload.Dataset, seed int64) (*ConvergenceResult, error) {
+	return ConvergenceObserved(d, seed, nil)
+}
+
+// ConvergenceObserved is Convergence with a telemetry observer attached to
+// the run (nil disables it) — the hook behind imtao-bench -trace.
+func ConvergenceObserved(d workload.Dataset, seed int64, o obs.Observer) (*ConvergenceResult, error) {
 	p := workload.Defaults(d)
 	p.NumCenters = 50
 	p.Seed = seed
@@ -350,18 +361,23 @@ func Convergence(d workload.Dataset, seed int64) (*ConvergenceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Run(in, core.Config{Method: core.Method{Assigner: core.Seq, Collab: core.BDC}})
+	rep, err := core.Run(in, core.Config{
+		Method:   core.Method{Assigner: core.Seq, Collab: core.BDC},
+		Observer: o,
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &ConvergenceResult{Dataset: d, Seed: seed}
 	res.Points = append(res.Points, ConvergencePoint{
 		Iteration: 0, Assigned: rep.Phase1Assigned, Unfairness: rep.Phase1Unfairness,
+		Phi: metrics.Phi(rep.Phase1Ratios),
 	})
 	for _, step := range rep.Trace {
 		if step.Accepted {
 			res.Points = append(res.Points, ConvergencePoint{
-				Iteration: step.Iteration, Assigned: step.Assigned, Unfairness: step.Unfairness,
+				Iteration: step.Iteration, Assigned: step.Assigned,
+				Unfairness: step.Unfairness, Phi: step.Phi,
 			})
 		}
 	}
@@ -372,16 +388,18 @@ func Convergence(d workload.Dataset, seed int64) (*ConvergenceResult, error) {
 func (c *ConvergenceResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fig. 11 — Convergence of Seq-BDC on %s (|C|=50, seed=%d)\n", c.Dataset, c.Seed)
-	fmt.Fprintf(&b, "  %-10s %-10s %-10s\n", "iteration", "assigned", "U_rho")
+	fmt.Fprintf(&b, "  %-10s %-10s %-10s %-10s\n", "iteration", "assigned", "U_rho", "phi")
 	for _, p := range c.Points {
-		fmt.Fprintf(&b, "  %-10d %-10d %-10.4f\n", p.Iteration, p.Assigned, p.Unfairness)
+		fmt.Fprintf(&b, "  %-10d %-10d %-10.4f %-10.4f\n", p.Iteration, p.Assigned, p.Unfairness, p.Phi)
 	}
 	assigned := make([]float64, len(c.Points))
 	unfair := make([]float64, len(c.Points))
+	phi := make([]float64, len(c.Points))
 	ticks := make([]string, len(c.Points))
 	for i, p := range c.Points {
 		assigned[i] = float64(p.Assigned)
 		unfair[i] = p.Unfairness
+		phi[i] = p.Phi
 		ticks[i] = fmt.Sprintf("%d", p.Iteration)
 	}
 	b.WriteString(textplot.Chart{
@@ -391,6 +409,10 @@ func (c *ConvergenceResult) Render() string {
 	b.WriteString(textplot.Chart{
 		Title: "unfairness per accepted game iteration", XTicks: sparseTicks(ticks),
 		Series: []textplot.Series{{Name: "U_rho", Values: unfair}},
+	}.Render())
+	b.WriteString(textplot.Chart{
+		Title: "potential Phi per accepted game iteration", XTicks: sparseTicks(ticks),
+		Series: []textplot.Series{{Name: "Phi", Values: phi}},
 	}.Render())
 	return b.String()
 }

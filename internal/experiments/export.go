@@ -46,17 +46,17 @@ func (r *Result) WriteCSV(w io.Writer) error {
 }
 
 // WriteCSV emits the convergence trace as CSV (iteration, assigned,
-// unfairness).
+// unfairness, potential).
 func (c *ConvergenceResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"dataset", "seed", "iteration", "assigned", "unfairness"}); err != nil {
+	if err := cw.Write([]string{"dataset", "seed", "iteration", "assigned", "unfairness", "phi"}); err != nil {
 		return err
 	}
 	for _, p := range c.Points {
 		if err := cw.Write([]string{
 			c.Dataset.String(), strconv.FormatInt(c.Seed, 10),
-			strconv.Itoa(p.Iteration), strconv.Itoa(p.Assigned), ftoa(p.Unfairness),
+			strconv.Itoa(p.Iteration), strconv.Itoa(p.Assigned), ftoa(p.Unfairness), ftoa(p.Phi),
 		}); err != nil {
 			return err
 		}

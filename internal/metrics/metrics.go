@@ -85,6 +85,23 @@ func Potential(rhos []float64) float64 {
 	return sum
 }
 
+// Phi is the potential Φ of the collaboration game in the form the
+// convergence analysis observes: the sum of per-center assignment ratios.
+// With the other players' ratios held fixed — the unilateral-deviation
+// semantics of the proof of Lemma 1 — a deviation that changes ρ_i by δ
+// changes both the deviator's UUP (Eq. 4) and Phi by exactly δ, so Phi is
+// an exact potential, and it is monotonically non-decreasing along the
+// accepted best-response moves of Algorithm 3 (each accepted dispatch
+// strictly raises the recipient's ratio and leaves every other ratio
+// untouched). The obs layer emits it per game iteration.
+func Phi(rhos []float64) float64 {
+	var sum float64
+	for _, r := range rhos {
+		sum += r
+	}
+	return sum
+}
+
 // MinRatioCenter returns the index with the lowest ratio, breaking ties
 // toward the smaller index — the recipient-selection rule of Algorithm 3
 // line 13. among restricts the choice to the given center set; it must be

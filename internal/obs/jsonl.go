@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// JSONL is an Observer that serializes every event as one JSON object per
+// line, preserving field order:
+//
+//	{"seq":3,"t_ms":0.412,"event":"game_iter","iter":1,"phi":17.25,...}
+//
+// seq is a per-stream sequence number, t_ms the elapsed milliseconds since
+// the stream was created. Writes are serialized by a mutex, so one JSONL may
+// receive events from many goroutines; the first write error is latched and
+// reported by Err.
+type JSONL struct {
+	mu    sync.Mutex
+	w     io.Writer
+	buf   bytes.Buffer
+	seq   int64
+	start time.Time
+	clock func() time.Time
+	err   error
+}
+
+// NewJSONL builds a JSONL observer writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: w, clock: time.Now}
+	j.start = j.clock()
+	return j
+}
+
+// SetClock replaces the time source — a test hook that makes the t_ms field
+// deterministic for golden output.
+func (j *JSONL) SetClock(fn func() time.Time) {
+	j.mu.Lock()
+	j.clock = fn
+	j.start = fn()
+	j.mu.Unlock()
+}
+
+// Event implements Observer.
+func (j *JSONL) Event(name string, fields ...Field) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	j.buf.Reset()
+	j.buf.WriteString(`{"seq":`)
+	j.buf.WriteString(strconv.FormatInt(j.seq, 10))
+	j.buf.WriteString(`,"t_ms":`)
+	ms := float64(j.clock().Sub(j.start).Nanoseconds()) / 1e6
+	j.buf.WriteString(strconv.FormatFloat(ms, 'f', 3, 64))
+	j.buf.WriteString(`,"event":`)
+	j.writeValue(name)
+	for _, f := range fields {
+		j.buf.WriteByte(',')
+		j.writeValue(f.Key)
+		j.buf.WriteByte(':')
+		j.writeValue(f.Value)
+	}
+	j.buf.WriteString("}\n")
+	if _, err := j.w.Write(j.buf.Bytes()); err != nil {
+		j.err = err
+	}
+}
+
+func (j *JSONL) writeValue(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal("!marshal: " + err.Error())
+	}
+	j.buf.Write(b)
+}
+
+// Err returns the first write error encountered, if any. Events after an
+// error are dropped.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

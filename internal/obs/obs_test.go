@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersConcurrent hammers every metric type from many goroutines;
+// run with -race this doubles as the data-race check.
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	g := r.Gauge("g", "gauge")
+	h := r.Histogram("h_seconds", "histogram", []float64{1, 10, 100})
+
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(0.5)
+				h.Observe(float64(k % 200))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), int64(goroutines*per*3); got != want {
+		t.Errorf("counter %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(goroutines*per)*0.5; got != want {
+		t.Errorf("gauge %g, want %g", got, want)
+	}
+	if got, want := h.Count(), int64(goroutines*per); got != want {
+		t.Errorf("histogram count %d, want %d", got, want)
+	}
+	// Σ (k%200) for k in [0,1000) = 5 full cycles of 0..199.
+	wantSum := float64(goroutines) * 5 * (199 * 200 / 2)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum %g, want %g", got, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latencies", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds latencies
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.01"} 2
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="1"} 4
+lat_seconds_bucket{le="+Inf"} 6
+lat_seconds_sum 102.561
+lat_seconds_count 6
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRegistryWriteToGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "pipeline runs").Add(3)
+	r.Gauge("pool_workers", "live goroutines").Set(2.5)
+	r.Info("env_info", "environment", map[string]string{"goos": "linux", "arch": "amd64"})
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP runs_total pipeline runs
+# TYPE runs_total counter
+runs_total 3
+# HELP pool_workers live goroutines
+# TYPE pool_workers gauge
+pool_workers 2.5
+# HELP env_info environment
+# TYPE env_info gauge
+env_info{arch="amd64",goos="linux"} 1
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second registration is the same counter")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "kind clash")
+}
+
+// TestJSONLGolden pins the encoder's exact output with a frozen clock.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	base := time.Unix(1000, 0)
+	now := base
+	j.SetClock(func() time.Time { return now })
+
+	j.Event("run_start", F("method", "Seq-BDC"), F("centers", 20), F("parallel", true))
+	now = base.Add(1500 * time.Microsecond)
+	j.Event("game_iter", F("iter", 1), F("phi", 17.25), F("rhos", []float64{0.5, 1}))
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `{"seq":1,"t_ms":0.000,"event":"run_start","method":"Seq-BDC","centers":20,"parallel":true}
+{"seq":2,"t_ms":1.500,"event":"game_iter","iter":1,"phi":17.25,"rhos":[0.5,1]}
+`
+	if buf.String() != want {
+		t.Errorf("jsonl mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONLConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				j.Event("tick", F("k", k))
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != goroutines*per {
+		t.Fatalf("%d lines, want %d", len(lines), goroutines*per)
+	}
+	seen := make(map[int64]bool)
+	for _, line := range lines {
+		var ev struct {
+			Seq   int64  `json:"seq"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if ev.Event != "tick" || seen[ev.Seq] {
+			t.Fatalf("bad or duplicate event %+v", ev)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	sp := StartSpan(j, "phase1", F("centers", 4))
+	d := sp.End(F("assigned", 10))
+	if d < 0 {
+		t.Errorf("negative duration %v", d)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"centers", "assigned", "duration_ms"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("span event missing %q: %v", key, ev)
+		}
+	}
+	// Inert span from a disabled observer.
+	if d := StartSpan(Nop, "x").End(); d != 0 {
+		t.Errorf("nop span measured %v", d)
+	}
+	if Enabled(Nop) || Enabled(nil) {
+		t.Error("Nop and nil must report disabled")
+	}
+	if !Enabled(j) {
+		t.Error("real observer must report enabled")
+	}
+}
+
+func TestEnvMeta(t *testing.T) {
+	meta := EnvMeta()
+	for _, key := range []string{"go_version", "gomaxprocs", "num_cpu", "goos", "goarch"} {
+		if meta[key] == "" {
+			t.Errorf("EnvMeta missing %q", key)
+		}
+	}
+	r := NewRegistry()
+	RecordEnvInfo(r)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "imtao_env_info{") {
+		t.Errorf("env info metric missing:\n%s", buf.String())
+	}
+}
+
+func TestTimingGate(t *testing.T) {
+	if TimingOn() {
+		t.Error("timing must default off")
+	}
+	EnableTiming(true)
+	if !TimingOn() {
+		t.Error("EnableTiming(true) not visible")
+	}
+	EnableTiming(false)
+}

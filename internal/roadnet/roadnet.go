@@ -15,8 +15,27 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"time"
 
 	"imtao/internal/geo"
+	"imtao/internal/obs"
+)
+
+// Cache and search counters, shared by every Network in the process (the
+// pipeline normally runs one). Lock-wait timing needs a time.Now pair per
+// query, so it only records when obs.EnableTiming is on.
+var (
+	mCacheHits = obs.Default.Counter("imtao_roadnet_cache_hits_total",
+		"Dijkstra source-cache hits")
+	mCacheMisses = obs.Default.Counter("imtao_roadnet_cache_misses_total",
+		"Dijkstra source-cache misses")
+	mDijkstraRuns = obs.Default.Counter("imtao_roadnet_dijkstra_runs_total",
+		"full Dijkstra searches executed (duplicates under concurrent misses included)")
+	mCacheEvictions = obs.Default.Counter("imtao_roadnet_cache_evictions_total",
+		"full cache evictions (capacity reached or congestion reshaped)")
+	mLockWait = obs.Default.Histogram("imtao_roadnet_lock_wait_seconds",
+		"time spent acquiring the cache mutex per query (only with timing enabled)",
+		obs.TimeBuckets)
 )
 
 // Network is an immutable-after-build grid road network.
@@ -87,6 +106,7 @@ func (n *Network) SetCongestion(p geo.Point, factor float64) {
 	n.mu.Lock()
 	n.cache = make(map[int][]float64)
 	n.mu.Unlock()
+	mCacheEvictions.Inc()
 }
 
 // SetCongestionDisk applies the factor to every node within radius of p.
@@ -102,6 +122,7 @@ func (n *Network) SetCongestionDisk(p geo.Point, radius, factor float64) {
 	n.mu.Lock()
 	n.cache = make(map[int][]float64)
 	n.mu.Unlock()
+	mCacheEvictions.Inc()
 }
 
 func (n *Network) nearestNode(p geo.Point) int {
@@ -139,20 +160,35 @@ func (n *Network) TravelTime(a, b geo.Point) float64 {
 // duplicated work is harmless (the result is identical) and keeps the search
 // itself outside the lock.
 func (n *Network) shortest(src int) []float64 {
-	n.mu.Lock()
+	n.lock()
 	if d, ok := n.cache[src]; ok {
 		n.mu.Unlock()
+		mCacheHits.Inc()
 		return d
 	}
 	n.mu.Unlock()
+	mCacheMisses.Inc()
 	dist := n.dijkstra(src)
-	n.mu.Lock()
+	mDijkstraRuns.Inc()
+	n.lock()
 	if len(n.cache) >= n.cacheCap {
 		n.cache = make(map[int][]float64) // simple full eviction
+		mCacheEvictions.Inc()
 	}
 	n.cache[src] = dist
 	n.mu.Unlock()
 	return dist
+}
+
+// lock acquires the cache mutex, recording the wait when timing is enabled.
+func (n *Network) lock() {
+	if !obs.TimingOn() {
+		n.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	n.mu.Lock()
+	mLockWait.Observe(time.Since(t0).Seconds())
 }
 
 func (n *Network) dijkstra(src int) []float64 {

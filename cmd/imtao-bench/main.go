@@ -50,6 +50,12 @@ func main() {
 		parallelOut  = flag.String("parallelism-json", "BENCH_parallel.json", "output path of the -parallelism timing record")
 		parallelReps = flag.Int("parallelism-reps", 3, "runs per -parallelism point (best wall-clock is recorded)")
 
+		scale        = flag.String("scale", "", `distance-oracle scale sweep, e.g. "10k,50k,100k": run Seq-BDC on a road network per task count and write a JSON record`)
+		scaleOut     = flag.String("scale-json", "BENCH_oracle.json", "output path of the -scale record")
+		scaleDataset = flag.String("scale-dataset", "syn", "dataset generator for -scale: gm or syn")
+		scaleGrid    = flag.Int("scale-grid", 64, "road-network grid side for -scale (grid² nodes)")
+		scaleGame    = flag.Int("scale-game-iters", 20, "phase-2 game iteration cap for -scale (0 = uncapped)")
+
 		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
 	)
@@ -81,6 +87,26 @@ func main() {
 			fatal(err)
 		}
 		if err := runParallelSweep(levels, *parallelReps, *parallelOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *scale != "" {
+		sizes, err := parseScaleSizes(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := workload.ParseDataset(*scaleDataset)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScaleSweep(sizes, scaleConfig{
+			dataset:  d,
+			grid:     *scaleGrid,
+			gameCap:  *scaleGame,
+			jsonPath: *scaleOut,
+		}); err != nil {
 			fatal(err)
 		}
 		return

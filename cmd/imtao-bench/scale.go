@@ -1,0 +1,355 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/model"
+	"imtao/internal/obs"
+	"imtao/internal/roadnet"
+	"imtao/internal/workload"
+)
+
+// The -scale sweep is the acceptance benchmark of the distance-oracle
+// engine (DESIGN.md §10): it runs the full Seq-BDC pipeline on a road
+// network at 10k/50k/100k tasks, records per-phase latency and the oracle's
+// cache behaviour, asserts the no-duplicate-search invariant
+// (dijkstra_runs == unique sources), and measures the raw TravelTime
+// hit/miss paths against the frozen pre-oracle LegacyNetwork.
+
+// scaleRecord is the schema of BENCH_oracle.json.
+type scaleRecord struct {
+	Benchmark  string            `json:"benchmark"`
+	Method     string            `json:"method"`
+	Dataset    string            `json:"dataset"`
+	Grid       int               `json:"grid"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Env        map[string]string `json:"env"`
+	Generated  string            `json:"generated"`
+	// MaxGameIterations is the phase-2 cap applied at every size; capped
+	// runs are feasible but not necessarily at equilibrium.
+	MaxGameIterations int           `json:"max_game_iterations"`
+	Presets           []scalePreset `json:"presets"`
+}
+
+type scalePreset struct {
+	Name    string `json:"name"`
+	Tasks   int    `json:"tasks"`
+	Workers int    `json:"workers"`
+	Centers int    `json:"centers"`
+
+	WallMs     float64 `json:"wall_ms"`
+	Phase1Ms   float64 `json:"phase1_ms"`
+	Phase2Ms   float64 `json:"phase2_ms"`
+	Assigned   int     `json:"assigned"`
+	Iterations int     `json:"iterations"`
+	GameCapped bool    `json:"game_capped"`
+
+	TravelQueries int64   `json:"travel_queries"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	HitRate       float64 `json:"hit_rate"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	DijkstraRuns  int64   `json:"dijkstra_runs"`
+	UniqueSources int64   `json:"unique_sources"`
+	// DedupOK is the acceptance invariant: with the cache sized to the node
+	// count, every search corresponds to exactly one unique source — no
+	// duplicated work across concurrent same-source misses, no refaults.
+	DedupOK bool `json:"dedup_ok"`
+
+	// HitPath/MissPath compare the oracle query paths against the frozen
+	// pre-oracle implementation on this preset's entity locations.
+	HitPath  scalePath `json:"hit_path"`
+	MissPath scalePath `json:"miss_path"`
+}
+
+type scalePath struct {
+	LegacyQPS float64 `json:"legacy_qps"`
+	OracleQPS float64 `json:"oracle_qps"`
+	Speedup   float64 `json:"speedup"`
+}
+
+type scaleConfig struct {
+	dataset  workload.Dataset
+	grid     int
+	gameCap  int
+	jsonPath string
+}
+
+func parseScaleSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitCSV(s) {
+		v, err := workload.ParseScaleSize(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scale sizes given")
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if p := s[start:i]; p != "" {
+				out = append(out, p)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// runScaleSweep executes the scale benchmark and writes BENCH_oracle.json.
+func runScaleSweep(sizes []int, cfg scaleConfig) error {
+	rec := scaleRecord{
+		Benchmark:         "oracle-scale",
+		Method:            "Seq-BDC",
+		Dataset:           cfg.dataset.String(),
+		Grid:              cfg.grid,
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Env:               obs.EnvMeta(),
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		MaxGameIterations: cfg.gameCap,
+	}
+	hits := obs.Default.Counter("imtao_roadnet_cache_hits_total", "")
+	misses := obs.Default.Counter("imtao_roadnet_cache_misses_total", "")
+
+	for _, size := range sizes {
+		p := workload.ScaleParams(cfg.dataset, size)
+		raw, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		net, err := roadnet.New(raw.Bounds, cfg.grid, cfg.grid, p.Speed)
+		if err != nil {
+			return err
+		}
+		// Size the cache to the node count: every source stays resident, so
+		// the dedup invariant below is exact (no refaults).
+		net.SetCacheCapacity(net.Nodes())
+		raw.Metric = net
+		in, _, err := core.Partition(raw)
+		if err != nil {
+			return err
+		}
+
+		h0, m0 := hits.Value(), misses.Value()
+		t0 := time.Now()
+		rep, err := core.Run(in, core.Config{
+			Method:            core.Method{Assigner: core.Seq, Collab: core.BDC},
+			MaxGameIterations: cfg.gameCap,
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		st := net.Stats()
+
+		pr := scalePreset{
+			Name:    fmt.Sprintf("%dk", size/1000),
+			Tasks:   p.NumTasks,
+			Workers: p.NumWorkers,
+			Centers: p.NumCenters,
+
+			WallMs:     ms(wall),
+			Phase1Ms:   ms(rep.Phase1Time),
+			Phase2Ms:   ms(rep.Phase2Time),
+			Assigned:   rep.Assigned,
+			Iterations: rep.Iterations,
+			GameCapped: cfg.gameCap > 0 && rep.Iterations >= cfg.gameCap,
+
+			CacheHits:     hits.Value() - h0,
+			CacheMisses:   misses.Value() - m0,
+			DijkstraRuns:  st.DijkstraRuns,
+			UniqueSources: st.UniqueSources,
+			DedupOK:       st.DijkstraRuns == st.UniqueSources,
+		}
+		if size%1000 != 0 {
+			pr.Name = fmt.Sprintf("%d", size)
+		}
+		pr.TravelQueries = pr.CacheHits + pr.CacheMisses
+		if pr.TravelQueries > 0 {
+			pr.HitRate = float64(pr.CacheHits) / float64(pr.TravelQueries)
+		}
+		if s := wall.Seconds(); s > 0 {
+			pr.QueriesPerSec = float64(pr.TravelQueries) / s
+		}
+
+		// Query-path microbenchmarks on fresh networks (the pipeline stats
+		// above stay unpolluted) over this preset's entity locations.
+		pts := samplePoints(in, 128)
+		pr.HitPath, pr.MissPath, err = measurePaths(raw.Bounds, cfg.grid, p.Speed, pts)
+		if err != nil {
+			return err
+		}
+		rec.Presets = append(rec.Presets, pr)
+
+		fmt.Printf("scale %s — |S|=%d |W|=%d |C|=%d grid=%d²\n",
+			pr.Name, pr.Tasks, pr.Workers, pr.Centers, cfg.grid)
+		fmt.Printf("  wall %.0f ms (ph1 %.0f, ph2 %.0f), assigned %d, %d game iters%s\n",
+			pr.WallMs, pr.Phase1Ms, pr.Phase2Ms, pr.Assigned, pr.Iterations, capTag(pr.GameCapped))
+		fmt.Printf("  %d travel queries, hit rate %.4f, %.2fM queries/s\n",
+			pr.TravelQueries, pr.HitRate, pr.QueriesPerSec/1e6)
+		fmt.Printf("  dijkstra runs %d, unique sources %d, dedup_ok=%v\n",
+			pr.DijkstraRuns, pr.UniqueSources, pr.DedupOK)
+		fmt.Printf("  hit path: oracle %.2fM q/s vs legacy %.2fM q/s (%.1fx)\n",
+			pr.HitPath.OracleQPS/1e6, pr.HitPath.LegacyQPS/1e6, pr.HitPath.Speedup)
+		fmt.Printf("  miss path: oracle %.0f q/s vs legacy %.0f q/s (%.1fx)\n\n",
+			pr.MissPath.OracleQPS, pr.MissPath.LegacyQPS, pr.MissPath.Speedup)
+
+		if !pr.DedupOK {
+			return fmt.Errorf("scale %s: duplicated searches (runs=%d unique=%d)",
+				pr.Name, pr.DijkstraRuns, pr.UniqueSources)
+		}
+	}
+
+	f, err := os.Create(cfg.jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scale record written to %s\n", cfg.jsonPath)
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func capTag(capped bool) string {
+	if capped {
+		return " (capped)"
+	}
+	return ""
+}
+
+// samplePoints draws up to n entity locations round-robin from centers,
+// workers and tasks, so the microbenchmark queries the distribution the
+// pipeline actually queries. The count is kept small enough that the legacy
+// cache (512 tables, full-wipe eviction) holds every source — the hit-path
+// comparison must measure hits on both sides.
+func samplePoints(in *model.Instance, n int) []geo.Point {
+	var pts []geo.Point
+	for i := 0; len(pts) < n; i++ {
+		added := false
+		if i < len(in.Centers) {
+			pts = append(pts, in.Centers[i].Loc)
+			added = true
+		}
+		if len(pts) < n && i < len(in.Workers) {
+			pts = append(pts, in.Workers[i].Loc)
+			added = true
+		}
+		if len(pts) < n && i < len(in.Tasks) {
+			pts = append(pts, in.Tasks[i].Loc)
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	return pts
+}
+
+// measurePaths times the cache-hit and cache-miss query paths of the oracle
+// against the legacy implementation on the same point pairs.
+func measurePaths(bounds geo.Rect, grid int, speed float64, pts []geo.Point) (hit, miss scalePath, err error) {
+	if len(pts) < 2 {
+		return hit, miss, fmt.Errorf("not enough sample points")
+	}
+	oracle, err := roadnet.New(bounds, grid, grid, speed)
+	if err != nil {
+		return hit, miss, err
+	}
+	oracle.SetCacheCapacity(oracle.Nodes())
+	legacy, err := roadnet.NewLegacy(bounds, grid, grid, speed)
+	if err != nil {
+		return hit, miss, err
+	}
+
+	// Pre-snap the oracle refs — the post-PR pipeline queries through
+	// model.PrepareMetric's memoized snaps, so the hit path under test is
+	// TravelTimeNodes. The legacy pipeline had no such path; it always paid
+	// the snap plus the global mutex.
+	type ref struct {
+		node int32
+		leg  float64
+	}
+	refs := make([]ref, len(pts))
+	for i, p := range pts {
+		refs[i].node, refs[i].leg = oracle.SnapNode(p)
+	}
+	// Warm both caches.
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		oracle.TravelTimeNodes(refs[i].node, refs[i].leg, refs[j].node, refs[j].leg)
+		legacy.TravelTime(pts[i], pts[j])
+	}
+
+	// timeLoop repeats a full round over the sample pairs until the run is
+	// long enough to time; the per-query overhead is one loop increment, so
+	// the measured cost is the query path itself.
+	const minDuration = 100 * time.Millisecond
+	timeLoop := func(round func()) float64 {
+		queries := 0
+		t0 := time.Now()
+		for time.Since(t0) < minDuration {
+			round()
+			queries += len(pts)
+		}
+		return float64(queries) / time.Since(t0).Seconds()
+	}
+	var sink float64
+	hit.OracleQPS = timeLoop(func() {
+		for i := 1; i < len(refs); i++ {
+			a, b := refs[i-1], refs[i]
+			sink += oracle.TravelTimeNodes(a.node, a.leg, b.node, b.leg)
+		}
+		a, b := refs[len(refs)-1], refs[0]
+		sink += oracle.TravelTimeNodes(a.node, a.leg, b.node, b.leg)
+	})
+	hit.LegacyQPS = timeLoop(func() {
+		for i := 1; i < len(pts); i++ {
+			sink += legacy.TravelTime(pts[i-1], pts[i])
+		}
+		sink += legacy.TravelTime(pts[len(pts)-1], pts[0])
+	})
+	hit.Speedup = hit.OracleQPS / hit.LegacyQPS
+
+	// Miss path: flush before every query so each one pays a full search.
+	miss.OracleQPS = timeLoop(func() {
+		for i := 1; i < len(pts); i++ {
+			oracle.FlushCache()
+			sink += oracle.TravelTime(pts[i-1], pts[i])
+		}
+		oracle.FlushCache()
+		sink += oracle.TravelTime(pts[len(pts)-1], pts[0])
+	})
+	miss.LegacyQPS = timeLoop(func() {
+		for i := 1; i < len(pts); i++ {
+			legacy.FlushCache()
+			sink += legacy.TravelTime(pts[i-1], pts[i])
+		}
+		legacy.FlushCache()
+		sink += legacy.TravelTime(pts[len(pts)-1], pts[0])
+	})
+	miss.Speedup = miss.OracleQPS / miss.LegacyQPS
+	_ = sink
+	return hit, miss, nil
+}

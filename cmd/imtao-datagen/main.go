@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"imtao"
 	"imtao/internal/workload"
@@ -25,7 +26,7 @@ func main() {
 		expiry  = flag.Float64("expiry", 1.0, "task expiration time e in hours")
 		maxT    = flag.Int("maxt", 4, "worker capacity maxT")
 		seed    = flag.Int64("seed", 1, "generator seed")
-		preset  = flag.String("preset", "", "topology preset instead of a dataset: corridor, twincities, ringroad")
+		preset  = flag.String("preset", "", "preset instead of explicit counts: corridor, twincities, ringroad, or a scale point like scale10k / scale100k")
 		format  = flag.String("format", "json", "output format: json or csv")
 		out     = flag.String("out", "", "output file (default stdout)")
 	)
@@ -39,7 +40,19 @@ func main() {
 	p.NumTasks, p.NumWorkers, p.NumCenters = *tasks, *workers, *centers
 	p.Expiry, p.MaxT, p.Seed = *expiry, *maxT, *seed
 	var in *imtao.Instance
-	if *preset != "" {
+	switch {
+	case strings.HasPrefix(*preset, "scale"):
+		// Scale presets (scale10k, scale50k, scale100k, or any scale<N>[k])
+		// override the entity counts with the benchmark's density ratios;
+		// dataset, expiry, capacity and seed flags still apply.
+		n, serr := workload.ParseScaleSize(strings.TrimPrefix(*preset, "scale"))
+		if serr != nil {
+			fatal(serr)
+		}
+		sp := workload.ScaleParams(d, n)
+		p.NumTasks, p.NumWorkers, p.NumCenters = sp.NumTasks, sp.NumWorkers, sp.NumCenters
+		in, err = imtao.Generate(p)
+	case *preset != "":
 		var pr workload.Preset
 		switch *preset {
 		case "corridor":
@@ -52,7 +65,7 @@ func main() {
 			fatal(fmt.Errorf("unknown preset %q", *preset))
 		}
 		in, err = workload.GeneratePreset(pr, p)
-	} else {
+	default:
 		in, err = imtao.Generate(p)
 	}
 	if err != nil {

@@ -167,6 +167,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 		pool = newGridPool(in, tasks)
 	}
 
+	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
 		w := in.Worker(wid)
 		route := model.Route{Worker: wid, Center: c.ID}
@@ -174,8 +175,8 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 			route.Tasks = make([]model.TaskID, 0, hint)
 		}
 		// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
-		t := in.TravelTime(w.Loc, c.Loc)
-		cur := c.Loc
+		t := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, cref)
+		cur, curRef := c.Loc, cref
 		for len(route.Tasks) < w.MaxT && pool.len() > 0 {
 			// Line 10: nearest unassigned task to the worker's position.
 			sid, ok := pool.nearest(cur)
@@ -184,7 +185,8 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 			}
 			res.Stats.TasksScanned++
 			task := in.Task(sid)
-			arrive := t + in.TravelTime(cur, task.Loc)
+			taskRef := in.TaskRef(sid)
+			arrive := t + in.TravelTimeRef(cur, curRef, task.Loc, taskRef)
 			// Line 11: deadline check. Under the paper's uniform expiry a
 			// failing nearest task means every remaining task fails too, so
 			// the sequence ends here.
@@ -196,7 +198,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 			route.Tasks = append(route.Tasks, sid)
 			res.Stats.RouteExtensions++
 			t = arrive
-			cur = task.Loc
+			cur, curRef = task.Loc, taskRef
 		}
 		if len(route.Tasks) == 0 {
 			// Line 19: unused worker — available for workforce transfer.
@@ -265,12 +267,20 @@ func (p *gridPool) remaining() []model.TaskID {
 
 type linearPool struct {
 	items []index.Item
+	// slot maps item ID → index in items, turning remove into an O(1)
+	// swap-delete instead of a scan. nearest already costs O(n), so before
+	// this map the pool was O(n) twice per accepted task.
+	slot map[int]int
 }
 
 func newLinearPool(in *model.Instance, tasks []model.TaskID) *linearPool {
-	p := &linearPool{items: make([]index.Item, len(tasks))}
+	p := &linearPool{
+		items: make([]index.Item, len(tasks)),
+		slot:  make(map[int]int, len(tasks)),
+	}
 	for i, id := range tasks {
 		p.items[i] = index.Item{ID: int(id), Point: in.Task(id).Loc}
+		p.slot[int(id)] = i
 	}
 	return p
 }
@@ -281,13 +291,17 @@ func (p *linearPool) nearest(q geo.Point) (model.TaskID, bool) {
 }
 
 func (p *linearPool) remove(id model.TaskID) {
-	for i, it := range p.items {
-		if it.ID == int(id) {
-			p.items[i] = p.items[len(p.items)-1]
-			p.items = p.items[:len(p.items)-1]
-			return
-		}
+	i, ok := p.slot[int(id)]
+	if !ok {
+		return
 	}
+	last := len(p.items) - 1
+	if i != last {
+		p.items[i] = p.items[last]
+		p.slot[p.items[i].ID] = i
+	}
+	p.items = p.items[:last]
+	delete(p.slot, int(id))
 }
 func (p *linearPool) len() int { return len(p.items) }
 func (p *linearPool) remaining() []model.TaskID {
@@ -297,4 +311,3 @@ func (p *linearPool) remaining() []model.TaskID {
 	}
 	return out
 }
-

@@ -37,18 +37,19 @@ func SequentialByReward(in *model.Instance, c *model.Center, workers []model.Wor
 	})
 
 	remaining := append([]model.TaskID(nil), tasks...)
+	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
 		w := in.Worker(wid)
 		route := model.Route{Worker: wid, Center: c.ID}
-		t := in.TravelTime(w.Loc, c.Loc)
-		cur := c.Loc
+		t := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, cref)
+		cur, curRef := c.Loc, cref
 		for len(route.Tasks) < w.MaxT && len(remaining) > 0 {
 			bestIdx := -1
 			bestScore := -1.0
 			bestDt := 0.0
 			for i, tid := range remaining {
 				task := in.Task(tid)
-				dt := in.TravelTime(cur, task.Loc)
+				dt := in.TravelTimeRef(cur, curRef, task.Loc, in.TaskRef(tid))
 				if t+dt > task.Expiry+timeEps {
 					continue
 				}
@@ -73,7 +74,7 @@ func SequentialByReward(in *model.Instance, c *model.Center, workers []model.Wor
 			tid := remaining[bestIdx]
 			task := in.Task(tid)
 			t += bestDt
-			cur = task.Loc
+			cur, curRef = task.Loc, in.TaskRef(tid)
 			route.Tasks = append(route.Tasks, tid)
 			remaining[bestIdx] = remaining[len(remaining)-1]
 			remaining = remaining[:len(remaining)-1]

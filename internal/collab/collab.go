@@ -185,6 +185,10 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 	if cfg.Assigner == nil {
 		cfg.Assigner = assign.Sequential
 	}
+	// Idempotent: a no-op when core.Run already prepared the instance, and
+	// a safety net for direct callers so the trial re-assignments below hit
+	// the memoized snap path of a node metric.
+	in.PrepareMetric()
 	n := len(in.Centers)
 
 	// Per-center mutable state.

@@ -155,6 +155,12 @@ type Config struct {
 	// bit-identical at every setting on deterministic assigners (Seq
 	// always; Opt with a zero time budget).
 	Parallelism int
+	// MaxGameIterations caps the phase-2 collaboration game. 0 means the
+	// natural bound (every worker transferred once plus every center
+	// dropped once) — the paper's setting. The scale benchmark sets a cap
+	// so 100k-task runs finish in bounded time; capped runs are still
+	// feasible solutions, just not necessarily at equilibrium.
+	MaxGameIterations int
 	// Observer receives the run's structured event stream: run_start,
 	// per-center phase-1 statistics, phase latency spans, one game_iter per
 	// collaboration iteration, and run_end. Nil disables emission (the
@@ -174,13 +180,13 @@ type Report struct {
 	// starting state, and iteration 0 of any convergence curve.
 	Phase1Ratios []float64
 	Assigned     int
-	Ratios           []float64
-	Unfairness       float64
-	Transfers        int
-	Trace            []collab.TraceStep
-	Iterations       int
-	Phase1Time       time.Duration
-	Phase2Time       time.Duration
+	Ratios       []float64
+	Unfairness   float64
+	Transfers    int
+	Trace        []collab.TraceStep
+	Iterations   int
+	Phase1Time   time.Duration
+	Phase2Time   time.Duration
 }
 
 // ErrUnpartitioned is returned by Run when the instance has tasks or workers
@@ -237,6 +243,19 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		if w.Home == model.NoCenter {
 			return nil, ErrUnpartitioned
 		}
+	}
+
+	// Distance-oracle warm-up: memoize entity→node snaps and precompute the
+	// center source tables once per run. Every route starts at a center, so
+	// the center tables answer the first leg of every trial the game plays;
+	// the remaining sources fill in lazily through the oracle's cache.
+	in.PrepareMetric()
+	if pc, ok := in.Metric.(interface{ PrecomputeSources([]geo.Point) }); ok {
+		locs := make([]geo.Point, len(in.Centers))
+		for i := range in.Centers {
+			locs[i] = in.Centers[i].Loc
+		}
+		pc.PrecomputeSources(locs)
 	}
 
 	assigner := collab.Assigner(assign.Sequential)
@@ -333,7 +352,12 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	case WoC:
 		rep.Solution = p1sol
 	default:
-		ccfg := collab.Config{Assigner: assigner, Parallelism: cfg.Parallelism, Obs: cfg.Observer}
+		ccfg := collab.Config{
+			Assigner:      assigner,
+			Parallelism:   cfg.Parallelism,
+			MaxIterations: cfg.MaxGameIterations,
+			Obs:           cfg.Observer,
+		}
 		switch cfg.Method.Collab {
 		case RBDC:
 			ccfg.Recipient = collab.RandomRecipient

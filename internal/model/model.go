@@ -58,6 +58,48 @@ type TravelMetric interface {
 	TravelTime(a, b geo.Point) float64
 }
 
+// NodeMetric is a TravelMetric backed by a network of nodes (e.g. the
+// roadnet distance oracle). Queries against such a metric decompose into
+// snapping each point to a node plus a node-to-node lookup; the snap is a
+// pure function of the point, so PrepareMetric memoizes it per entity and
+// the assignment hot loops call TravelTimeNodes with the cached snaps
+// instead of re-deriving them on every TravelTime call.
+type NodeMetric interface {
+	TravelMetric
+	// SnapNode returns the metric's node nearest to p and the straight-line
+	// snap distance from p to that node.
+	SnapNode(p geo.Point) (node int32, leg float64)
+	// TravelTimeNodes returns the travel time between two pre-snapped
+	// points, each given as (node, snap-leg distance). It must equal
+	// TravelTime of the original points exactly.
+	TravelTimeNodes(aNode int32, aLeg float64, bNode int32, bLeg float64) float64
+}
+
+// NodeRef is one memoized snap: an entity location resolved to its metric
+// node and snap-leg distance. The zero value is not valid; an absent snap
+// (no node metric, or an entity added after PrepareMetric) has Node < 0 and
+// routes the query through the generic TravelTime path.
+type NodeRef struct {
+	Node int32
+	Leg  float64
+}
+
+// Valid reports whether the ref carries a memoized snap.
+func (r NodeRef) Valid() bool { return r.Node >= 0 }
+
+// noRef marks an entity without a memoized snap.
+var noRef = NodeRef{Node: -1}
+
+// metricPrep is the per-instance snap memo built by PrepareMetric. It is
+// immutable after construction and shared by Clone, so concurrent
+// phase-2 trials read it without synchronisation.
+type metricPrep struct {
+	nm      NodeMetric
+	tasks   []NodeRef
+	workers []NodeRef
+	centers []NodeRef
+}
+
 // Instance is a complete CMCTA problem instance: the platform's centers,
 // tasks and workers plus the shared travel-speed parameter.
 // All tasks and workers are indexed by their IDs: Tasks[i].ID == TaskID(i).
@@ -74,6 +116,10 @@ type Instance struct {
 	// e.g. a road network. Every algorithm in this repository calls
 	// TravelTime, so swapping the metric re-targets the whole pipeline.
 	Metric TravelMetric
+
+	// prep is the entity→node snap memo for NodeMetric metrics, built by
+	// PrepareMetric and shared (immutably) across Clones.
+	prep *metricPrep
 }
 
 // Errors returned by Validate.
@@ -139,6 +185,80 @@ func (in *Instance) TravelTime(a, b geo.Point) float64 {
 	return a.Dist(b) / in.Speed
 }
 
+// PrepareMetric memoizes the point→node snap of every task, worker and
+// center location when Metric is a NodeMetric (the roadnet distance
+// oracle), so the assignment hot loops stop re-deriving snaps on every
+// TravelTime call. A no-op for straight-line instances and non-node
+// metrics. Idempotent for an unchanged metric; call it again after swapping
+// Metric or appending entities. Not safe concurrently with itself, but the
+// memo is immutable once built and Clone shares it, so prepared instances
+// are safe for the parallel engine.
+func (in *Instance) PrepareMetric() {
+	nm, ok := in.Metric.(NodeMetric)
+	if !ok {
+		in.prep = nil
+		return
+	}
+	if p := in.prep; p != nil && p.nm == nm &&
+		len(p.tasks) == len(in.Tasks) && len(p.workers) == len(in.Workers) && len(p.centers) == len(in.Centers) {
+		return
+	}
+	p := &metricPrep{
+		nm:      nm,
+		tasks:   make([]NodeRef, len(in.Tasks)),
+		workers: make([]NodeRef, len(in.Workers)),
+		centers: make([]NodeRef, len(in.Centers)),
+	}
+	for i := range in.Tasks {
+		p.tasks[i].Node, p.tasks[i].Leg = nm.SnapNode(in.Tasks[i].Loc)
+	}
+	for i := range in.Workers {
+		p.workers[i].Node, p.workers[i].Leg = nm.SnapNode(in.Workers[i].Loc)
+	}
+	for i := range in.Centers {
+		p.centers[i].Node, p.centers[i].Leg = nm.SnapNode(in.Centers[i].Loc)
+	}
+	in.prep = p
+}
+
+// TaskRef returns the memoized snap of a task location, or an invalid ref
+// when the instance has no prepared node metric.
+func (in *Instance) TaskRef(id TaskID) NodeRef {
+	if p := in.prep; p != nil && int(id) < len(p.tasks) {
+		return p.tasks[id]
+	}
+	return noRef
+}
+
+// WorkerRef returns the memoized snap of a worker location.
+func (in *Instance) WorkerRef(id WorkerID) NodeRef {
+	if p := in.prep; p != nil && int(id) < len(p.workers) {
+		return p.workers[id]
+	}
+	return noRef
+}
+
+// CenterRef returns the memoized snap of a center location.
+func (in *Instance) CenterRef(id CenterID) NodeRef {
+	if p := in.prep; p != nil && int(id) < len(p.centers) {
+		return p.centers[id]
+	}
+	return noRef
+}
+
+// TravelTimeRef is TravelTime with memoized snaps: when both refs are valid
+// and a node metric is prepared, the query skips snapping entirely and goes
+// straight to the metric's node-to-node path; otherwise it falls back to
+// TravelTime(a, b). Both paths return bit-identical values for the same
+// points, so mixing them (e.g. unprepared test callers) cannot change
+// results — only speed.
+func (in *Instance) TravelTimeRef(a geo.Point, ar NodeRef, b geo.Point, br NodeRef) float64 {
+	if p := in.prep; p != nil && ar.Node >= 0 && br.Node >= 0 {
+		return p.nm.TravelTimeNodes(ar.Node, ar.Leg, br.Node, br.Leg)
+	}
+	return in.TravelTime(a, b)
+}
+
 // Task returns the task with the given ID.
 func (in *Instance) Task(id TaskID) *Task { return &in.Tasks[id] }
 
@@ -158,6 +278,7 @@ func (in *Instance) Clone() *Instance {
 		Speed:   in.Speed,
 		Bounds:  in.Bounds,
 		Metric:  in.Metric, // metrics are immutable; sharing is safe
+		prep:    in.prep,   // snap memo is immutable once built
 	}
 	for i, c := range in.Centers {
 		out.Centers[i] = Center{

@@ -1,0 +1,145 @@
+package roadnet
+
+import (
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+// The before/after pairs below measure the two paths the issue's acceptance
+// criterion cares about: the cache-hit path (one query against a resident
+// table) and the miss path (a full shortest-path search). Oracle vs the
+// frozen LegacyNetwork, same geometry, same pairs.
+
+const benchGrid = 64
+
+func benchBounds() geo.Rect { return geo.NewRect(geo.Pt(0, 0), geo.Pt(2000, 2000)) }
+
+var benchSink float64
+
+func BenchmarkTravelTimeHitOracle(b *testing.B) {
+	n, err := New(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	n.TravelTime(a, c) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = n.TravelTime(a, c)
+	}
+}
+
+func BenchmarkTravelTimeHitLegacy(b *testing.B) {
+	n, err := NewLegacy(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	n.TravelTime(a, c) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = n.TravelTime(a, c)
+	}
+}
+
+// The ref path is the pipeline's actual hot loop after model.PrepareMetric:
+// snaps are memoized, so a query is an addition plus one table read.
+func BenchmarkTravelTimeNodesRef(b *testing.B) {
+	n, err := New(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aN, aL := n.SnapNode(geo.Pt(123, 456))
+	cN, cL := n.SnapNode(geo.Pt(1830, 1711))
+	n.TravelTimeNodes(aN, aL, cN, cL) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = n.TravelTimeNodes(aN, aL, cN, cL)
+	}
+}
+
+// Pinned tables skip the cache entirely — the first leg of every route in a
+// warmed run.
+func BenchmarkTravelTimeNodesPinned(b *testing.B) {
+	n, err := New(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := geo.Pt(123, 456)
+	n.PrecomputeSources([]geo.Point{src})
+	aN, aL := n.SnapNode(src)
+	cN, cL := n.SnapNode(geo.Pt(1830, 1711))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = n.TravelTimeNodes(aN, aL, cN, cL)
+	}
+}
+
+func BenchmarkTravelTimeMissOracle(b *testing.B) {
+	n, err := New(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.FlushCache()
+		benchSink = n.TravelTime(a, c)
+	}
+}
+
+func BenchmarkTravelTimeMissLegacy(b *testing.B) {
+	n, err := NewLegacy(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.mu.Lock()
+		n.cache = make(map[int][]float64)
+		n.mu.Unlock()
+		benchSink = n.TravelTime(a, c)
+	}
+}
+
+// Concurrent hits on one hot pair: the oracle's lock-free snapshot read vs
+// the legacy global mutex.
+func BenchmarkTravelTimeHitParallelOracle(b *testing.B) {
+	n, err := New(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	n.TravelTime(a, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchSink = n.TravelTime(a, c)
+		}
+	})
+}
+
+func BenchmarkTravelTimeHitParallelLegacy(b *testing.B) {
+	n, err := NewLegacy(benchBounds(), benchGrid, benchGrid, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := geo.Pt(123, 456), geo.Pt(1830, 1711)
+	n.TravelTime(a, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchSink = n.TravelTime(a, c)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package roadnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sourceCache is the sharded distance-table cache of the oracle.
+//
+// Node ids are dense integers, so the table index is a flat array of atomic
+// entry pointers rather than a map: the cache-hit path is one atomic load
+// plus one atomic flag store (the clock reference bit) — no hashing, no
+// locks, no shared mutable state. Writers (the miss path) serialize on a
+// per-shard mutex; shard s owns the nodes congruent to s modulo
+// cacheShardCount, so misses on different shards insert concurrently.
+//
+// Concurrent misses on the same source are deduplicated: the first caller
+// becomes the owner of a fresh entry and runs the search; later callers find
+// the entry and wait on its ready channel (singleflight).
+//
+// Eviction is clock (second-chance) per shard: a hand walks the shard's
+// slots, skipping in-flight entries, dropping entries whose reference bit is
+// clear and clearing the bit of the rest. Hot sources — re-referenced
+// between misses — therefore survive overflow, unlike the previous
+// whole-cache wipe.
+type sourceCache struct {
+	entries  []atomic.Pointer[cacheEntry] // node id → entry
+	shards   [cacheShardCount]cacheShard
+	perShard atomic.Int64 // resident-table budget per shard
+
+	searched  []atomic.Bool // node → ever searched (unique-source accounting)
+	unique    atomic.Int64
+	runs      atomic.Int64
+	evictions atomic.Int64
+}
+
+const cacheShardCount = 16
+
+type cacheShard struct {
+	mu       sync.Mutex
+	resident int // finished + in-flight entries owned by this shard
+	hand     int // clock position, in shard-slot units
+}
+
+type cacheEntry struct {
+	dist  []float64
+	ready chan struct{}
+	done  atomic.Bool
+	ref   atomic.Bool // clock bit: referenced since the last eviction scan
+}
+
+// publish marks the entry's table ready and wakes singleflight waiters.
+func (e *cacheEntry) publish() {
+	e.done.Store(true)
+	close(e.ready)
+}
+
+func newSourceCache(nodes, capacity int) *sourceCache {
+	c := &sourceCache{
+		entries:  make([]atomic.Pointer[cacheEntry], nodes),
+		searched: make([]atomic.Bool, nodes),
+	}
+	c.setCapacity(capacity)
+	return c
+}
+
+func (c *sourceCache) setCapacity(capacity int) {
+	per := (capacity + cacheShardCount - 1) / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	c.perShard.Store(int64(per))
+}
+
+// acquire returns the entry for src and whether the caller owns it. An owner
+// must fill e.dist and call e.publish; a non-owner may need to wait on
+// e.ready before reading e.dist (see cacheEntry.done).
+func (c *sourceCache) acquire(src int32) (e *cacheEntry, owner bool) {
+	if e := c.entries[src].Load(); e != nil {
+		// Check-before-store: for hot entries the clock bit is usually
+		// already set, and an atomic load is far cheaper than the store.
+		if !e.ref.Load() {
+			e.ref.Store(true)
+		}
+		return e, false
+	}
+	sh := &c.shards[int(src)%cacheShardCount]
+	sh.mu.Lock()
+	if e := c.entries[src].Load(); e != nil {
+		// Lost the creation race: another goroutine installed this entry
+		// between our load and the lock.
+		sh.mu.Unlock()
+		e.ref.Store(true)
+		return e, false
+	}
+	c.evictLocked(int(src)%cacheShardCount, sh)
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[src].Store(e)
+	sh.resident++
+	c.markSearched(src)
+	sh.mu.Unlock()
+	return e, true
+}
+
+// evictLocked applies the clock policy to one shard until an insertion fits
+// its budget. In-flight entries (search not finished) are never evicted.
+// Caller holds the shard mutex.
+func (c *sourceCache) evictLocked(shard int, sh *cacheShard) {
+	limit := int(c.perShard.Load())
+	slots := (len(c.entries) - shard + cacheShardCount - 1) / cacheShardCount
+	for sh.resident >= limit {
+		evicted := false
+		// Up to two passes: the first clears reference bits, the second
+		// catches the entries that just lost theirs.
+		for scanned := 0; scanned < 2*slots; scanned++ {
+			node := shard + sh.hand*cacheShardCount
+			sh.hand++
+			if sh.hand >= slots {
+				sh.hand = 0
+			}
+			e := c.entries[node].Load()
+			if e == nil || !e.done.Load() {
+				continue
+			}
+			if e.ref.Swap(false) {
+				continue // second chance: hot entries survive
+			}
+			c.entries[node].Store(nil)
+			sh.resident--
+			c.evictions.Add(1)
+			mCacheEvictions.Inc()
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight: allow temporary overflow
+		}
+	}
+}
+
+// purge drops every entry, returning how many were dropped. Used by
+// congestion reshapes and FlushCache; not safe concurrently with queries
+// (like every Network mutator), so no search is in flight here.
+func (c *sourceCache) purge() int {
+	dropped := 0
+	for s := range c.shards {
+		c.shards[s].mu.Lock()
+	}
+	for i := range c.entries {
+		if c.entries[i].Load() != nil {
+			c.entries[i].Store(nil)
+			dropped++
+		}
+	}
+	for s := range c.shards {
+		c.shards[s].resident = 0
+		c.shards[s].hand = 0
+		c.shards[s].mu.Unlock()
+	}
+	c.evictions.Add(int64(dropped))
+	mCacheEvictions.Add(int64(dropped))
+	return dropped
+}
+
+// markSearched records src in the unique-source set.
+func (c *sourceCache) markSearched(src int32) {
+	if !c.searched[src].Swap(true) {
+		c.unique.Add(1)
+	}
+}
+
+func (c *sourceCache) stats() Stats {
+	entries := 0
+	for s := range c.shards {
+		c.shards[s].mu.Lock()
+		entries += c.shards[s].resident
+		c.shards[s].mu.Unlock()
+	}
+	return Stats{
+		DijkstraRuns:  c.runs.Load(),
+		UniqueSources: c.unique.Load(),
+		Entries:       entries,
+		Evictions:     c.evictions.Load(),
+	}
+}

@@ -1,0 +1,47 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+// FuzzNearestNode checks the snap clamp: any point — inside the bounds, far
+// outside them, or outright non-finite — must snap to a valid node id, and
+// SnapNode's leg must be non-negative. The seeds cover the corners, the
+// exact bounds, and the IEEE specials; `go test` replays them on every run.
+func FuzzNearestNode(f *testing.F) {
+	seeds := [][2]float64{
+		{0, 0}, {100, 100}, {50, 50},
+		{-1e9, 1e9}, {1e300, -1e300},
+		{math.NaN(), 50}, {50, math.NaN()},
+		{math.Inf(1), math.Inf(-1)},
+		{math.Nextafter(0, -1), math.Nextafter(100, 101)},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	n, err := New(geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100)), 13, 9, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		p := geo.Pt(x, y)
+		id := n.nearestNode(p)
+		if id < 0 || id >= n.Nodes() {
+			t.Fatalf("nearestNode(%v) = %d out of [0,%d)", p, id, n.Nodes())
+		}
+		node, leg := n.SnapNode(p)
+		if int(node) != id {
+			t.Fatalf("SnapNode(%v) node %d != nearestNode %d", p, node, id)
+		}
+		// leg is NaN for non-finite inputs (distance to NaN); finite inputs
+		// must give a finite non-negative leg.
+		if !math.IsNaN(x) && !math.IsNaN(y) && !math.IsInf(x, 0) && !math.IsInf(y, 0) {
+			if math.IsNaN(leg) || leg < 0 {
+				t.Fatalf("SnapNode(%v) leg = %v", p, leg)
+			}
+		}
+	})
+}

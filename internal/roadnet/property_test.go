@@ -1,0 +1,279 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+// randomCongestion shapes a reproducible random congestion field: a handful
+// of disks with factors in [1, 5).
+func randomCongestion(n *Network, rng *rand.Rand) {
+	for i := 0; i < 4; i++ {
+		p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		n.SetCongestionDisk(p, 5+rng.Float64()*15, 1+rng.Float64()*4)
+	}
+}
+
+// TravelTime must be exactly symmetric — not approximately. The oracle
+// serves both directions of a pair from one canonical table (orient), so any
+// asymmetry would be a table-selection bug that breaks the bit-identical
+// determinism contract of the parallel pipeline.
+func TestPropertySymmetryExact(t *testing.T) {
+	n := grid(t, 21, 21, 10)
+	rng := rand.New(rand.NewSource(301))
+	randomCongestion(n, rng)
+	// Pin a few sources so the test also crosses the pinned/unpinned orient
+	// branch.
+	n.PrecomputeSources([]geo.Point{geo.Pt(10, 10), geo.Pt(90, 90)})
+	for i := 0; i < 500; i++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ab, ba := n.TravelTime(a, b), n.TravelTime(b, a)
+		if ab != ba {
+			t.Fatalf("TravelTime not bit-symmetric: %v vs %v for %v<->%v", ab, ba, a, b)
+		}
+	}
+}
+
+// Road travel between node-aligned points can never beat the straight line
+// at base speed: every edge is at least as long as its Euclidean projection
+// and congestion only slows it further.
+func TestPropertyDominatesEuclideanExact(t *testing.T) {
+	n := grid(t, 15, 15, 20)
+	rng := rand.New(rand.NewSource(302))
+	randomCongestion(n, rng)
+	for i := 0; i < 300; i++ {
+		a := n.NodeLoc(rng.Intn(n.Nodes()))
+		b := n.NodeLoc(rng.Intn(n.Nodes()))
+		road := n.TravelTime(a, b)
+		straight := a.Dist(b) / 20
+		if road < straight-1e-9 {
+			t.Fatalf("road %v beats straight %v for nodes %v->%v", road, straight, a, b)
+		}
+	}
+}
+
+// Node-to-node road distances form a true metric, so the triangle inequality
+// must hold exactly (up to float summation noise) under any congestion
+// field. The snap legs of off-node points can violate it, which is why this
+// property is stated on node-aligned points.
+func TestPropertyTriangleUnderRandomCongestion(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		n := grid(t, 13, 13, 15)
+		rng := rand.New(rand.NewSource(400 + seed))
+		randomCongestion(n, rng)
+		for i := 0; i < 200; i++ {
+			a := n.NodeLoc(rng.Intn(n.Nodes()))
+			b := n.NodeLoc(rng.Intn(n.Nodes()))
+			c := n.NodeLoc(rng.Intn(n.Nodes()))
+			ac := n.TravelTime(a, c)
+			detour := n.TravelTime(a, b) + n.TravelTime(b, c)
+			if ac > detour+1e-9 {
+				t.Fatalf("seed %d: triangle violated: d(a,c)=%v > %v via %v", seed, ac, detour, b)
+			}
+		}
+	}
+}
+
+// The oracle must compute the same distances as the frozen legacy
+// implementation — Dial's algorithm and the CSR adjacency are a faster
+// search, not a different metric.
+func TestPropertyOracleMatchesLegacy(t *testing.T) {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	n, err := New(bounds, 17, 17, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLegacy(bounds, 17, 17, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetCongestionDisk(geo.Pt(40, 60), 25, 3.5)
+	l.SetCongestionDisk(geo.Pt(40, 60), 25, 3.5)
+	rng := rand.New(rand.NewSource(303))
+	for i := 0; i < 300; i++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		got, want := n.TravelTime(a, b), l.TravelTime(a, b)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("oracle %v != legacy %v for %v->%v", got, want, a, b)
+		}
+	}
+}
+
+// Concurrent misses on one source must share a single search — the
+// singleflight acceptance criterion: dijkstra_runs == unique sources.
+func TestSingleflightConcurrentMiss(t *testing.T) {
+	n := grid(t, 31, 31, 10)
+	const goroutines = 32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	vals := make([]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			// All queries orient onto source node 5 (min id, unpinned).
+			vals[g] = n.TravelTimeNodes(5, 0, int32(600+g), 0)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	s := n.Stats()
+	if s.DijkstraRuns != 1 || s.UniqueSources != 1 {
+		t.Fatalf("concurrent same-source misses duplicated work: runs=%d unique=%d",
+			s.DijkstraRuns, s.UniqueSources)
+	}
+	for g, v := range vals {
+		if v <= 0 || math.IsInf(v, 1) {
+			t.Fatalf("goroutine %d read a bogus distance %v", g, v)
+		}
+	}
+}
+
+// With capacity at the node count no table is ever refaulted, so every
+// search corresponds to exactly one unique source — the zero-duplicate-work
+// invariant the scale benchmark asserts.
+func TestUniqueSourceAccounting(t *testing.T) {
+	n := grid(t, 21, 21, 10)
+	n.SetCacheCapacity(n.Nodes())
+	rng := rand.New(rand.NewSource(304))
+	for i := 0; i < 2000; i++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		n.TravelTime(a, b)
+	}
+	s := n.Stats()
+	if s.DijkstraRuns != s.UniqueSources {
+		t.Fatalf("duplicate searches: runs=%d unique=%d", s.DijkstraRuns, s.UniqueSources)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("evictions with capacity == node count: %d", s.Evictions)
+	}
+}
+
+// Clock eviction gives re-referenced tables a second chance: a source
+// touched between misses survives a stream of cold sources through its
+// shard, where the old implementation wiped the whole cache.
+func TestClockEvictionKeepsHotSources(t *testing.T) {
+	n := grid(t, 31, 31, 10)
+	n.SetCacheCapacity(2 * cacheShardCount) // two tables per shard
+	const hot = int32(0)
+	dst := int32(n.Nodes() - 1)
+	n.TravelTimeNodes(hot, 0, dst, 0)
+	n.TravelTimeNodes(hot, 0, dst, 0) // second touch sets the clock bit
+	// Stream cold sources through shard 0 (ids ≡ 0 mod shard count), touching
+	// the hot source between each miss.
+	for s := int32(cacheShardCount); s < 40*cacheShardCount; s += cacheShardCount {
+		n.TravelTimeNodes(s, 0, dst, 0)
+		n.TravelTimeNodes(hot, 0, dst, 0)
+	}
+	st := n.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no eviction pressure; test is vacuous")
+	}
+	// A refault of the hot source would make runs exceed unique sources
+	// (cold sources are never re-queried).
+	if st.DijkstraRuns != st.UniqueSources {
+		t.Fatalf("hot source was evicted and refaulted: runs=%d unique=%d",
+			st.DijkstraRuns, st.UniqueSources)
+	}
+}
+
+// SetCongestion on an empty cache must not count evictions (satellite fix:
+// the old code bumped the eviction counter even when there was nothing to
+// evict).
+func TestCongestionNoSpuriousEvictions(t *testing.T) {
+	n := grid(t, 11, 11, 10)
+	before := mCacheEvictions.Value()
+	n.SetCongestion(geo.Pt(50, 50), 3)       // cache is empty
+	n.SetCongestionDisk(geo.Pt(0, 0), 20, 2) // still empty
+	if got := mCacheEvictions.Value(); got != before {
+		t.Fatalf("evictions counted on an empty cache: %d -> %d", before, got)
+	}
+	if s := n.Stats(); s.Evictions != 0 {
+		t.Fatalf("per-network evictions on an empty cache: %d", s.Evictions)
+	}
+	// With a resident table the reshape must count it.
+	n.TravelTime(geo.Pt(5, 5), geo.Pt(95, 95))
+	n.SetCongestion(geo.Pt(50, 50), 2)
+	if s := n.Stats(); s.Evictions == 0 {
+		t.Fatal("congestion reshape dropped a table without counting it")
+	}
+}
+
+// Pinned tables answer without cache traffic, are idempotent to re-pin, and
+// are recomputed — not dropped — by congestion reshapes.
+func TestPrecomputeSources(t *testing.T) {
+	n := grid(t, 21, 21, 10)
+	ctr := geo.Pt(50, 50)
+	n.PrecomputeSources([]geo.Point{ctr})
+	n.PrecomputeSources([]geo.Point{ctr}) // idempotent
+	if s := n.Stats(); s.Pinned != 1 || s.DijkstraRuns != 1 {
+		t.Fatalf("pin not idempotent: pinned=%d runs=%d", s.Pinned, s.DijkstraRuns)
+	}
+	far := geo.Pt(95, 95)
+	before := n.TravelTime(ctr, far)
+	if s := n.Stats(); s.Entries != 0 {
+		t.Fatalf("pinned query went through the cache: %d entries", s.Entries)
+	}
+	// Congestion reshape recomputes the pinned table in place. Congest the
+	// whole grid so no free detour can hide a stale table.
+	n.SetCongestionDisk(geo.Pt(50, 50), 200, 4)
+	after := n.TravelTime(ctr, far)
+	if s := n.Stats(); s.Pinned != 1 {
+		t.Fatalf("pin lost across congestion reshape: pinned=%d", s.Pinned)
+	}
+	if after <= before {
+		t.Fatalf("pinned table not recomputed: %v -> %v", before, after)
+	}
+	// The pinned value must equal a cold computation of the same pair.
+	n2 := grid(t, 21, 21, 10)
+	n2.SetCongestionDisk(geo.Pt(50, 50), 200, 4)
+	if want := n2.TravelTime(ctr, far); after != want {
+		t.Fatalf("pinned table diverged from cold computation: %v vs %v", after, want)
+	}
+}
+
+// The heap fallback must agree with the Dial search: force it by asking for
+// a congestion ratio beyond the ring cap.
+func TestHeapFallbackMatchesDial(t *testing.T) {
+	bounds := geo.NewRect(geo.Pt(0, 0), geo.Pt(100, 100))
+	dial, err := New(bounds, 15, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := New(bounds, 15, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dial.buckets == 0 {
+		t.Fatal("baseline network unexpectedly on the heap path")
+	}
+	heap.buckets = 0 // force the typed-heap fallback on identical weights
+	rng := rand.New(rand.NewSource(305))
+	for i := 0; i < 200; i++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		if d, h := dial.TravelTime(a, b), heap.TravelTime(a, b); d != h {
+			t.Fatalf("dial %v != heap %v for %v->%v", d, h, a, b)
+		}
+	}
+	// A pathological congestion ratio must select the heap automatically.
+	extreme, err := New(bounds, 5, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extreme.SetCongestion(geo.Pt(50, 50), float64(2*maxDialBuckets))
+	if extreme.buckets != 0 {
+		t.Fatalf("extreme congestion ratio kept the Dial ring: %d buckets", extreme.buckets)
+	}
+	if d := extreme.TravelTime(geo.Pt(0, 0), geo.Pt(100, 100)); math.IsInf(d, 1) || d <= 0 {
+		t.Fatalf("heap fallback produced %v", d)
+	}
+}

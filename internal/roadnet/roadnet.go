@@ -1,62 +1,105 @@
-// Package roadnet provides a grid road network with Dijkstra shortest-path
-// travel times — a drop-in model.TravelMetric that replaces the paper's
+// Package roadnet provides a grid road network with shortest-path travel
+// times — a drop-in model.TravelMetric that replaces the paper's
 // straight-line travel model with street-constrained movement.
 //
 // The network is a 4-connected lattice over the service area. Each edge
 // carries a travel time derived from the base speed and an optional
 // per-cell congestion factor; a query snaps both endpoints to their nearest
-// lattice nodes, runs (cached) Dijkstra from the source node, and adds the
-// snap legs at base speed. With congestion 1 everywhere the metric is the
-// Manhattan-style road distance, always ≥ the Euclidean one.
+// lattice nodes, reads the road distance between the nodes from the
+// distance oracle, and adds the snap legs at base speed. With congestion 1
+// everywhere the metric is the Manhattan-style road distance, always ≥ the
+// Euclidean one.
+//
+// # Distance oracle
+//
+// Queries are served by a per-source distance-table oracle (DESIGN.md §10):
+//
+//   - The adjacency is a flat CSR array built once at New/SetCongestion
+//     time, so the search touches no maps and no interface values.
+//   - Cache misses run a monotone bucket-queue search (Dial's algorithm)
+//     that exploits the lattice's bounded edge-weight ratio; a typed binary
+//     heap covers pathological congestion ratios.
+//   - Distance tables live in a sharded clock-LRU cache; concurrent misses
+//     on the same source are deduplicated (singleflight), and hot sources
+//     survive overflow instead of being wiped with the whole cache.
+//   - The metric is symmetric, so one table answers both query directions.
+//     The serving table is chosen by a pure function of the two endpoint
+//     nodes (pinned sources first, then the smaller node id) — never by
+//     cache state — keeping results bit-identical at any parallelism.
+//   - PrecomputeSources pins hot sources (center locations, typically) so
+//     runs start with their tables resident and exempt from eviction.
 package roadnet
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 	"sync"
-	"time"
 
 	"imtao/internal/geo"
 	"imtao/internal/obs"
 )
 
 // Cache and search counters, shared by every Network in the process (the
-// pipeline normally runs one). Lock-wait timing needs a time.Now pair per
-// query, so it only records when obs.EnableTiming is on.
+// pipeline normally runs one). Per-network numbers are available via Stats.
 var (
 	mCacheHits = obs.Default.Counter("imtao_roadnet_cache_hits_total",
-		"Dijkstra source-cache hits")
+		"distance-table cache hits (pinned tables included)")
 	mCacheMisses = obs.Default.Counter("imtao_roadnet_cache_misses_total",
-		"Dijkstra source-cache misses")
+		"distance-table cache misses")
 	mDijkstraRuns = obs.Default.Counter("imtao_roadnet_dijkstra_runs_total",
-		"full Dijkstra searches executed (duplicates under concurrent misses included)")
+		"full shortest-path searches executed (concurrent same-source misses share one)")
 	mCacheEvictions = obs.Default.Counter("imtao_roadnet_cache_evictions_total",
-		"full cache evictions (capacity reached or congestion reshaped)")
-	mLockWait = obs.Default.Histogram("imtao_roadnet_lock_wait_seconds",
-		"time spent acquiring the cache mutex per query (only with timing enabled)",
-		obs.TimeBuckets)
+		"distance tables evicted (capacity pressure or congestion reshape)")
+	mSingleflight = obs.Default.Counter("imtao_roadnet_singleflight_waits_total",
+		"queries that waited on another goroutine's in-flight search instead of duplicating it")
+	mPinnedSources = obs.Default.Gauge("imtao_roadnet_pinned_sources",
+		"sources pinned by PrecomputeSources (eviction-exempt distance tables)")
 )
 
-// Network is an immutable-after-build grid road network.
-// Build one with New, optionally shape congestion with SetCongestion, then
-// hand it to model.Instance.Metric. Queries are cached per source node; the
-// cache is guarded by a mutex, so TravelTime may be called from the parallel
-// IMTAO engine's worker goroutines. The SetCongestion mutators are not
-// concurrency-safe — reshape congestion only between runs.
+// Network is an immutable-after-build grid road network with a cached
+// distance oracle. Build one with New, optionally shape congestion with
+// SetCongestion and warm hot sources with PrecomputeSources, then hand it to
+// model.Instance.Metric. TravelTime and TravelTimeNodes are safe for
+// concurrent use; the mutators (SetCongestion*, PrecomputeSources,
+// SetCacheCapacity, FlushCache) are not — reshape only between runs.
 type Network struct {
 	bounds       geo.Rect
 	nx, ny       int // nodes per axis
 	stepX, stepY float64
 	speed        float64
+	invSpeed     float64 // 1/speed — the hot path multiplies, never divides
 	// congestion[node] ≥ 1 multiplies the time of edges incident to the
 	// node (max of the two endpoints is used per edge).
 	congestion []float64
 
-	mu       sync.Mutex
-	cache    map[int][]float64
-	cacheCap int
+	// CSR adjacency, rebuilt by New and the SetCongestion mutators. adjTime
+	// holds the edge travel time in hours, so the search does no arithmetic
+	// beyond one addition per relaxation.
+	rowStart []int32
+	adjNode  []int32
+	adjTime  []float64
+	minEdge  float64 // smallest edge time — the Dial bucket width
+	buckets  int     // Dial ring size; 0 selects the binary-heap fallback
+
+	cache   *sourceCache
+	scratch sync.Pool // *searchScratch
+
+	// Pinned sources (PrecomputeSources): always-resident distance tables,
+	// looked up without locks. pinnedIdx[node] indexes pinnedDist, -1 when
+	// the node is not pinned.
+	pinnedIdx  []int32
+	pinnedDist [][]float64
+	pinnedSrcs []int32 // pinned nodes in first-registration order
 }
+
+// maxDialBuckets caps the Dial ring. A ring needs maxEdge/minEdge buckets;
+// beyond this the congestion ratio is pathological and the typed binary heap
+// is the better search.
+const maxDialBuckets = 1 << 14
+
+// defaultCacheCap is the default number of cached distance tables (pinned
+// tables are exempt and uncounted).
+const defaultCacheCap = 1024
 
 // New builds a grid network with nx × ny nodes over bounds, travelling at
 // the given base speed (distance units per hour).
@@ -76,13 +119,19 @@ func New(bounds geo.Rect, nx, ny int, speed float64) (*Network, error) {
 		stepX:      bounds.Width() / float64(nx-1),
 		stepY:      bounds.Height() / float64(ny-1),
 		speed:      speed,
+		invSpeed:   1 / speed,
 		congestion: make([]float64, nx*ny),
-		cache:      make(map[int][]float64),
-		cacheCap:   512,
 	}
 	for i := range n.congestion {
 		n.congestion[i] = 1
 	}
+	n.pinnedIdx = make([]int32, nx*ny)
+	for i := range n.pinnedIdx {
+		n.pinnedIdx[i] = -1
+	}
+	n.cache = newSourceCache(nx*ny, defaultCacheCap)
+	n.scratch.New = func() any { return &searchScratch{} }
+	n.rebuild()
 	return n, nil
 }
 
@@ -95,18 +144,87 @@ func (n *Network) NodeLoc(id int) geo.Point {
 	return geo.Pt(n.bounds.Min.X+float64(x)*n.stepX, n.bounds.Min.Y+float64(y)*n.stepY)
 }
 
+// rebuild derives the CSR adjacency from the current congestion field and
+// sizes the Dial ring. Called by New and the SetCongestion mutators.
+func (n *Network) rebuild() {
+	total := n.Nodes()
+	if n.rowStart == nil {
+		n.rowStart = make([]int32, total+1)
+		// 4-connected lattice: interior nodes have 4 edges; the exact count
+		// is 2·(nx·(ny−1) + ny·(nx−1)) directed entries.
+		edges := 2 * (n.nx*(n.ny-1) + n.ny*(n.nx-1))
+		n.adjNode = make([]int32, edges)
+		n.adjTime = make([]float64, edges)
+	}
+	minEdge, maxEdge := math.Inf(1), 0.0
+	e := int32(0)
+	for id := 0; id < total; id++ {
+		n.rowStart[id] = e
+		x, y := id%n.nx, id/n.nx
+		cu := n.congestion[id]
+		// Fixed neighbour order (left, right, down, up) keeps every search
+		// fully deterministic.
+		if x > 0 {
+			e = n.addEdge(e, id, id-1, n.stepX, cu)
+		}
+		if x < n.nx-1 {
+			e = n.addEdge(e, id, id+1, n.stepX, cu)
+		}
+		if y > 0 {
+			e = n.addEdge(e, id, id-n.nx, n.stepY, cu)
+		}
+		if y < n.ny-1 {
+			e = n.addEdge(e, id, id+n.nx, n.stepY, cu)
+		}
+		for k := n.rowStart[id]; k < e; k++ {
+			w := n.adjTime[k]
+			if w < minEdge {
+				minEdge = w
+			}
+			if w > maxEdge {
+				maxEdge = w
+			}
+		}
+	}
+	n.rowStart[total] = e
+	n.minEdge = minEdge
+	b := int(maxEdge/minEdge) + 2
+	if b > maxDialBuckets {
+		b = 0 // heap fallback
+	}
+	n.buckets = b
+}
+
+func (n *Network) addEdge(e int32, u, v int, step, cu float64) int32 {
+	f := cu
+	if cv := n.congestion[v]; cv > f {
+		f = cv
+	}
+	n.adjNode[e] = int32(v)
+	n.adjTime[e] = step * f / n.speed
+	return e + 1
+}
+
+// invalidate drops every cached distance table (counting only tables that
+// actually existed as evictions) and recomputes the pinned tables against
+// the new congestion field.
+func (n *Network) invalidate() {
+	n.rebuild()
+	n.cache.purge()
+	for i, src := range n.pinnedSrcs {
+		n.pinnedDist[i] = n.runSearch(src)
+	}
+}
+
 // SetCongestion sets the slowdown factor (≥ 1) of the node nearest to p;
-// edges touching the node take factor× longer. Setting congestion resets
-// the query cache.
+// edges touching the node take factor× longer. Setting congestion rebuilds
+// the adjacency and resets the query cache.
 func (n *Network) SetCongestion(p geo.Point, factor float64) {
 	if factor < 1 {
 		factor = 1
 	}
 	n.congestion[n.nearestNode(p)] = factor
-	n.mu.Lock()
-	n.cache = make(map[int][]float64)
-	n.mu.Unlock()
-	mCacheEvictions.Inc()
+	n.invalidate()
 }
 
 // SetCongestionDisk applies the factor to every node within radius of p.
@@ -119,10 +237,42 @@ func (n *Network) SetCongestionDisk(p geo.Point, radius, factor float64) {
 			n.congestion[id] = factor
 		}
 	}
-	n.mu.Lock()
-	n.cache = make(map[int][]float64)
-	n.mu.Unlock()
-	mCacheEvictions.Inc()
+	n.invalidate()
+}
+
+// SetCacheCapacity bounds the number of resident unpinned distance tables.
+// Not safe concurrently with queries.
+func (n *Network) SetCacheCapacity(tables int) {
+	if tables < 1 {
+		tables = 1
+	}
+	n.cache.setCapacity(tables)
+}
+
+// FlushCache drops every cached unpinned distance table. Pinned tables stay.
+func (n *Network) FlushCache() {
+	n.cache.purge()
+}
+
+// PrecomputeSources computes and pins the distance tables of the nodes
+// nearest to the given points. Pinned tables are exempt from eviction, are
+// read without locks, and win the which-endpoint-serves tie against unpinned
+// nodes, so warming the hot sources of a run (center locations, typically)
+// removes both the cold-start searches and the cache traffic they would
+// otherwise cause under contention. Idempotent; not safe concurrently with
+// queries. Pins survive SetCongestion (tables are recomputed).
+func (n *Network) PrecomputeSources(pts []geo.Point) {
+	for _, p := range pts {
+		src := int32(n.nearestNode(p))
+		if n.pinnedIdx[src] >= 0 {
+			continue
+		}
+		n.pinnedIdx[src] = int32(len(n.pinnedDist))
+		n.pinnedDist = append(n.pinnedDist, n.runSearch(src))
+		n.pinnedSrcs = append(n.pinnedSrcs, src)
+		n.cache.markSearched(src)
+	}
+	mPinnedSources.Set(float64(len(n.pinnedSrcs)))
 }
 
 func (n *Network) nearestNode(p geo.Point) int {
@@ -143,103 +293,108 @@ func (n *Network) nearestNode(p geo.Point) int {
 	return y*n.nx + x
 }
 
+// SnapNode implements model.NodeMetric: the nearest lattice node to p and
+// the straight-line snap distance from p to it.
+func (n *Network) SnapNode(p geo.Point) (int32, float64) {
+	id := n.nearestNode(p)
+	return int32(id), p.Dist(n.NodeLoc(id))
+}
+
 // TravelTime implements model.TravelMetric: snap both points to the grid,
 // take the shortest road path between the nodes, and add the snap legs at
 // base speed.
 func (n *Network) TravelTime(a, b geo.Point) float64 {
-	sa, sb := n.nearestNode(a), n.nearestNode(b)
-	snap := (a.Dist(n.NodeLoc(sa)) + b.Dist(n.NodeLoc(sb))) / n.speed
-	if sa == sb {
+	sa, la := n.SnapNode(a)
+	sb, lb := n.SnapNode(b)
+	return n.TravelTimeNodes(sa, la, sb, lb)
+}
+
+// TravelTimeNodes implements model.NodeMetric: the travel time between two
+// pre-snapped points, each given as (node, snap-leg distance). This is the
+// hot-loop entry — with memoized snaps it costs one addition and one
+// distance-table read on the cache-hit path.
+//
+// The serving table is picked by a pure function of the node pair and the
+// pinned set — pinned endpoint first, then the smaller id — so the answer
+// never depends on cache state and stays bit-identical across parallelism
+// levels (DESIGN.md §10). Symmetry of the metric makes either table correct;
+// picking one canonically also means a query and its reverse share a single
+// table and a single search.
+func (n *Network) TravelTimeNodes(aNode int32, aLeg float64, bNode int32, bLeg float64) float64 {
+	snap := (aLeg + bLeg) * n.invSpeed
+	if aNode == bNode {
 		return snap
 	}
-	return snap + n.shortest(sa)[sb]
-}
-
-// shortest returns (and caches) the Dijkstra distance array from src.
-// Concurrent callers missing on the same source may both run Dijkstra; the
-// duplicated work is harmless (the result is identical) and keeps the search
-// itself outside the lock.
-func (n *Network) shortest(src int) []float64 {
-	n.lock()
-	if d, ok := n.cache[src]; ok {
-		n.mu.Unlock()
+	src, dst, pi := aNode, bNode, n.pinnedIdx[aNode]
+	if pb := n.pinnedIdx[bNode]; (pi >= 0) != (pb >= 0) {
+		if pb >= 0 {
+			src, dst, pi = bNode, aNode, pb
+		}
+	} else if bNode < aNode {
+		src, dst, pi = bNode, aNode, pb
+	}
+	if pi >= 0 {
 		mCacheHits.Inc()
-		return d
+		return snap + n.pinnedDist[pi][dst]
 	}
-	n.mu.Unlock()
-	mCacheMisses.Inc()
-	dist := n.dijkstra(src)
-	mDijkstraRuns.Inc()
-	n.lock()
-	if len(n.cache) >= n.cacheCap {
-		n.cache = make(map[int][]float64) // simple full eviction
-		mCacheEvictions.Inc()
-	}
-	n.cache[src] = dist
-	n.mu.Unlock()
-	return dist
+	return snap + n.table(src)[dst]
 }
 
-// lock acquires the cache mutex, recording the wait when timing is enabled.
-func (n *Network) lock() {
-	if !obs.TimingOn() {
-		n.mu.Lock()
-		return
-	}
-	t0 := time.Now()
-	n.mu.Lock()
-	mLockWait.Observe(time.Since(t0).Seconds())
-}
-
-func (n *Network) dijkstra(src int) []float64 {
-	total := n.Nodes()
-	dist := make([]float64, total)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	pq := &nodeHeap{{id: src, d: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(nodeEntry)
-		if cur.d > dist[cur.id] {
-			continue
+// orient exposes the canonical table-selection rule of TravelTimeNodes for
+// tests and documentation.
+func (n *Network) orient(a, b int32) (src, dst int32) {
+	pa, pb := n.pinnedIdx[a] >= 0, n.pinnedIdx[b] >= 0
+	if pa != pb {
+		if pa {
+			return a, b
 		}
-		x, y := cur.id%n.nx, cur.id/n.nx
-		for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
-			if nb[0] < 0 || nb[0] >= n.nx || nb[1] < 0 || nb[1] >= n.ny {
-				continue
-			}
-			nid := nb[1]*n.nx + nb[0]
-			step := n.stepX
-			if nb[0] == x {
-				step = n.stepY
-			}
-			factor := math.Max(n.congestion[cur.id], n.congestion[nid])
-			nd := cur.d + step*factor/n.speed
-			if nd < dist[nid] {
-				dist[nid] = nd
-				heap.Push(pq, nodeEntry{id: nid, d: nd})
-			}
-		}
+		return b, a
 	}
-	return dist
+	if a < b {
+		return a, b
+	}
+	return b, a
 }
 
-type nodeEntry struct {
-	id int
-	d  float64
+// table returns the distance table of src, computing it on a miss. Misses
+// for the same source are shared: the first goroutine runs the search, the
+// rest wait on its result (singleflight).
+func (n *Network) table(src int32) []float64 {
+	e, owner := n.cache.acquire(src)
+	if owner {
+		mCacheMisses.Inc()
+		e.dist = n.runSearch(src)
+		e.publish()
+		return e.dist
+	}
+	mCacheHits.Inc()
+	if !e.done.Load() {
+		mSingleflight.Inc()
+		<-e.ready
+	}
+	return e.dist
 }
 
-type nodeHeap []nodeEntry
+// Stats is a point-in-time snapshot of one network's oracle counters.
+type Stats struct {
+	// DijkstraRuns counts full shortest-path searches executed, pinned
+	// precomputation included.
+	DijkstraRuns int64
+	// UniqueSources counts distinct source nodes ever searched. With a
+	// capacity that avoids refaults this equals DijkstraRuns — the
+	// no-duplicate-work invariant of the singleflight cache.
+	UniqueSources int64
+	// Entries is the number of resident unpinned distance tables.
+	Entries int
+	// Pinned is the number of pinned distance tables.
+	Pinned int
+	// Evictions counts tables dropped for capacity or congestion reshape.
+	Evictions int64
+}
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// Stats returns this network's oracle counters.
+func (n *Network) Stats() Stats {
+	s := n.cache.stats()
+	s.Pinned = len(n.pinnedSrcs)
+	return s
 }

@@ -120,7 +120,7 @@ func TestCacheConsistency(t *testing.T) {
 		}
 	}
 	// Force cache eviction by querying many sources.
-	n.cacheCap = 4
+	n.SetCacheCapacity(4)
 	rng := rand.New(rand.NewSource(213))
 	for i := 0; i < 30; i++ {
 		n.TravelTime(geo.Pt(rng.Float64()*100, rng.Float64()*100), b)

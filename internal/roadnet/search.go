@@ -1,0 +1,189 @@
+package roadnet
+
+import "math"
+
+// searchScratch is the reusable per-search working set: the Dial bucket
+// ring, the settled-epoch marks, and the typed heap of the fallback. One
+// scratch serves many searches without reallocating; the Network keeps a
+// sync.Pool of them so concurrent searches never contend on scratch.
+type searchScratch struct {
+	ring  [][]int32
+	mark  []int32 // mark[v] == epoch ⇒ v settled in the current search
+	epoch int32
+	heap  []heapItem
+}
+
+// runSearch computes the exact shortest-path distance table from src over
+// the CSR adjacency. The result array is freshly allocated (it outlives the
+// call inside the cache); all other working memory comes from the scratch
+// pool. Every search is fully deterministic: fixed neighbour order, a
+// monotone bucket queue (or a typed heap ordered by (distance, id)), and
+// settled nodes are never relaxed again.
+func (n *Network) runSearch(src int32) []float64 {
+	total := n.Nodes()
+	dist := make([]float64, total)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+
+	s := n.scratch.Get().(*searchScratch)
+	if len(s.mark) < total {
+		s.mark = make([]int32, total)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == math.MaxInt32 { // epoch wrap: reset marks once per 2^31 searches
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+
+	if n.buckets > 0 {
+		n.dial(src, dist, s)
+	} else {
+		n.heapSearch(src, dist, s)
+	}
+	n.scratch.Put(s)
+	n.cache.runs.Add(1)
+	mDijkstraRuns.Inc()
+	return dist
+}
+
+// dial is Dijkstra with a monotone bucket queue (Dial's algorithm). The
+// bucket width is the minimum edge time, which makes every label in the
+// active bucket final: two labels in one bucket differ by less than one
+// edge, so neither can improve the other. The ring has maxEdge/minEdge + 2
+// slots — enough that a tentative label (≤ active + maxEdge) never collides
+// with the active bucket from behind. No heap, no interface boxing, and
+// relaxation is one compare + append.
+func (n *Network) dial(src int32, dist []float64, s *searchScratch) {
+	ringSize := n.buckets
+	if cap(s.ring) < ringSize {
+		s.ring = make([][]int32, ringSize)
+	}
+	ring := s.ring[:ringSize]
+	delta := n.minEdge
+
+	ring[0] = append(ring[0][:0], src)
+	pending := 1
+	for abs := 0; pending > 0; abs++ {
+		slot := abs % ringSize
+		// Index loop: relaxations may append to the active bucket (labels
+		// that round down onto it), so len is re-read every iteration.
+		for i := 0; i < len(ring[slot]); i++ {
+			u := ring[slot][i]
+			pending--
+			if s.mark[u] == s.epoch {
+				continue // stale entry: settled from an earlier bucket
+			}
+			s.mark[u] = s.epoch
+			du := dist[u]
+			for e := n.rowStart[u]; e < n.rowStart[u+1]; e++ {
+				v := n.adjNode[e]
+				if s.mark[v] == s.epoch {
+					continue
+				}
+				nd := du + n.adjTime[e]
+				if nd < dist[v] {
+					dist[v] = nd
+					b := int(nd / delta)
+					// Float-rounding guards: a label belongs to
+					// [abs, abs+ringSize-1] by construction; clamp the
+					// pathological half-ulp cases back into the window.
+					if b < abs {
+						b = abs
+					} else if b > abs+ringSize-1 {
+						b = abs + ringSize - 1
+					}
+					ring[b%ringSize] = append(ring[b%ringSize], v)
+					pending++
+				}
+			}
+		}
+		ring[slot] = ring[slot][:0]
+	}
+}
+
+// heapItem is one typed binary-heap element — no interface{} boxing, no
+// per-push allocation (the backing array lives in the scratch).
+type heapItem struct {
+	d  float64
+	id int32
+}
+
+// heapSearch is the Dijkstra fallback for pathological congestion ratios
+// where the Dial ring would be enormous. Ordering is (distance, id) so the
+// settle order — and with it the result — is deterministic.
+func (n *Network) heapSearch(src int32, dist []float64, s *searchScratch) {
+	h := s.heap[:0]
+	h = heapPush(h, heapItem{0, src})
+	for len(h) > 0 {
+		var it heapItem
+		it, h = heapPop(h)
+		u := it.id
+		if s.mark[u] == s.epoch {
+			continue
+		}
+		s.mark[u] = s.epoch
+		du := dist[u]
+		for e := n.rowStart[u]; e < n.rowStart[u+1]; e++ {
+			v := n.adjNode[e]
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			nd := du + n.adjTime[e]
+			if nd < dist[v] {
+				dist[v] = nd
+				h = heapPush(h, heapItem{nd, v})
+			}
+		}
+	}
+	s.heap = h
+}
+
+func heapLess(a, b heapItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.id < b.id
+}
+
+func heapPush(h []heapItem, it heapItem) []heapItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func heapPop(h []heapItem) (heapItem, []heapItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && heapLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && heapLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}

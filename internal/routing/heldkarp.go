@@ -27,7 +27,8 @@ func heldKarp(in *model.Instance, w *model.Worker, c *model.Center, tasks []mode
 	if n > HeldKarpLimit {
 		return nil, false
 	}
-	start := in.TravelTime(w.Loc, c.Loc)
+	cref := in.CenterRef(c.ID)
+	start := in.TravelTimeRef(w.Loc, in.WorkerRef(w.ID), c.Loc, cref)
 
 	// Distance matrix: d0[j] from center to task j, d[i][j] between tasks.
 	d0 := make([]float64, n)
@@ -35,11 +36,12 @@ func heldKarp(in *model.Instance, w *model.Worker, c *model.Center, tasks []mode
 	deadline := make([]float64, n)
 	for i := 0; i < n; i++ {
 		ti := in.Task(tasks[i])
-		d0[i] = in.TravelTime(c.Loc, ti.Loc)
+		ri := in.TaskRef(tasks[i])
+		d0[i] = in.TravelTimeRef(c.Loc, cref, ti.Loc, ri)
 		deadline[i] = ti.Expiry
 		d[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			d[i][j] = in.TravelTime(ti.Loc, in.Task(tasks[j]).Loc)
+			d[i][j] = in.TravelTimeRef(ti.Loc, ri, in.Task(tasks[j]).Loc, in.TaskRef(tasks[j]))
 		}
 	}
 

@@ -30,13 +30,15 @@ func CompletionTimes(in *model.Instance, w *model.Worker, c *model.Center, order
 		return nil
 	}
 	out := make([]float64, len(order))
-	t := in.TravelTime(w.Loc, c.Loc)
-	cur := c.Loc
+	cref := in.CenterRef(c.ID)
+	t := in.TravelTimeRef(w.Loc, in.WorkerRef(w.ID), c.Loc, cref)
+	cur, curRef := c.Loc, cref
 	for i, id := range order {
 		loc := in.Task(id).Loc
-		t += in.TravelTime(cur, loc)
+		ref := in.TaskRef(id)
+		t += in.TravelTimeRef(cur, curRef, loc, ref)
 		out[i] = t
-		cur = loc
+		cur, curRef = loc, ref
 	}
 	return out
 }
@@ -61,15 +63,17 @@ func OrderFeasible(in *model.Instance, w *model.Worker, c *model.Center, order [
 	if len(order) == 0 {
 		return true
 	}
-	t := in.TravelTime(w.Loc, c.Loc)
-	cur := c.Loc
+	cref := in.CenterRef(c.ID)
+	t := in.TravelTimeRef(w.Loc, in.WorkerRef(w.ID), c.Loc, cref)
+	cur, curRef := c.Loc, cref
 	for _, id := range order {
 		task := in.Task(id)
-		t += in.TravelTime(cur, task.Loc)
+		ref := in.TaskRef(id)
+		t += in.TravelTimeRef(cur, curRef, task.Loc, ref)
 		if t > task.Expiry+timeEps {
 			return false
 		}
-		cur = task.Loc
+		cur, curRef = task.Loc, ref
 	}
 	return true
 }
@@ -109,10 +113,11 @@ func bestOrderExact(in *model.Instance, w *model.Worker, c *model.Center, tasks 
 	perm := append([]model.TaskID(nil), tasks...)
 	best := make([]model.TaskID, 0, n)
 	bestT := math.Inf(1)
-	start := in.TravelTime(w.Loc, c.Loc)
+	cref := in.CenterRef(c.ID)
+	start := in.TravelTimeRef(w.Loc, in.WorkerRef(w.ID), c.Loc, cref)
 
-	var rec func(depth int, t float64, cur geo.Point)
-	rec = func(depth int, t float64, cur geo.Point) {
+	var rec func(depth int, t float64, cur geo.Point, curRef model.NodeRef)
+	rec = func(depth int, t float64, cur geo.Point, curRef model.NodeRef) {
 		if t >= bestT {
 			return // incumbent already better
 		}
@@ -124,14 +129,15 @@ func bestOrderExact(in *model.Instance, w *model.Worker, c *model.Center, tasks 
 		for i := depth; i < n; i++ {
 			perm[depth], perm[i] = perm[i], perm[depth]
 			task := in.Task(perm[depth])
-			nt := t + in.TravelTime(cur, task.Loc)
+			ref := in.TaskRef(perm[depth])
+			nt := t + in.TravelTimeRef(cur, curRef, task.Loc, ref)
 			if nt <= task.Expiry+timeEps {
-				rec(depth+1, nt, task.Loc)
+				rec(depth+1, nt, task.Loc, ref)
 			}
 			perm[depth], perm[i] = perm[i], perm[depth]
 		}
 	}
-	rec(0, start, c.Loc)
+	rec(0, start, c.Loc, cref)
 	if math.IsInf(bestT, 1) {
 		return nil, false
 	}

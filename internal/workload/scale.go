@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ScaleParams returns the parameter point of the distance-oracle scale
+// benchmark for a task count: the paper's default density ratios stretched
+// to benchmark size — one worker per four tasks, and one center per 200
+// tasks (floored at the paper's 20 so small sizes stay comparable to
+// Table I). Expiry, capacity, speed and reward stay at the paper defaults;
+// the service area is the fixed [0, Side]² square, so larger sizes mean
+// denser demand, exactly the regime a 100k-task run stresses.
+func ScaleParams(d Dataset, tasks int) Params {
+	p := Defaults(d)
+	p.NumTasks = tasks
+	p.NumWorkers = tasks / 4
+	if p.NumWorkers < 1 {
+		p.NumWorkers = 1
+	}
+	p.NumCenters = tasks / 200
+	if p.NumCenters < 20 {
+		p.NumCenters = 20
+	}
+	return p
+}
+
+// ParseScaleSize parses benchmark size spellings like "10k", "100K" or a
+// plain integer task count.
+func ParseScaleSize(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	mult := 1
+	if n := strings.TrimRight(s, "kK"); n != s {
+		mult, s = 1000, n
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("workload: bad scale size %q", s)
+	}
+	return v * mult, nil
+}

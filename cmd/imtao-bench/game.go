@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"imtao/internal/assign"
+	"imtao/internal/collab"
+	"imtao/internal/core"
+	"imtao/internal/geo"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+	"imtao/internal/obs"
+	"imtao/internal/roadnet"
+	"imtao/internal/workload"
+)
+
+// The -game sweep is the acceptance benchmark of the phase-2 game engine
+// (DESIGN.md §11): it runs the collaboration game UNCAPPED to equilibrium at
+// 10k/50k/100k tasks on a road network, once with the optimized engine
+// (admissibility pruning + prefix-resume trials + incremental bookkeeping)
+// and once with the frozen pre-engine loop (collab.RunReference), asserts the
+// outputs are identical (route fingerprint, assigned count, U_ρ, iteration
+// count), verifies the final state is a Nash equilibrium, and records the
+// speedup plus the engine's per-iteration latency percentiles and prune /
+// resume rates. The optimized engine runs FIRST, so the frozen loop inherits
+// a warm travel-time cache — the reported speedup is a lower bound.
+
+// gameRecord is the schema of BENCH_game.json.
+type gameRecord struct {
+	Benchmark  string            `json:"benchmark"`
+	Method     string            `json:"method"`
+	Dataset    string            `json:"dataset"`
+	Grid       int               `json:"grid"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Env        map[string]string `json:"env"`
+	Generated  string            `json:"generated"`
+	Presets    []gamePreset      `json:"presets"`
+}
+
+type gamePreset struct {
+	Name    string `json:"name"`
+	Tasks   int    `json:"tasks"`
+	Workers int    `json:"workers"`
+	Centers int    `json:"centers"`
+
+	Phase1Ms float64 `json:"phase1_ms"`
+
+	// Optimized engine (collab.Run), uncapped to equilibrium.
+	Phase2Ms    float64 `json:"phase2_ms"`
+	Iterations  int     `json:"iterations"`
+	Transfers   int     `json:"transfers"`
+	Assigned    int     `json:"assigned"`
+	Unfairness  float64 `json:"unfairness"`
+	Fingerprint string  `json:"fingerprint"`
+
+	IterP50Ms float64 `json:"iter_p50_ms"`
+	IterP90Ms float64 `json:"iter_p90_ms"`
+	IterP99Ms float64 `json:"iter_p99_ms"`
+	IterMaxMs float64 `json:"iter_max_ms"`
+
+	// Engine work profile, summed over the trace. PruneRate is the fraction
+	// of candidate lookups eliminated before evaluation; ResumeRate the
+	// fraction of evaluated trials served by prefix-resume (1.0 for the
+	// Sequential engine).
+	CandidatesPruned int64   `json:"candidates_pruned"`
+	TrialsEvaluated  int64   `json:"trials_evaluated"`
+	TrialsResumed    int64   `json:"trials_resumed"`
+	MemoHits         int64   `json:"memo_hits"`
+	PruneRate        float64 `json:"prune_rate"`
+	ResumeRate       float64 `json:"resume_rate"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+
+	// EquilibriumOK is the Nash check on the optimized engine's outcome.
+	EquilibriumOK bool `json:"equilibrium_ok"`
+
+	// Frozen reference engine (collab.RunReference) on the same phase-1
+	// state, and the cross-engine acceptance checks.
+	RefPhase2Ms     float64 `json:"ref_phase2_ms"`
+	RefIterMeanMs   float64 `json:"ref_iter_mean_ms"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+type gameConfig struct {
+	dataset  workload.Dataset
+	grid     int
+	jsonPath string
+}
+
+// runGameSweep executes the game-engine benchmark and writes BENCH_game.json.
+// It returns an error (→ nonzero exit) when any acceptance check fails:
+// engine/reference divergence, non-equilibrium, or an optimization that never
+// engaged (zero pruned candidates or resumed trials).
+func runGameSweep(sizes []int, cfg gameConfig) error {
+	rec := gameRecord{
+		Benchmark:  "game-engine",
+		Method:     "Seq-BDC",
+		Dataset:    cfg.dataset.String(),
+		Grid:       cfg.grid,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        obs.EnvMeta(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	snapshotGauge := obs.Default.Gauge("imtao_collab_snapshot_bytes", "")
+
+	for _, size := range sizes {
+		p := workload.ScaleParams(cfg.dataset, size)
+		raw, err := workload.Generate(p)
+		if err != nil {
+			return err
+		}
+		net, err := roadnet.New(raw.Bounds, cfg.grid, cfg.grid, p.Speed)
+		if err != nil {
+			return err
+		}
+		net.SetCacheCapacity(net.Nodes())
+		raw.Metric = net
+		in, _, err := core.Partition(raw)
+		if err != nil {
+			return err
+		}
+		in.PrepareMetric()
+		locs := make([]geo.Point, len(in.Centers))
+		for i := range in.Centers {
+			locs[i] = in.Centers[i].Loc
+		}
+		net.PrecomputeSources(locs)
+
+		t0 := time.Now()
+		p1 := make([]assign.Result, len(in.Centers))
+		for ci := range in.Centers {
+			c := in.Center(model.CenterID(ci))
+			p1[ci] = assign.Sequential(in, c, c.Workers, c.Tasks)
+		}
+		phase1 := time.Since(t0)
+
+		ccfg := collab.Config{Scope: collab.FullReassign, Assigner: assign.Sequential}
+
+		t0 = time.Now()
+		res := collab.Run(in, p1, ccfg)
+		engineWall := time.Since(t0)
+
+		pr := gamePreset{
+			Name:    fmt.Sprintf("%dk", size/1000),
+			Tasks:   p.NumTasks,
+			Workers: p.NumWorkers,
+			Centers: p.NumCenters,
+
+			Phase1Ms:    ms(phase1),
+			Phase2Ms:    ms(engineWall),
+			Iterations:  res.Iterations,
+			Transfers:   len(res.Solution.Transfers),
+			Assigned:    res.Solution.AssignedCount(),
+			Unfairness:  metrics.SolutionUnfairness(in, res.Solution),
+			Fingerprint: fmt.Sprintf("%016x", solutionFingerprint(res.Solution)),
+
+			SnapshotBytes: int64(snapshotGauge.Value()),
+		}
+		if size%1000 != 0 {
+			pr.Name = fmt.Sprintf("%d", size)
+		}
+
+		var durs []time.Duration
+		for _, step := range res.Trace {
+			pr.CandidatesPruned += int64(step.Pruned)
+			pr.TrialsEvaluated += int64(step.Trials)
+			pr.TrialsResumed += int64(step.Resumed)
+			pr.MemoHits += int64(step.MemoHits)
+			durs = append(durs, step.Duration)
+		}
+		lookups := pr.CandidatesPruned + pr.TrialsEvaluated + pr.MemoHits
+		if lookups > 0 {
+			pr.PruneRate = float64(pr.CandidatesPruned) / float64(lookups)
+		}
+		if pr.TrialsEvaluated > 0 {
+			pr.ResumeRate = float64(pr.TrialsResumed) / float64(pr.TrialsEvaluated)
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		pr.IterP50Ms = ms(percentileDur(durs, 0.50))
+		pr.IterP90Ms = ms(percentileDur(durs, 0.90))
+		pr.IterP99Ms = ms(percentileDur(durs, 0.99))
+		if len(durs) > 0 {
+			pr.IterMaxMs = ms(durs[len(durs)-1])
+		}
+
+		t0 = time.Now()
+		pr.EquilibriumOK = res.VerifyEquilibrium(in, nil) == nil
+		verify := time.Since(t0)
+
+		t0 = time.Now()
+		ref := collab.RunReference(in, p1, ccfg)
+		refWall := time.Since(t0)
+		pr.RefPhase2Ms = ms(refWall)
+		if ref.Iterations > 0 {
+			pr.RefIterMeanMs = pr.RefPhase2Ms / float64(ref.Iterations)
+		}
+		if engineWall > 0 {
+			pr.Speedup = refWall.Seconds() / engineWall.Seconds()
+		}
+		pr.OutputIdentical = solutionFingerprint(res.Solution) == solutionFingerprint(ref.Solution) &&
+			res.Solution.AssignedCount() == ref.Solution.AssignedCount() &&
+			pr.Unfairness == metrics.SolutionUnfairness(in, ref.Solution) &&
+			res.Iterations == ref.Iterations
+
+		rec.Presets = append(rec.Presets, pr)
+
+		fmt.Printf("game %s — |S|=%d |W|=%d |C|=%d grid=%d² (uncapped)\n",
+			pr.Name, pr.Tasks, pr.Workers, pr.Centers, cfg.grid)
+		fmt.Printf("  engine: ph2 %.0f ms, %d iters (%d transfers), assigned %d, U_ρ %.4f\n",
+			pr.Phase2Ms, pr.Iterations, pr.Transfers, pr.Assigned, pr.Unfairness)
+		fmt.Printf("  iter latency ms: p50 %.3f p90 %.3f p99 %.3f max %.3f\n",
+			pr.IterP50Ms, pr.IterP90Ms, pr.IterP99Ms, pr.IterMaxMs)
+		fmt.Printf("  pruned %d (rate %.4f), trials %d (resume rate %.4f), snapshot %d B\n",
+			pr.CandidatesPruned, pr.PruneRate, pr.TrialsEvaluated, pr.ResumeRate, pr.SnapshotBytes)
+		fmt.Printf("  equilibrium_ok=%v (verified in %.0f ms)\n", pr.EquilibriumOK, ms(verify))
+		fmt.Printf("  frozen: ph2 %.0f ms (%.2f ms/iter) → speedup %.1fx, identical=%v\n\n",
+			pr.RefPhase2Ms, pr.RefIterMeanMs, pr.Speedup, pr.OutputIdentical)
+
+		if !pr.OutputIdentical {
+			return fmt.Errorf("game %s: engine output diverged from the frozen reference "+
+				"(fingerprint %s vs %016x)", pr.Name, pr.Fingerprint, solutionFingerprint(ref.Solution))
+		}
+		if !pr.EquilibriumOK {
+			return fmt.Errorf("game %s: final state is not a Nash equilibrium", pr.Name)
+		}
+		if pr.CandidatesPruned == 0 {
+			return fmt.Errorf("game %s: admissibility pruning never engaged", pr.Name)
+		}
+		if pr.TrialsResumed == 0 {
+			return fmt.Errorf("game %s: prefix-resume never engaged", pr.Name)
+		}
+	}
+
+	f, err := os.Create(cfg.jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "game record written to %s\n", cfg.jsonPath)
+	return nil
+}
+
+// percentileDur returns the q-quantile of an ascending duration slice by the
+// nearest-rank method.
+func percentileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

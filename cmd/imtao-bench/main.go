@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -56,10 +57,30 @@ func main() {
 		scaleGrid    = flag.Int("scale-grid", 64, "road-network grid side for -scale (grid² nodes)")
 		scaleGame    = flag.Int("scale-game-iters", 20, "phase-2 game iteration cap for -scale (0 = uncapped)")
 
+		game        = flag.String("game", "", `phase-2 game-engine sweep, e.g. "10k,50k,100k": run the collaboration game uncapped to equilibrium per task count, cross-check the optimized engine against the frozen reference, and write a JSON record`)
+		gameOut     = flag.String("game-json", "BENCH_game.json", "output path of the -game record")
+		gameDataset = flag.String("game-dataset", "syn", "dataset generator for -game: gm or syn")
+		gameGrid    = flag.Int("game-grid", 64, "road-network grid side for -game (grid² nodes)")
+
 		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var benchObs obs.Observer = obs.Nop
 	if *tracePath != "" {
@@ -106,6 +127,25 @@ func main() {
 			grid:     *scaleGrid,
 			gameCap:  *scaleGame,
 			jsonPath: *scaleOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *game != "" {
+		sizes, err := parseScaleSizes(*game)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := workload.ParseDataset(*gameDataset)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runGameSweep(sizes, gameConfig{
+			dataset:  d,
+			grid:     *gameGrid,
+			jsonPath: *gameOut,
 		}); err != nil {
 			fatal(err)
 		}

@@ -169,37 +169,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 
 	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
-		w := in.Worker(wid)
-		route := model.Route{Worker: wid, Center: c.ID}
-		if hint := min(w.MaxT, pool.len()); hint > 0 {
-			route.Tasks = make([]model.TaskID, 0, hint)
-		}
-		// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
-		t := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, cref)
-		cur, curRef := c.Loc, cref
-		for len(route.Tasks) < w.MaxT && pool.len() > 0 {
-			// Line 10: nearest unassigned task to the worker's position.
-			sid, ok := pool.nearest(cur)
-			if !ok {
-				break
-			}
-			res.Stats.TasksScanned++
-			task := in.Task(sid)
-			taskRef := in.TaskRef(sid)
-			arrive := t + in.TravelTimeRef(cur, curRef, task.Loc, taskRef)
-			// Line 11: deadline check. Under the paper's uniform expiry a
-			// failing nearest task means every remaining task fails too, so
-			// the sequence ends here.
-			if arrive > task.Expiry+timeEps {
-				res.Stats.DeadlineRejections++
-				break
-			}
-			pool.remove(sid)
-			route.Tasks = append(route.Tasks, sid)
-			res.Stats.RouteExtensions++
-			t = arrive
-			cur, curRef = task.Loc, taskRef
-		}
+		route := serveWorker(in, c, cref, wid, pool, &res.Stats)
 		if len(route.Tasks) == 0 {
 			// Line 19: unused worker — available for workforce transfer.
 			res.LeftWorkers = append(res.LeftWorkers, wid)
@@ -215,6 +185,54 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
 	recordStats(res.Stats)
 	return res
+}
+
+// serveWorker runs the per-worker inner loop of Algorithm 2 (lines 7–18):
+// greedily extend wid's delivery sequence with nearest feasible tasks,
+// consuming them from the shared pool. The pool is the ONLY cross-worker
+// state of the sequential assigner — a fact the resumable trial engine
+// (trial.go) exploits to replay just a suffix of the serve order.
+func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid model.WorkerID, pool taskPool, stats *Stats) model.Route {
+	w := in.Worker(wid)
+	route := model.Route{Worker: wid, Center: c.ID}
+	if hint := min(w.MaxT, pool.len()); hint > 0 {
+		route.Tasks = make([]model.TaskID, 0, hint)
+	}
+	// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
+	t := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, cref)
+	extendServe(in, &route, t, c.Loc, cref, w.MaxT, pool, stats)
+	return route
+}
+
+// extendServe runs Algorithm 2's inner greedy loop (lines 9–18) from an
+// explicit resume state: the route so far, the time accumulator t and the
+// worker's current position. serveWorker starts it at the center; the trial
+// engine (trial.go) resumes it at the end of a preserved baseline route to
+// check whether the trial pool extends the sequence.
+func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Point, curRef model.NodeRef, maxT int, pool taskPool, stats *Stats) {
+	for len(route.Tasks) < maxT && pool.len() > 0 {
+		// Line 10: nearest unassigned task to the worker's position.
+		sid, ok := pool.nearest(cur)
+		if !ok {
+			break
+		}
+		stats.TasksScanned++
+		task := in.Task(sid)
+		taskRef := in.TaskRef(sid)
+		arrive := t + in.TravelTimeRef(cur, curRef, task.Loc, taskRef)
+		// Line 11: deadline check. Under the paper's uniform expiry a
+		// failing nearest task means every remaining task fails too, so
+		// the sequence ends here.
+		if arrive > task.Expiry+timeEps {
+			stats.DeadlineRejections++
+			break
+		}
+		pool.remove(sid)
+		route.Tasks = append(route.Tasks, sid)
+		stats.RouteExtensions++
+		t = arrive
+		cur, curRef = task.Loc, taskRef
+	}
 }
 
 const timeEps = 1e-9

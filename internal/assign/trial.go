@@ -1,0 +1,538 @@
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"imtao/internal/geo"
+	"imtao/internal/index"
+	"imtao/internal/model"
+	"imtao/internal/obs"
+)
+
+// Differential-replay work profile: routes copied verbatim from the baseline
+// versus routes actually re-served (diff check failed, or the trial pool
+// extended a short route).
+var (
+	mRoutesCopied = obs.Default.Counter("imtao_trial_routes_copied_total",
+		"baseline routes copied verbatim by differential trial replay")
+	mRoutesReplayed = obs.Default.Counter("imtao_trial_routes_replayed_total",
+		"suffix routes re-served during trial replay (preservation check failed or route extended)")
+	mEmptyCand = obs.Default.Counter("imtao_trial_empty_candidate_total",
+		"trials whose candidate route came back empty (result is the baseline verbatim)")
+)
+
+// This file implements the resumable phase-2 trial engine (DESIGN.md §11).
+//
+// A best-response trial asks: "what would Sequential produce for center c if
+// candidate worker w joined the current worker set?" The sequential assigner
+// has exactly one piece of cross-worker state — the unassigned-task pool —
+// so inserting one candidate at position k of the marginal-first serve order
+// leaves positions 0..k-1 bit-identical to the baseline run. A trial
+// therefore only needs to (a) restore the pool to its state after position
+// k-1, (b) serve the candidate, and (c) replay the baseline suffix. The pool
+// restore is O(tasks consumed by the suffix) via the index.Grid op journal
+// (Mark/Rewind) instead of O(|S|) pool rebuilds per trial.
+//
+// PrunePad is the conservative admission-slack margin: a worker is pruned
+// only when its center travel time exceeds the slack by more than the pad,
+// so floating-point noise can only over-admit (costing a wasted trial),
+// never falsely prune (which would break bit-identity).
+const PrunePad = 1e-9
+
+// AdmissionSlack returns max over tasks of (expiry + timeEps − tt(c, s)):
+// the largest center-arrival time at which a worker could still deliver at
+// least one of the given tasks as its FIRST task. A worker w with
+// tt(w→c) > slack + PrunePad fails the Algorithm 2 deadline check on every
+// first task, produces an empty route, leaves the pool untouched, and so
+// yields a trial identical to the baseline — it can be pruned without
+// evaluation. Returns -Inf when tasks is empty (nobody is admissible).
+func AdmissionSlack(in *model.Instance, c *model.Center, tasks []model.TaskID) float64 {
+	cref := in.CenterRef(c.ID)
+	slack := math.Inf(-1)
+	for _, sid := range tasks {
+		task := in.Task(sid)
+		s := task.Expiry + timeEps - in.TravelTimeRef(c.Loc, cref, task.Loc, in.TaskRef(sid))
+		if s > slack {
+			slack = s
+		}
+	}
+	return slack
+}
+
+// WorkerAdmissible reports whether wid could feasibly deliver a first task
+// for center c given the slack from AdmissionSlack.
+func WorkerAdmissible(in *model.Instance, c *model.Center, wid model.WorkerID, slack float64) bool {
+	w := in.Worker(wid)
+	tt := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, in.CenterRef(c.ID))
+	return tt <= slack+PrunePad
+}
+
+// TrialBase is an immutable snapshot of one center's current assignment —
+// serve order, per-position routes, leftover tasks and unused workers — from
+// which many single-candidate trials can be answered incrementally. Build it
+// once per game iteration; run trials through per-goroutine TrialRunners.
+type TrialBase struct {
+	in   *model.Instance
+	c    *model.Center
+	cref model.NodeRef
+
+	// order is the baseline worker set in Sequential's marginal-first serve
+	// order (distance from the center descending, ties to the smaller ID);
+	// dist2 caches each worker's squared center distance for the insertion
+	// search.
+	order []model.WorkerID
+	dist2 []float64
+	// routes are the baseline routes, which Sequential emits in serve order;
+	// routeAt[j] indexes routes for position j (-1 when order[j] went
+	// unused) and cumRoutes[j] counts routes among positions < j.
+	routes    []model.Route
+	routeAt   []int
+	cumRoutes []int
+	// stepT[ri][i] is serveWorker's time accumulator after serving the
+	// first i tasks of route ri (stepT[ri][0] is the worker→center
+	// arrival), bit-identical to the baseline run's — same query sequence,
+	// same addition order. It is the resume state for the differential
+	// replay: divergence at step d restarts Algorithm 2's loop from
+	// stepT[ri][d], and a preserved short route extends from the final
+	// entry.
+	stepT [][]float64
+	// baseLeft are the baseline unused workers (ID-sorted) and leftTasks the
+	// baseline leftover tasks (ID-sorted) — the pool end state E shared by
+	// every runner.
+	baseLeft  []model.WorkerID
+	leftTasks []model.TaskID
+	// poolBounds/poolSize size the runners' trial grids for the worst-case
+	// pool population — every task the baseline touches, not just the
+	// leftovers the grid starts from. A position-0 trial re-inserts every
+	// route's tasks, so sizing by len(leftTasks) (near zero at equilibrium)
+	// would collapse the grid to a handful of giant cells and turn every
+	// Nearest into a linear scan. The tight bounding rect matters for the
+	// same reason: one center's tasks cover a sliver of the map, and
+	// whole-map cells sized for a uniform spread dump the entire cluster
+	// into one cell.
+	poolBounds geo.Rect
+	poolSize   int
+}
+
+// NewTrialBase snapshots the baseline assignment (workers, their routes, and
+// the leftover tasks) for center c. routes must be the Sequential result for
+// exactly this worker set — the constructor validates that they line up with
+// the serve order and returns ok=false otherwise, signalling the caller to
+// fall back to full re-assignment. The snapshot aliases the caller's routes
+// and leftTasks; both are treated as immutable.
+func NewTrialBase(in *model.Instance, c *model.Center, workers []model.WorkerID, routes []model.Route, leftTasks []model.TaskID) (*TrialBase, bool) {
+	b := &TrialBase{
+		in:        in,
+		c:         c,
+		cref:      in.CenterRef(c.ID),
+		order:     append([]model.WorkerID(nil), workers...),
+		routes:    routes,
+		leftTasks: leftTasks,
+	}
+	sort.Slice(b.order, func(i, j int) bool {
+		di := in.Worker(b.order[i]).Loc.Dist2(c.Loc)
+		dj := in.Worker(b.order[j]).Loc.Dist2(c.Loc)
+		if di != dj {
+			return di > dj
+		}
+		return b.order[i] < b.order[j]
+	})
+	b.dist2 = make([]float64, len(b.order))
+	b.routeAt = make([]int, len(b.order))
+	b.cumRoutes = make([]int, len(b.order)+1)
+	r := 0
+	for j, wid := range b.order {
+		b.dist2[j] = in.Worker(wid).Loc.Dist2(c.Loc)
+		if r < len(routes) && routes[r].Worker == wid {
+			b.routeAt[j] = r
+			r++
+		} else {
+			b.routeAt[j] = -1
+			b.baseLeft = append(b.baseLeft, wid)
+		}
+		b.cumRoutes[j+1] = r
+	}
+	if r != len(routes) {
+		// The routes do not correspond to this worker set's serve order —
+		// they came from a different assigner or a stale state.
+		return nil, false
+	}
+	sort.Slice(b.baseLeft, func(i, j int) bool { return b.baseLeft[i] < b.baseLeft[j] })
+	lo, hi := c.Loc, c.Loc
+	grow := func(p geo.Point) {
+		if p.X < lo.X {
+			lo.X = p.X
+		}
+		if p.X > hi.X {
+			hi.X = p.X
+		}
+		if p.Y < lo.Y {
+			lo.Y = p.Y
+		}
+		if p.Y > hi.Y {
+			hi.Y = p.Y
+		}
+	}
+	b.poolSize = len(leftTasks)
+	for _, sid := range leftTasks {
+		grow(in.Task(sid).Loc)
+	}
+	for _, rt := range routes {
+		b.poolSize += len(rt.Tasks)
+		for _, sid := range rt.Tasks {
+			grow(in.Task(sid).Loc)
+		}
+	}
+	b.poolBounds = geo.Rect{Min: lo, Max: hi}
+	b.stepT = make([][]float64, len(routes))
+	for ri := range routes {
+		rt := &routes[ri]
+		w := in.Worker(rt.Worker)
+		st := make([]float64, len(rt.Tasks)+1)
+		t := in.TravelTimeRef(w.Loc, in.WorkerRef(rt.Worker), c.Loc, b.cref)
+		st[0] = t
+		cur, curRef := c.Loc, b.cref
+		for i, sid := range rt.Tasks {
+			task := in.Task(sid)
+			ref := in.TaskRef(sid)
+			t += in.TravelTimeRef(cur, curRef, task.Loc, ref)
+			st[i+1] = t
+			cur, curRef = task.Loc, ref
+		}
+		b.stepT[ri] = st
+	}
+	return b, true
+}
+
+// FootprintBytes estimates the snapshot's memory footprint (order, route
+// tables and leftover-task pool), feeding the snapshot-bytes gauge.
+func (b *TrialBase) FootprintBytes() int64 {
+	n := int64(len(b.order))*(8+8+8) + int64(len(b.leftTasks))*8
+	for _, rt := range b.routes {
+		n += int64(len(rt.Tasks))*16 + 88
+	}
+	return n
+}
+
+// TrialRunner answers trials against one TrialBase. It owns a pooled grid
+// holding the baseline leftover tasks (end state E); each trial journals its
+// mutations and rewinds, so the grid is built once per runner, not per
+// trial. Runners are NOT safe for concurrent use — create one per goroutine
+// and Release it when done.
+type TrialRunner struct {
+	b       *TrialBase
+	pool    *gridPool
+	peakOps int
+	// stolen and freed are the differential replay's symmetric difference
+	// between the trial pool and the baseline pool at the current worker
+	// boundary: stolen = consumed in the trial, still available in the
+	// baseline; freed = available in the trial, consumed in the baseline.
+	// Reset per trial; both stay tiny (bounded by the replayed workers'
+	// capacities), so linear scans beat maps.
+	stolen []diffTask
+	freed  []diffTask
+}
+
+// diffTask is a pool-difference entry with its location cached for the
+// geometric preservation checks.
+type diffTask struct {
+	id model.TaskID
+	pt geo.Point
+}
+
+func diffIndex(s []diffTask, id model.TaskID) int {
+	for i := range s {
+		if s[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsTask(s []model.TaskID, id model.TaskID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// updateDiff folds one replayed worker's (baseline route, trial route) pair
+// into the pool difference: tasks the baseline consumed but the trial did
+// not become freed (or stop being stolen), tasks the trial consumed but the
+// baseline did not become stolen (or stop being freed).
+func (r *TrialRunner) updateDiff(base, trial []model.TaskID) {
+	for _, x := range base {
+		if containsTask(trial, x) {
+			continue
+		}
+		if i := diffIndex(r.stolen, x); i >= 0 {
+			r.stolen = append(r.stolen[:i], r.stolen[i+1:]...)
+		} else {
+			r.freed = append(r.freed, diffTask{x, r.b.in.Task(x).Loc})
+		}
+	}
+	for _, x := range trial {
+		if containsTask(base, x) {
+			continue
+		}
+		if i := diffIndex(r.freed, x); i >= 0 {
+			r.freed = append(r.freed[:i], r.freed[i+1:]...)
+		} else {
+			r.stolen = append(r.stolen, diffTask{x, r.b.in.Task(x).Loc})
+		}
+	}
+}
+
+// divergeStep returns the first step at which the baseline route stops
+// replaying bit-identically against the current trial pool, or -1 when the
+// whole route is preserved. Only two things can change a greedy
+// nearest-first query: the chosen task is gone (stolen), or a freed task
+// wins the Grid.Nearest comparison — smaller squared distance, ties to the
+// smaller ID. Removing never-chosen tasks cannot promote a different
+// winner, and an identical prefix fixes the arrival times, so deadline
+// checks repeat verbatim up to the divergence point.
+func (r *TrialRunner) divergeStep(rt *model.Route) int {
+	b := r.b
+	cur := b.c.Loc
+	for i, sid := range rt.Tasks {
+		if diffIndex(r.stolen, sid) >= 0 {
+			return i
+		}
+		p := b.in.Task(sid).Loc
+		if len(r.freed) > 0 {
+			ds := cur.Dist2(p)
+			for _, e := range r.freed {
+				de := cur.Dist2(e.pt)
+				if de < ds || (de == ds && e.id < sid) {
+					return i
+				}
+			}
+		}
+		cur = p
+	}
+	return -1
+}
+
+// NewRunner creates a runner whose task pool starts at the baseline start
+// state S_0 — every task the assignment began with. Trials restore the pool
+// to the candidate's serve position k by REMOVING the prefix consumption,
+// which marginal-first makes near-free: borrowed candidates are far from
+// the center, so k sits near the front and the prefix is almost empty
+// (whereas restoring from the end state would re-insert nearly the whole
+// suffix on every trial).
+func (b *TrialBase) NewRunner() *TrialRunner {
+	p := gridFree.Get().(*gridPool)
+	p.g.Reset(b.poolBounds, max(b.poolSize, 1), 4)
+	for _, id := range b.leftTasks {
+		p.g.Insert(index.Item{ID: int(id), Point: b.in.Task(id).Loc})
+	}
+	for _, rt := range b.routes {
+		for _, tid := range rt.Tasks {
+			p.g.Insert(index.Item{ID: int(tid), Point: b.in.Task(tid).Loc})
+		}
+	}
+	return &TrialRunner{b: b, pool: p}
+}
+
+// Release returns the runner's grid scratch to the shared free list. The
+// runner must not be used afterwards.
+func (r *TrialRunner) Release() {
+	r.pool.release()
+	r.pool = nil
+}
+
+// PeakJournalOps reports the largest per-trial journal this runner has seen
+// — the copy-on-write cost ceiling of its trials.
+func (r *TrialRunner) PeakJournalOps() int { return r.peakOps }
+
+// Trial returns exactly what Sequential(in, c, baseWorkers∪{cand}, tasks)
+// would return (up to nil-vs-empty slice spelling), by resuming from cand's
+// position in the serve order. cand must not be in the baseline worker set.
+func (r *TrialRunner) Trial(cand model.WorkerID) Result {
+	b := r.b
+	var res Result
+	w := b.in.Worker(cand)
+	cd2 := w.Loc.Dist2(b.c.Loc)
+	// cand's serve-order position: first index holding a worker served
+	// after cand. cand is not in order, so the ID tiebreak never ties.
+	k := sort.Search(len(b.order), func(j int) bool {
+		if b.dist2[j] != cd2 {
+			return b.dist2[j] < cd2
+		}
+		return b.order[j] > cand
+	})
+
+	g := r.pool.g
+	g.Mark()
+	// Advance the pool from start state S_0 to the full run's state at
+	// position k by consuming the prefix exactly as the baseline did: the
+	// prefix 0..k-1 is bit-identical to the baseline, so S_k = S_0 minus
+	// its routes' tasks. Marginal-first keeps k — and this loop — small.
+	for j := 0; j < k; j++ {
+		if ri := b.routeAt[j]; ri >= 0 {
+			for _, tid := range b.routes[ri].Tasks {
+				g.Remove(int(tid))
+			}
+		}
+	}
+
+	candRoute := serveWorker(b.in, b.c, b.cref, cand, r.pool, &res.Stats)
+	if len(candRoute.Tasks) == 0 {
+		// The candidate takes nothing, so the suffix replays identically:
+		// the trial IS the baseline plus one more unused worker.
+		mEmptyCand.Add(1)
+		if n := g.JournalLen(); n > r.peakOps {
+			r.peakOps = n
+		}
+		g.Rewind()
+		res.Routes = b.routes
+		res.LeftTasks = b.leftTasks
+		res.LeftWorkers = insertSortedWorker(b.baseLeft, cand)
+		recordStats(res.Stats)
+		return res
+	}
+
+	res.Routes = make([]model.Route, 0, len(b.routes)+1)
+	res.Routes = append(res.Routes, b.routes[:b.cumRoutes[k]]...)
+	res.Routes = append(res.Routes, candRoute)
+	for j := 0; j < k; j++ {
+		if b.routeAt[j] < 0 {
+			res.LeftWorkers = append(res.LeftWorkers, b.order[j])
+		}
+	}
+
+	// Differential suffix replay. The candidate consumed at most MaxT tasks;
+	// every suffix worker whose baseline route provably survives that
+	// perturbation (routePreserved) is copied without a single pool query,
+	// and the pool difference is threaded through the workers that do
+	// re-serve. Once both difference sets drain, the perturbation is
+	// absorbed: the rest of the suffix — and the leftover-task set — is the
+	// baseline verbatim.
+	r.stolen = r.stolen[:0]
+	r.freed = r.freed[:0]
+	for _, tid := range candRoute.Tasks {
+		r.stolen = append(r.stolen, diffTask{tid, b.in.Task(tid).Loc})
+	}
+	copied, replayed := 0, 0
+	absorbed := false
+	for j := k; j < len(b.order); j++ {
+		if len(r.stolen) == 0 && len(r.freed) == 0 {
+			// Trial pool == baseline pool at this boundary: every remaining
+			// query repeats verbatim, including route endings.
+			for ; j < len(b.order); j++ {
+				if ri := b.routeAt[j]; ri >= 0 {
+					res.Routes = append(res.Routes, b.routes[ri])
+					copied++
+				} else {
+					res.LeftWorkers = append(res.LeftWorkers, b.order[j])
+				}
+			}
+			absorbed = true
+			break
+		}
+		wid := b.order[j]
+		ri := b.routeAt[j]
+		if ri < 0 {
+			// Baseline-unused worker: its single ending query must run
+			// against the real trial pool (a stolen blocker or a freed task
+			// can hand it a route).
+			rt := serveWorker(b.in, b.c, b.cref, wid, r.pool, &res.Stats)
+			if len(rt.Tasks) == 0 {
+				res.LeftWorkers = append(res.LeftWorkers, wid)
+			} else {
+				res.Routes = append(res.Routes, rt)
+				r.updateDiff(nil, rt.Tasks)
+			}
+			continue
+		}
+		rt := &b.routes[ri]
+		wcap := b.in.Worker(wid).MaxT
+		if d := r.divergeStep(rt); d >= 0 {
+			// The prefix rt.Tasks[:d] replays verbatim (no stolen task and no
+			// freed winner before step d): consume it from the trial pool and
+			// resume Algorithm 2's loop from the stored step-d state instead
+			// of re-serving the whole route.
+			for _, tid := range rt.Tasks[:d] {
+				g.Remove(int(tid))
+			}
+			cur, curRef := b.c.Loc, b.cref
+			if d > 0 {
+				prev := rt.Tasks[d-1]
+				cur, curRef = b.in.Task(prev).Loc, b.in.TaskRef(prev)
+			}
+			rt2 := model.Route{Worker: wid, Center: b.c.ID, Tasks: rt.Tasks[:d:d]}
+			extendServe(b.in, &rt2, b.stepT[ri][d], cur, curRef, wcap, r.pool, &res.Stats)
+			if len(rt2.Tasks) == 0 {
+				res.LeftWorkers = append(res.LeftWorkers, wid)
+			} else {
+				res.Routes = append(res.Routes, rt2)
+			}
+			r.updateDiff(rt.Tasks, rt2.Tasks)
+			replayed++
+			continue
+		}
+		// The route replays verbatim — consume its tasks from the trial pool.
+		for _, tid := range rt.Tasks {
+			g.Remove(int(tid))
+		}
+		if len(rt.Tasks) < wcap {
+			// The baseline sequence ended early (deadline or empty pool); the
+			// trial pool may extend it. Resume Algorithm 2's loop from the
+			// route's end state instead of replaying it.
+			last := rt.Tasks[len(rt.Tasks)-1]
+			trialRt := model.Route{Worker: wid, Center: b.c.ID,
+				Tasks: rt.Tasks[:len(rt.Tasks):len(rt.Tasks)]}
+			extendServe(b.in, &trialRt, b.stepT[ri][len(rt.Tasks)], b.in.Task(last).Loc,
+				b.in.TaskRef(last), wcap, r.pool, &res.Stats)
+			if len(trialRt.Tasks) > len(rt.Tasks) {
+				res.Routes = append(res.Routes, trialRt)
+				r.updateDiff(nil, trialRt.Tasks[len(rt.Tasks):])
+				replayed++
+				continue
+			}
+		}
+		res.Routes = append(res.Routes, *rt)
+		copied++
+	}
+	mRoutesCopied.Add(int64(copied))
+	mRoutesReplayed.Add(int64(replayed))
+
+	if absorbed {
+		res.LeftTasks = b.leftTasks
+	} else {
+		// The drained loop's difference sets ARE the leftover delta: trial
+		// leftovers = (baseline leftovers − stolen) ∪ freed. Building from
+		// them skips a full grid-map iteration per trial.
+		lt := make([]model.TaskID, 0, len(b.leftTasks)+len(r.freed))
+		for _, id := range b.leftTasks {
+			if diffIndex(r.stolen, id) < 0 {
+				lt = append(lt, id)
+			}
+		}
+		for _, e := range r.freed {
+			lt = append(lt, e.id)
+		}
+		sort.Slice(lt, func(i, j int) bool { return lt[i] < lt[j] })
+		res.LeftTasks = lt
+	}
+	if n := g.JournalLen(); n > r.peakOps {
+		r.peakOps = n
+	}
+	g.Rewind()
+	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
+	recordStats(res.Stats)
+	return res
+}
+
+// insertSortedWorker returns a fresh copy of sorted (ascending IDs) with w
+// inserted in order.
+func insertSortedWorker(sorted []model.WorkerID, w model.WorkerID) []model.WorkerID {
+	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= w })
+	out := make([]model.WorkerID, 0, len(sorted)+1)
+	out = append(out, sorted[:i]...)
+	out = append(out, w)
+	return append(out, sorted[i:]...)
+}

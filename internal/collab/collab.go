@@ -18,10 +18,19 @@
 //	       leftover tasks; prior routes stay frozen.
 //	RBDC — BDC with the recipient picked uniformly at random instead of
 //	       by minimum ratio.
+//
+// Run is the optimized engine (DESIGN.md §11): admissibility pruning skips
+// candidates that provably cannot take a task, the resumable trial engine of
+// the assign package replays only the serve-order suffix each trial
+// perturbs, and the game bookkeeping (ρ vector, assigned counts, candidate
+// pool) is maintained incrementally. RunReference (frozen.go) is the
+// preserved pre-engine loop; both produce bit-identical solutions and
+// traces (modulo the trial/memo/prune counters and Duration).
 package collab
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"time"
 
@@ -41,11 +50,24 @@ var (
 	mRejections = obs.Default.Counter("imtao_collab_rejections_total",
 		"iterations ending with a center leaving the game")
 	mTrials = obs.Default.Counter("imtao_collab_trials_total",
-		"trial re-assignments evaluated (memo hits excluded)")
+		"trial re-assignments evaluated (memo hits and pruned candidates excluded)")
 	mMemoHits = obs.Default.Counter("imtao_collab_memo_hits_total",
-		"trial results served from the cross-iteration cache")
+		"trial results served from the cross-iteration cache; while the memo is "+
+			"enabled, memo_hits + memo_misses = candidate lookups, so the hit "+
+			"ratio is hits/(hits+misses)")
 	mMemoMisses = obs.Default.Counter("imtao_collab_memo_misses_total",
-		"trial lookups that missed the cache and were evaluated")
+		"trial lookups that missed the cache and were evaluated; complement of "+
+			"imtao_collab_memo_hits_total per lookup — neither counter moves "+
+			"when the memo is disabled")
+	mPruned = obs.Default.Counter("imtao_collab_candidates_pruned_total",
+		"pool candidates skipped by admissibility pruning (their trials "+
+			"provably return the baseline assignment)")
+	mResumed = obs.Default.Counter("imtao_collab_resume_trials_total",
+		"trials served by the prefix-resume engine instead of a full "+
+			"re-assignment")
+	mSnapshotBytes = obs.Default.Gauge("imtao_collab_snapshot_bytes",
+		"estimated footprint of the current recipient's trial-base snapshot "+
+			"(serve order, baseline routes, leftover-task pool)")
 )
 
 // RecipientPolicy selects the recipient center each iteration.
@@ -93,6 +115,38 @@ const (
 	NearestWorker
 )
 
+// PruneMode selects whether admissibility pruning filters trial candidates.
+type PruneMode int
+
+// Pruning soundness (DESIGN.md §11) rests on two conditions. First, the
+// assigner must give a pruned worker — one that cannot feasibly deliver any
+// first task — an empty route, so a pruned candidate's trial equals a plain
+// re-run over the unchanged worker set. Second, that plain re-run must not
+// itself beat the recipient's CURRENT routes: the phase-1 state has to be a
+// fixed point of (or dominate) the game's assigner over the same worker set,
+// or the reference dynamics could accept a pruned candidate on the strength
+// of the re-run alone. core.Run satisfies this by construction — one
+// assigner drives both phases — as do a Sequential game over an Optimal
+// phase 1 (Optimal dominates) and every LeftoverOnly run (a pruned DC trial
+// serves zero leftover tasks regardless of provenance).
+const (
+	// PruneAuto (the default) enables pruning exactly when the first
+	// condition is provable without caller assumptions: the built-in
+	// assign.Sequential (or a nil Assigner, which defaults to it). Custom
+	// assigners run unpruned because the pruning argument is
+	// assigner-specific.
+	PruneAuto PruneMode = iota
+	// PruneOn forces pruning. The caller asserts the soundness conditions
+	// above — the first holds for assign.Sequential and for unbudgeted
+	// assign.Optimal, whose enumeration grows from feasible singletons.
+	PruneOn
+	// PruneOff disables pruning — required for wall-clock-dependent
+	// assigners (e.g. budgeted Optimal), where a pruned candidate's trial
+	// is not reproducible anyway, and for phase-1 states produced by a
+	// weaker assigner than the game's.
+	PruneOff
+)
+
 // Config configures a collaboration run.
 type Config struct {
 	Recipient RecipientPolicy
@@ -112,15 +166,37 @@ type Config struct {
 	// (max ρ, ties to the lowest worker ID). Custom Assigners must be safe
 	// for concurrent calls when Parallelism != 1.
 	Parallelism int
+	// Prune selects admissibility pruning (DESIGN.md §11). The zero value
+	// PruneAuto prunes for the built-in Sequential assigner only; pruning
+	// never changes the solution or trace beyond the Trials/MemoHits/Pruned
+	// counters.
+	Prune PruneMode
 	// Obs receives one "game_iter" event per iteration carrying the
-	// potential Φ, the full ρ vector, trial/memo counts and the iteration
-	// latency. Nil (or obs.Nop) disables emission; the TraceStep record is
-	// filled either way.
+	// potential Φ, the full ρ vector, trial/memo/prune counts and the
+	// iteration latency. Nil (or obs.Nop) disables emission; the TraceStep
+	// record is filled either way.
 	Obs obs.Observer
 	// noMemo disables the cross-iteration trial cache. Test hook only: the
 	// cache is semantics-preserving for deterministic assigners, so there is
 	// no reason to expose it.
 	noMemo bool
+	// prunedHook, when non-nil, forces the exact (index-free) admissibility
+	// scan and observes every pruned candidate together with the recipient
+	// state needed to replay its full trial. Test hook backing the
+	// pruning-soundness property test.
+	prunedHook func(recipient model.CenterID, w model.WorkerID,
+		baseWS []model.WorkerID, leftTasks []model.TaskID, assigned int)
+}
+
+// sequentialPtr identifies the built-in Sequential assigner by code pointer,
+// surviving the Assigner func-type conversion.
+var sequentialPtr = reflect.ValueOf(assign.Sequential).Pointer()
+
+// isSequentialAssigner reports whether a is nil (defaults to Sequential) or
+// assign.Sequential itself — the engines that admit exact pruning and
+// prefix-resume trials.
+func isSequentialAssigner(a Assigner) bool {
+	return a == nil || reflect.ValueOf(a).Pointer() == sequentialPtr
 }
 
 // TraceStep records one iteration of the collaboration game, feeding the
@@ -146,9 +222,18 @@ type TraceStep struct {
 	// instead.
 	Trials   int
 	MemoHits int
+	// Pruned counts pool candidates skipped this iteration by admissibility
+	// pruning — their trials provably return the baseline. Resumed counts
+	// evaluated trials served by the prefix-resume engine instead of a full
+	// re-assignment. Both are zero under RunReference; together with Trials
+	// and MemoHits they are diagnostics, not part of the cross-engine
+	// equivalence contract.
+	Pruned  int
+	Resumed int
 	// Duration is the iteration's wall-clock time. It is the one TraceStep
-	// field outside the determinism contract — everything else is
-	// bit-identical across parallelism levels.
+	// field outside the determinism contract — everything else (minus the
+	// counter diagnostics above) is bit-identical across parallelism levels
+	// and engines.
 	Duration time.Duration
 }
 
@@ -164,7 +249,8 @@ type Result struct {
 	// entries are dropped the moment a center's state changes), so the
 	// equilibrium check can reuse them verbatim — see
 	// Result.VerifyEquilibrium. Populated only for FullReassign runs; DC
-	// trials have different semantics than the verifier's.
+	// trials have different semantics than the verifier's. Pruned
+	// candidates have no entry; the verifier re-prunes them instead.
 	trialMemo []map[model.WorkerID]assign.Result
 }
 
@@ -181,7 +267,14 @@ func NoCollaboration(in *model.Instance, phase1 []assign.Result) *model.Solution
 // Run executes the multi-center collaboration game (paper Algorithm 3) on
 // top of the phase-1 per-center results and returns the final solution with
 // its iteration trace. The instance is not mutated.
+//
+// This is the optimized engine: bit-identical to RunReference in solution,
+// transfers and trace (Trials/MemoHits/Pruned/Resumed and Duration aside),
+// but with admissibility pruning, prefix-resume trials and incremental
+// bookkeeping — see DESIGN.md §11 for the architecture and the exactness
+// arguments.
 func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
+	seqEngine := isSequentialAssigner(cfg.Assigner)
 	if cfg.Assigner == nil {
 		cfg.Assigner = assign.Sequential
 	}
@@ -191,6 +284,14 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 	in.PrepareMetric()
 	n := len(in.Centers)
 
+	pruneOn := cfg.Prune == PruneOn || (cfg.Prune == PruneAuto && seqEngine)
+	if cfg.Candidate == NearestWorker {
+		// NearestWorker picks its single candidate over the FULL pool;
+		// pre-filtering would change which worker is chosen, so pruning is
+		// disabled rather than applied unsoundly.
+		pruneOn = false
+	}
+
 	// Per-center mutable state.
 	type centerState struct {
 		routes    []model.Route
@@ -199,11 +300,24 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		own map[model.WorkerID]bool
 		// borrowed workers received from other centers, in arrival order.
 		borrowed []model.WorkerID
+		// workers is own ∪ borrowed in ascending ID order, maintained
+		// incrementally (the legacy loop rebuilt and sorted it per
+		// iteration).
+		workers []model.WorkerID
+		// assigned is countTasks(routes), maintained incrementally.
+		assigned int
 		rho      float64
+		// slack caches assign.AdmissionSlack for the pruning scope; valid
+		// until slackOK is cleared (LeftoverOnly invalidates on accept —
+		// its slack covers the mutable leftover set; FullReassign's covers
+		// the static center.Tasks).
+		slack   float64
+		slackOK bool
 	}
 	states := make([]centerState, n)
-	// pool is the available worker set C.W_left: worker -> home center.
-	pool := make(map[model.WorkerID]model.CenterID)
+	pool := newWorkerPool(in, pruneOn)
+	totalAssigned := 0
+	rhoVec := make([]float64, n)
 	for ci := range in.Centers {
 		st := &states[ci]
 		st.routes = cloneRoutes(phase1[ci].Routes)
@@ -212,9 +326,14 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		for _, w := range in.Centers[ci].Workers {
 			st.own[w] = true
 		}
-		st.rho = metrics.Ratio(countTasks(st.routes), len(in.Centers[ci].Tasks))
+		st.workers = append([]model.WorkerID(nil), in.Centers[ci].Workers...)
+		sort.Slice(st.workers, func(i, j int) bool { return st.workers[i] < st.workers[j] })
+		st.assigned = countTasks(st.routes)
+		totalAssigned += st.assigned
+		st.rho = metrics.Ratio(st.assigned, len(in.Centers[ci].Tasks))
+		rhoVec[ci] = st.rho
 		for _, w := range phase1[ci].LeftWorkers {
-			pool[w] = model.CenterID(ci)
+			pool.add(w, model.CenterID(ci))
 		}
 	}
 
@@ -236,31 +355,6 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 
 	res := Result{}
 	var transfers []model.Transfer
-	rhos := func() []float64 {
-		out := make([]float64, n)
-		for i := range states {
-			out[i] = states[i].rho
-		}
-		return out
-	}
-	totalAssigned := func() int {
-		t := 0
-		for i := range states {
-			t += countTasks(states[i].routes)
-		}
-		return t
-	}
-
-	workerSetOf := func(ci model.CenterID) []model.WorkerID {
-		st := &states[ci]
-		out := make([]model.WorkerID, 0, len(st.own)+len(st.borrowed))
-		for w := range st.own {
-			out = append(out, w)
-		}
-		out = append(out, st.borrowed...)
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
 
 	// memo caches trial re-assignment results per (recipient, worker). A
 	// trial depends only on the recipient's state (worker set, routes,
@@ -279,11 +373,19 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 	// that revisit centers incremental for free.
 	memo := make([]map[model.WorkerID]assign.Result, n)
 
-	for iter := 1; iter <= maxIter && len(recipients) > 0 && len(pool) > 0; iter++ {
+	// baselines caches Sequential(workers, center.Tasks) per center for the
+	// prefix-resume engine — the trial base every resumed trial replays a
+	// suffix of. Invalidated exactly like memo (the base depends on the same
+	// state); an accepted trial IS the new baseline, so steady-state
+	// iterations never run the assigner for it.
+	baselines := make([]*assign.Result, n)
+
+	for iter := 1; iter <= maxIter && len(recipients) > 0 && pool.len() > 0; iter++ {
 		iterStart := time.Now()
 		res.Iterations = iter
 		mIterations.Inc()
-		// Line 13: recipient selection.
+		// Line 13: recipient selection — served from the maintained ρ
+		// vector instead of a per-iteration rebuild.
 		var ci model.CenterID
 		switch cfg.Recipient {
 		case RandomRecipient:
@@ -297,49 +399,101 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 				}
 			}
 		default:
-			ci = metrics.MinRatioCenter(rhos(), recipients)
+			ci = metrics.MinRatioCenter(rhoVec, recipients)
 		}
 		st := &states[ci]
 		center := in.Center(ci)
 
 		// Candidate workers: available pool minus the recipient's own
-		// (its own unused workers are already in its worker set).
-		cands := make([]model.WorkerID, 0, len(pool))
-		for w := range pool {
-			if !st.own[w] {
-				cands = append(cands, w)
-			}
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-		if cfg.Candidate == NearestWorker && len(cands) > 1 {
-			// Heuristic ablation: only evaluate the nearest available
-			// worker. Ties break by ID via the pre-sorted order.
-			best := cands[0]
-			bd := in.Worker(best).Loc.Dist2(center.Loc)
-			for _, w := range cands[1:] {
-				if d := in.Worker(w).Loc.Dist2(center.Loc); d < bd {
-					best, bd = w, d
+		// (its own unused workers are already in its worker set). With
+		// pruning, candidates that cannot feasibly deliver any first task
+		// are dropped here — their trials provably return the baseline and
+		// can never win the strict-improvement scan below.
+		var cands []model.WorkerID
+		pruned := 0
+		var prunedList []model.WorkerID
+		switch {
+		case cfg.Candidate == NearestWorker:
+			cands = pool.candidates(ci)
+			if len(cands) > 1 {
+				// Heuristic ablation: only evaluate the nearest available
+				// worker. Ties break by ID via the pre-sorted order.
+				best := cands[0]
+				bd := in.Worker(best).Loc.Dist2(center.Loc)
+				for _, w := range cands[1:] {
+					if d := in.Worker(w).Loc.Dist2(center.Loc); d < bd {
+						best, bd = w, d
+					}
 				}
+				cands = []model.WorkerID{best}
 			}
-			cands = []model.WorkerID{best}
+		case pruneOn:
+			if !st.slackOK {
+				if cfg.Scope == LeftoverOnly {
+					st.slack = assign.AdmissionSlack(in, center, st.leftTasks)
+				} else {
+					st.slack = assign.AdmissionSlack(in, center, center.Tasks)
+				}
+				st.slackOK = true
+			}
+			var onPruned func(model.WorkerID)
+			if cfg.prunedHook != nil {
+				onPruned = func(w model.WorkerID) { prunedList = append(prunedList, w) }
+			}
+			cands, pruned = pool.admissible(center, ci, st.slack, onPruned)
+		default:
+			cands = pool.candidates(ci)
 		}
+		mPruned.Add(int64(pruned))
 
 		// Line 14: best response — the candidate maximising the
 		// post-reassignment ratio. Line 15: evaluated via re-assignment.
-		// Trials are independent of each other (each re-assigns a copy of the
-		// recipient's worker set), so cache misses are evaluated concurrently
-		// into fixed slots; the winner is then picked by the same serial scan
-		// as the legacy loop, keeping the output bit-identical.
+		// Trials are independent of each other, so cache misses are
+		// evaluated concurrently into fixed slots; the winner is then picked
+		// by the same serial scan as the reference loop, keeping the output
+		// bit-identical.
 		var baseWS []model.WorkerID
 		if cfg.Scope != LeftoverOnly {
-			baseWS = workerSetOf(ci)
+			baseWS = st.workers
 		}
-		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci])
+		for _, w := range prunedList {
+			cfg.prunedHook(ci, w, baseWS, st.leftTasks, st.assigned)
+		}
+
+		// The prefix-resume trial base: for the Sequential engine, trials
+		// resume from the candidate's serve-order position against the
+		// center's baseline assignment instead of re-running every worker.
+		var base *assign.TrialBase
+		if seqEngine && len(cands) > 0 {
+			if cfg.Scope == LeftoverOnly {
+				// DC trials serve one worker over the leftover tasks: the
+				// baseline is the empty assignment over those tasks.
+				base, _ = assign.NewTrialBase(in, center, nil, nil, st.leftTasks)
+			} else {
+				if baselines[ci] == nil {
+					r := cfg.Assigner(in, center, baseWS, center.Tasks)
+					baselines[ci] = &r
+				}
+				b, ok := assign.NewTrialBase(in, center, baseWS, baselines[ci].Routes, baselines[ci].LeftTasks)
+				if ok {
+					base = b
+				}
+			}
+			if base != nil {
+				mSnapshotBytes.Set(float64(base.FootprintBytes()))
+			}
+		}
+		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci], base)
+		resumed := 0
+		if base != nil {
+			resumed = evaluated
+		}
 		hits := len(cands) - evaluated
 		mTrials.Add(int64(evaluated))
-		mMemoMisses.Add(int64(evaluated))
-		mMemoHits.Add(int64(hits))
+		mResumed.Add(int64(resumed))
 		if !cfg.noMemo {
+			mMemoMisses.Add(int64(evaluated))
+			mMemoHits.Add(int64(hits))
 			if memo[ci] == nil {
 				memo[ci] = make(map[model.WorkerID]assign.Result, len(cands))
 			}
@@ -348,27 +502,28 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 			}
 		}
 
-		curAssigned := countTasks(st.routes)
 		bestRho := st.rho
 		bestIdx := -1
 		var bestRes assign.Result
+		bestAssigned := st.assigned
 		for i := range cands {
 			trial := trials[i]
 			newAssigned := trial.AssignedCount()
 			if cfg.Scope == LeftoverOnly {
-				newAssigned += curAssigned
+				newAssigned += st.assigned
 			}
 			newRho := metrics.Ratio(newAssigned, len(center.Tasks))
 			if newRho > bestRho+rhoEps {
 				bestRho = newRho
 				bestIdx = i
 				bestRes = trial
+				bestAssigned = newAssigned
 			}
 		}
 
 		step := TraceStep{
 			Iteration: iter, Recipient: ci, RhoBefore: st.rho,
-			Trials: evaluated, MemoHits: hits,
+			Trials: evaluated, MemoHits: hits, Pruned: pruned, Resumed: resumed,
 		}
 		if bestIdx < 0 {
 			// Lines 20–21: no improving dispatch — the center leaves C'.
@@ -379,8 +534,8 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		} else {
 			// Lines 16–19: accept the dispatch and update the assignment.
 			w := cands[bestIdx]
-			src := pool[w]
-			delete(pool, w)
+			src := pool.homeOf(w)
+			pool.remove(w)
 			step.Worker = w
 			step.Source = src
 			step.Accepted = true
@@ -388,21 +543,36 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 
 			// The lender loses the worker from its own set.
 			delete(states[src].own, w)
+			states[src].workers = removeSortedID(states[src].workers, w)
 			st.borrowed = append(st.borrowed, w)
+			st.workers = insertSortedID(st.workers, w)
 			transfers = append(transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
 			mTransfers.Inc()
 			// Both centers' states changed: the recipient's routes, borrowed
 			// set and leftover tasks, and the lender's own-worker set. Their
-			// cached trials are stale; every other center's remain valid.
+			// cached trials (and trial bases) are stale; every other
+			// center's remain valid.
 			memo[ci] = nil
 			memo[src] = nil
+			baselines[src] = nil
 
 			if cfg.Scope == LeftoverOnly {
 				st.routes = append(st.routes, cloneRoutes(bestRes.Routes)...)
 				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
+				// The leftover set shrank, so the cached admission slack
+				// (computed over it) is stale.
+				st.slackOK = false
 			} else {
 				st.routes = cloneRoutes(bestRes.Routes)
 				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
+				// The accepted trial IS Sequential over the new worker set:
+				// it becomes the next trial base without another run.
+				if seqEngine {
+					stored := bestRes
+					baselines[ci] = &stored
+				} else {
+					baselines[ci] = nil
+				}
 				// Bi-directional update: sync the pool with the recipient's
 				// own workers' new usage. Own workers used by the new plan
 				// leave the pool; own workers now unused become available.
@@ -412,47 +582,31 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 				}
 				for ow := range st.own {
 					if leftSet[ow] {
-						pool[ow] = ci
+						pool.add(ow, ci)
 					} else {
-						delete(pool, ow)
+						pool.remove(ow)
 					}
 				}
 			}
+			totalAssigned += bestAssigned - st.assigned
+			st.assigned = bestAssigned
 			st.rho = bestRho
+			rhoVec[ci] = bestRho
 			if st.rho >= 1-rhoEps {
 				recipients = removeCenter(recipients, ci)
 			}
 		}
-		rv := rhos()
-		step.Assigned = totalAssigned()
+		// Unfairness and Φ are recomputed from the maintained ρ vector each
+		// step: incremental float updates would drift from the reference
+		// bit pattern, while the vector itself is maintained exactly.
+		rv := append([]float64(nil), rhoVec...)
+		step.Assigned = totalAssigned
 		step.Unfairness = metrics.Unfairness(rv)
 		step.Phi = metrics.Phi(rv)
 		step.Rhos = rv
 		step.Duration = time.Since(iterStart)
 		res.Trace = append(res.Trace, step)
-		if obs.Enabled(cfg.Obs) {
-			fields := make([]obs.Field, 0, 14)
-			fields = append(fields,
-				obs.F("iter", step.Iteration),
-				obs.F("recipient", int(step.Recipient)),
-				obs.F("accepted", step.Accepted))
-			if step.Accepted {
-				fields = append(fields,
-					obs.F("worker", int(step.Worker)),
-					obs.F("source", int(step.Source)))
-			}
-			fields = append(fields,
-				obs.F("rho_before", step.RhoBefore),
-				obs.F("rho_after", step.RhoAfter),
-				obs.F("phi", step.Phi),
-				obs.F("rhos", step.Rhos),
-				obs.F("assigned", step.Assigned),
-				obs.F("unfairness", step.Unfairness),
-				obs.F("trials", step.Trials),
-				obs.F("memo_hits", step.MemoHits),
-				obs.F("duration_ms", obs.DurationMs(step.Duration)))
-			cfg.Obs.Event("game_iter", fields...)
-		}
+		emitGameIter(cfg.Obs, &step)
 	}
 
 	sol := model.NewSolution(in)
@@ -465,6 +619,38 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		res.trialMemo = memo
 	}
 	return res
+}
+
+// emitGameIter publishes one game_iter telemetry event for a completed
+// iteration; shared by Run and RunReference so the stream schema stays
+// identical across engines.
+func emitGameIter(o obs.Observer, step *TraceStep) {
+	if !obs.Enabled(o) {
+		return
+	}
+	fields := make([]obs.Field, 0, 16)
+	fields = append(fields,
+		obs.F("iter", step.Iteration),
+		obs.F("recipient", int(step.Recipient)),
+		obs.F("accepted", step.Accepted))
+	if step.Accepted {
+		fields = append(fields,
+			obs.F("worker", int(step.Worker)),
+			obs.F("source", int(step.Source)))
+	}
+	fields = append(fields,
+		obs.F("rho_before", step.RhoBefore),
+		obs.F("rho_after", step.RhoAfter),
+		obs.F("phi", step.Phi),
+		obs.F("rhos", step.Rhos),
+		obs.F("assigned", step.Assigned),
+		obs.F("unfairness", step.Unfairness),
+		obs.F("trials", step.Trials),
+		obs.F("memo_hits", step.MemoHits),
+		obs.F("pruned", step.Pruned),
+		obs.F("resumed", step.Resumed),
+		obs.F("duration_ms", obs.DurationMs(step.Duration)))
+	o.Event("game_iter", fields...)
 }
 
 const rhoEps = 1e-12
@@ -492,4 +678,23 @@ func removeCenter(cs []model.CenterID, c model.CenterID) []model.CenterID {
 		}
 	}
 	return cs
+}
+
+// insertSortedID returns ids (ascending) with w inserted in order.
+func insertSortedID(ids []model.WorkerID, w model.WorkerID) []model.WorkerID {
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= w })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = w
+	return ids
+}
+
+// removeSortedID returns ids (ascending) with w removed, preserving order.
+func removeSortedID(ids []model.WorkerID, w model.WorkerID) []model.WorkerID {
+	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= w })
+	if i == len(ids) || ids[i] != w {
+		return ids
+	}
+	copy(ids[i:], ids[i+1:])
+	return ids[:len(ids)-1]
 }

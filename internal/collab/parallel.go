@@ -41,12 +41,17 @@ func parallelism(n int) int {
 // goroutine writing its result to a fixed slot so the output is independent
 // of scheduling order.
 //
+// When base is non-nil, misses are served by the prefix-resume engine: each
+// evaluation replays only the serve-order suffix the candidate perturbs
+// against base's snapshot (assign.TrialBase), with one pooled journaled grid
+// per goroutine. A nil base falls back to one full assigner run per miss.
+//
 // baseWS is the recipient's current worker set (ignored for LeftoverOnly);
-// each trial appends its candidate to a private copy, so the shared slice is
-// never mutated. leftTasks is read-only for the assigners.
+// each full-run trial appends its candidate to a private copy, so the shared
+// slice is never mutated. leftTasks is read-only for the assigners.
 func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID,
 	baseWS []model.WorkerID, leftTasks []model.TaskID, cfg Config,
-	cache map[model.WorkerID]assign.Result) ([]assign.Result, int) {
+	cache map[model.WorkerID]assign.Result, base *assign.TrialBase) ([]assign.Result, int) {
 
 	trials := make([]assign.Result, len(cands))
 	misses := make([]int, 0, len(cands))
@@ -61,15 +66,24 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		return trials, 0
 	}
 
-	eval := func(i int) assign.Result {
-		w := cands[i]
-		if cfg.Scope == LeftoverOnly {
-			return cfg.Assigner(in, center, []model.WorkerID{w}, leftTasks)
+	// newEval builds one evaluator (plus its cleanup) per executing
+	// goroutine: a TrialRunner owns mutable scratch (the journaled grid), so
+	// it cannot be shared across goroutines.
+	newEval := func() (eval func(int) assign.Result, done func()) {
+		if base != nil {
+			r := base.NewRunner()
+			return func(i int) assign.Result { return r.Trial(cands[i]) }, r.Release
 		}
-		ws := make([]model.WorkerID, len(baseWS)+1)
-		copy(ws, baseWS)
-		ws[len(baseWS)] = w
-		return cfg.Assigner(in, center, ws, center.Tasks)
+		return func(i int) assign.Result {
+			w := cands[i]
+			if cfg.Scope == LeftoverOnly {
+				return cfg.Assigner(in, center, []model.WorkerID{w}, leftTasks)
+			}
+			ws := make([]model.WorkerID, len(baseWS)+1)
+			copy(ws, baseWS)
+			ws[len(baseWS)] = w
+			return cfg.Assigner(in, center, ws, center.Tasks)
+		}, func() {}
 	}
 
 	workers := parallelism(cfg.Parallelism)
@@ -77,9 +91,11 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		workers = len(misses)
 	}
 	if workers <= 1 {
+		eval, done := newEval()
 		for _, i := range misses {
 			trials[i] = eval(i)
 		}
+		done()
 		return trials, len(misses)
 	}
 
@@ -94,6 +110,8 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 			defer wg.Done()
 			mPoolWorkers.Add(1)
 			defer mPoolWorkers.Add(-1)
+			eval, done := newEval()
+			defer done()
 			for {
 				k := next.Add(1) - 1
 				if int(k) >= len(misses) {

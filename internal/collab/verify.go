@@ -16,6 +16,12 @@ import (
 //
 // The available pool is reconstructed from the solution: every worker that
 // appears in no route is available (from its home center).
+//
+// With a nil or assign.Sequential assigner the verifier uses the same exact
+// accelerations as Run: candidates outside a center's admission slack are
+// skipped (their deviation provably cannot improve ρ), and the rest are
+// evaluated by prefix-resume against one baseline run per center instead of
+// a full re-assignment each. The verdict is identical either way.
 func VerifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigner) error {
 	return verifyEquilibrium(in, sol, assigner, nil)
 }
@@ -33,9 +39,11 @@ func (r *Result) VerifyEquilibrium(in *model.Instance, assigner Assigner) error 
 
 func verifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigner,
 	memo []map[model.WorkerID]assign.Result) error {
+	seq := isSequentialAssigner(assigner)
 	if assigner == nil {
 		assigner = assign.Sequential
 	}
+	in.PrepareMetric()
 	used := make(map[model.WorkerID]bool)
 	borrowedBy := make(map[model.CenterID][]model.WorkerID)
 	for ci := range sol.PerCenter {
@@ -76,8 +84,21 @@ func verifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigne
 		}
 		workers = append(workers, borrowedBy[model.CenterID(ci)]...)
 
+		// Sequential-only accelerations: the admission slack prunes
+		// candidates that cannot take any first task, and the remaining
+		// deviations resume from one baseline run instead of re-running the
+		// whole worker set each (both exact — DESIGN.md §11).
+		slack := 0.0
+		var runner *assign.TrialRunner
+		if seq {
+			slack = assign.AdmissionSlack(in, center, center.Tasks)
+		}
+
 		for _, cand := range pool {
 			if in.Worker(cand).Home == model.CenterID(ci) {
+				continue
+			}
+			if seq && !assign.WorkerAdmissible(in, center, cand, slack) {
 				continue
 			}
 			trial, cached := assign.Result{}, false
@@ -85,7 +106,22 @@ func verifyEquilibrium(in *model.Instance, sol *model.Solution, assigner Assigne
 				trial, cached = memo[ci][cand]
 			}
 			if !cached {
-				trial = assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+				if seq {
+					if runner == nil {
+						baseline := assigner(in, center, workers, center.Tasks)
+						if base, ok := assign.NewTrialBase(in, center, workers, baseline.Routes, baseline.LeftTasks); ok {
+							runner = base.NewRunner()
+							defer runner.Release()
+						}
+					}
+					if runner != nil {
+						trial = runner.Trial(cand)
+					} else {
+						trial = assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+					}
+				} else {
+					trial = assigner(in, center, append(append([]model.WorkerID(nil), workers...), cand), center.Tasks)
+				}
 			}
 			newRho := metrics.Ratio(trial.AssignedCount(), len(center.Tasks))
 			if newRho > rho+rhoEps {

@@ -259,10 +259,21 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	}
 
 	assigner := collab.Assigner(assign.Sequential)
+	// PruneAuto covers the Sequential assigner; the Opt closure needs an
+	// explicit mode. Unbudgeted Optimal admits exact pruning (its VTDS
+	// enumeration grows from feasible singletons, so an inadmissible worker
+	// contributes no candidate set), while a time budget makes trials
+	// wall-clock dependent — pruning must stay off there.
+	prune := collab.PruneAuto
 	if cfg.Method.Assigner == Opt {
 		budget := cfg.OptBudget
 		assigner = func(in *model.Instance, c *model.Center, ws []model.WorkerID, ts []model.TaskID) assign.Result {
 			return assign.OptimalOpt(in, c, ws, ts, assign.OptimalOptions{TimeBudget: budget})
+		}
+		if budget > 0 {
+			prune = collab.PruneOff
+		} else {
+			prune = collab.PruneOn
 		}
 	}
 
@@ -356,6 +367,7 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 			Assigner:      assigner,
 			Parallelism:   cfg.Parallelism,
 			MaxIterations: cfg.MaxGameIterations,
+			Prune:         prune,
 			Obs:           cfg.Observer,
 		}
 		switch cfg.Method.Collab {

@@ -18,6 +18,20 @@ type Grid struct {
 	cells  [][]Item
 	byID   map[int]geo.Point
 	count  int
+
+	// journal records every mutation applied between Mark and Rewind so the
+	// grid can be restored to the marked state — the copy-on-write snapshot
+	// mechanism of the phase-2 trial engine: one shared pool serves many
+	// what-if trials, each rewound instead of rebuilt.
+	journal    []journalOp
+	journaling bool
+}
+
+// journalOp is one recorded mutation; insert reports what was DONE, so
+// Rewind applies the inverse.
+type journalOp struct {
+	insert bool
+	it     Item
 }
 
 // NewGrid creates a grid covering bounds with roughly targetPerCell items per
@@ -74,7 +88,36 @@ func (g *Grid) Reset(bounds geo.Rect, n, targetPerCell int) {
 		clear(g.byID)
 	}
 	g.count = 0
+	g.journal = g.journal[:0]
+	g.journaling = false
 }
+
+// Mark starts (or restarts) journaling: every Insert/Remove from here on is
+// recorded so Rewind can undo it. Only one mark is held at a time; a second
+// Mark discards the first. Journaling costs one slice append per mutation.
+func (g *Grid) Mark() {
+	g.journal = g.journal[:0]
+	g.journaling = true
+}
+
+// Rewind undoes every mutation recorded since Mark, restoring the grid to
+// the marked state, and stops journaling. Without a prior Mark it is a no-op.
+func (g *Grid) Rewind() {
+	g.journaling = false
+	for i := len(g.journal) - 1; i >= 0; i-- {
+		op := g.journal[i]
+		if op.insert {
+			g.Remove(op.it.ID)
+		} else {
+			g.Insert(op.it)
+		}
+	}
+	g.journal = g.journal[:0]
+}
+
+// JournalLen returns the number of mutations recorded since Mark — the
+// copy-on-write footprint of the current trial.
+func (g *Grid) JournalLen() int { return len(g.journal) }
 
 // Len returns the number of items currently stored.
 func (g *Grid) Len() int { return g.count }
@@ -103,12 +146,18 @@ func (g *Grid) Insert(it Item) {
 	if old, ok := g.byID[it.ID]; ok {
 		g.removeAt(it.ID, old)
 		g.count--
+		if g.journaling {
+			g.journal = append(g.journal, journalOp{insert: false, it: Item{ID: it.ID, Point: old}})
+		}
 	}
 	cx, cy := g.cellIndex(it.Point)
 	i := cy*g.nx + cx
 	g.cells[i] = append(g.cells[i], it)
 	g.byID[it.ID] = it.Point
 	g.count++
+	if g.journaling {
+		g.journal = append(g.journal, journalOp{insert: true, it: it})
+	}
 }
 
 // Remove deletes the item with the given id, reporting whether it was present.
@@ -120,6 +169,9 @@ func (g *Grid) Remove(id int) bool {
 	g.removeAt(id, p)
 	delete(g.byID, id)
 	g.count--
+	if g.journaling {
+		g.journal = append(g.journal, journalOp{insert: false, it: Item{ID: id, Point: p}})
+	}
 	return true
 }
 

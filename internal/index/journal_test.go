@@ -1,0 +1,91 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+func sortedItems(g *Grid) []Item {
+	items := g.Items()
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
+}
+
+// TestGridJournalRewind drives random Insert/Remove/replace batches between
+// Mark and Rewind and checks the grid is restored to the marked state exactly
+// — the copy-on-write contract the phase-2 trial engine relies on.
+func TestGridJournalRewind(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(120)
+		g := NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(1000, 1000)), n, 4)
+		for _, it := range randItems(rng, n, 1000) {
+			g.Insert(it)
+		}
+		before := sortedItems(g)
+
+		g.Mark()
+		muts := 1 + rng.Intn(3*n)
+		for m := 0; m < muts; m++ {
+			id := rng.Intn(n + 20) // hits present, absent, and fresh IDs
+			switch rng.Intn(3) {
+			case 0:
+				g.Insert(Item{ID: id, Point: geo.Pt(rng.Float64()*1000, rng.Float64()*1000)})
+			case 1:
+				g.Remove(id)
+			default: // replace: move an existing ID to a new location
+				g.Insert(Item{ID: rng.Intn(n), Point: geo.Pt(rng.Float64()*1000, rng.Float64()*1000)})
+			}
+		}
+		g.Rewind()
+
+		after := sortedItems(g)
+		if len(after) != len(before) {
+			t.Fatalf("trial %d: %d items after rewind, want %d", trial, len(after), len(before))
+		}
+		for i := range before {
+			if after[i] != before[i] {
+				t.Fatalf("trial %d: item %d is %+v after rewind, want %+v",
+					trial, i, after[i], before[i])
+			}
+		}
+		if g.Len() != len(before) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, g.Len(), len(before))
+		}
+		if g.JournalLen() != 0 {
+			t.Fatalf("trial %d: journal not drained: %d ops", trial, g.JournalLen())
+		}
+		// Nearest queries must agree with the restored content.
+		q := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		want, wok := LinearNearest(before, q, nil)
+		got, gok := g.Nearest(q)
+		if wok != gok || got.ID != want.ID {
+			t.Fatalf("trial %d: Nearest after rewind = %+v/%v, want %+v/%v",
+				trial, got, gok, want, wok)
+		}
+	}
+}
+
+// TestGridRewindWithoutMark asserts Rewind is a no-op when nothing was marked.
+func TestGridRewindWithoutMark(t *testing.T) {
+	g := NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), 4, 4)
+	g.Insert(Item{ID: 1, Point: geo.Pt(1, 1)})
+	g.Rewind()
+	if g.Len() != 1 || !g.Contains(1) {
+		t.Fatal("Rewind without Mark must leave the grid untouched")
+	}
+}
+
+// TestGridJournalDisabledByDefault asserts mutations outside a Mark/Rewind
+// window cost no journal entries.
+func TestGridJournalDisabledByDefault(t *testing.T) {
+	g := NewGrid(geo.NewRect(geo.Pt(0, 0), geo.Pt(10, 10)), 4, 4)
+	g.Insert(Item{ID: 1, Point: geo.Pt(1, 1)})
+	g.Remove(1)
+	if g.JournalLen() != 0 {
+		t.Fatalf("journal recorded %d ops without a Mark", g.JournalLen())
+	}
+}

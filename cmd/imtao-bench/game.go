@@ -91,6 +91,11 @@ type gameConfig struct {
 	dataset  workload.Dataset
 	grid     int
 	jsonPath string
+	// tracePath, when set, records the optimized engine's game iterations,
+	// trials, and Dijkstra searches of every preset into one Chrome/Perfetto
+	// span timeline. Tracing costs a little per trial, so the recorded
+	// wall-clock numbers carry that overhead — leave it off for baselines.
+	tracePath string
 }
 
 // runGameSweep executes the game-engine benchmark and writes BENCH_game.json.
@@ -109,6 +114,11 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 	}
 	snapshotGauge := obs.Default.Gauge("imtao_collab_snapshot_bytes", "")
+
+	var tr *obs.Tracer
+	if cfg.tracePath != "" {
+		tr = obs.NewTracer(0)
+	}
 
 	for _, size := range sizes {
 		p := workload.ScaleParams(cfg.dataset, size)
@@ -143,12 +153,34 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 
 		ccfg := collab.Config{Scope: collab.FullReassign, Assigner: assign.Sequential}
 
+		label := fmt.Sprintf("%dk", size/1000)
+		if size%1000 != 0 {
+			label = fmt.Sprintf("%d", size)
+		}
+
+		var rootTS obs.TraceSpan
+		if tr != nil {
+			rootTS = tr.Start(0, "game_"+label,
+				obs.F("tasks", p.NumTasks), obs.F("workers", p.NumWorkers),
+				obs.F("centers", p.NumCenters))
+			ccfg.Tracer = tr
+			ccfg.TraceParent = rootTS.ID()
+			net.SetTrace(tr, rootTS.ID())
+		}
+
 		t0 = time.Now()
 		res := collab.Run(in, p1, ccfg)
 		engineWall := time.Since(t0)
 
+		if tr != nil {
+			rootTS.End(obs.F("iterations", res.Iterations),
+				obs.F("transfers", len(res.Solution.Transfers)))
+			net.SetTrace(nil, 0)
+			ccfg.Tracer, ccfg.TraceParent = nil, 0
+		}
+
 		pr := gamePreset{
-			Name:    fmt.Sprintf("%dk", size/1000),
+			Name:    label,
 			Tasks:   p.NumTasks,
 			Workers: p.NumWorkers,
 			Centers: p.NumCenters,
@@ -163,10 +195,6 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 
 			SnapshotBytes: int64(snapshotGauge.Value()),
 		}
-		if size%1000 != 0 {
-			pr.Name = fmt.Sprintf("%d", size)
-		}
-
 		var durs []time.Duration
 		for _, step := range res.Trace {
 			pr.CandidatesPruned += int64(step.Pruned)
@@ -236,6 +264,22 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		if pr.TrialsResumed == 0 {
 			return fmt.Errorf("game %s: prefix-resume never engaged", pr.Name)
 		}
+	}
+
+	if tr != nil {
+		tf, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeTrace(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "span timeline (%d spans) written to %s — open in ui.perfetto.dev\n",
+			tr.Len(), cfg.tracePath)
 	}
 
 	f, err := os.Create(cfg.jsonPath)

@@ -61,6 +61,7 @@ func main() {
 		gameOut     = flag.String("game-json", "BENCH_game.json", "output path of the -game record")
 		gameDataset = flag.String("game-dataset", "syn", "dataset generator for -game: gm or syn")
 		gameGrid    = flag.Int("game-grid", 64, "road-network grid side for -game (grid² nodes)")
+		gameTrace   = flag.String("game-trace", "", "record a Chrome/Perfetto span timeline of the optimized engine runs (iterations, trials, Dijkstra searches) to this file; adds per-trial overhead, so leave off for baselines")
 
 		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
@@ -143,9 +144,10 @@ func main() {
 			fatal(err)
 		}
 		if err := runGameSweep(sizes, gameConfig{
-			dataset:  d,
-			grid:     *gameGrid,
-			jsonPath: *gameOut,
+			dataset:   d,
+			grid:      *gameGrid,
+			jsonPath:  *gameOut,
+			tracePath: *gameTrace,
 		}); err != nil {
 			fatal(err)
 		}

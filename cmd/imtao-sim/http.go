@@ -11,14 +11,26 @@ import (
 )
 
 // obsMux builds the diagnostics handler served by -listen: a Prometheus
-// text-format snapshot of the pipeline metrics at /metrics and the standard
-// Go profiler endpoints under /debug/pprof/.
-func obsMux() *http.ServeMux {
+// text-format snapshot of the pipeline metrics at /metrics, the standard
+// Go profiler endpoints under /debug/pprof/, and — when a flight recorder
+// is running (-flight) — an on-demand ring dump at /debug/flightrecorder.
+func obsMux(rec *imtao.FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := imtao.WriteMetrics(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "flight recorder disabled; run with -flight N", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if _, err := rec.WriteTo(w); err != nil {
+			// Headers are gone; all we can do is log.
+			fmt.Fprintln(os.Stderr, "imtao-sim: flightrecorder dump:", err)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,7 +43,7 @@ func obsMux() *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "imtao-sim diagnostics\n\n/metrics      Prometheus text snapshot\n/debug/pprof/ Go profiler index\n")
+		fmt.Fprint(w, "imtao-sim diagnostics\n\n/metrics              Prometheus text snapshot\n/debug/flightrecorder last telemetry events (with -flight)\n/debug/pprof/         Go profiler index\n")
 	})
 	return mux
 }
@@ -40,14 +52,14 @@ func obsMux() *http.ServeMux {
 // the bound address. Fine-grained latency histograms are enabled for the
 // lifetime of the process: anyone running with -listen has opted into
 // observation, so the clock reads are wanted.
-func serveObs(addr string) (string, error) {
+func serveObs(addr string, rec *imtao.FlightRecorder) (string, error) {
 	imtao.EnableTiming(true)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	go func() {
-		if err := http.Serve(ln, obsMux()); err != nil {
+		if err := http.Serve(ln, obsMux(rec)); err != nil {
 			fmt.Fprintln(os.Stderr, "imtao-sim: serve:", err)
 		}
 	}()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -17,7 +18,7 @@ func TestObsMux(t *testing.T) {
 	if _, err := imtao.Solve(imtao.DefaultParams(imtao.SYN), imtao.SeqBDC); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(obsMux())
+	srv := httptest.NewServer(obsMux(nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -58,5 +59,58 @@ func TestObsMux(t *testing.T) {
 	}
 	if code, _ := get("/nope"); code != http.StatusNotFound {
 		t.Errorf("/nope: status %d, want 404", code)
+	}
+
+	// Without -flight the endpoint explains itself with a 404.
+	if code, body := get("/debug/flightrecorder"); code != http.StatusNotFound ||
+		!strings.Contains(body, "-flight") {
+		t.Errorf("/debug/flightrecorder without recorder: status %d, body %.80q", code, body)
+	}
+}
+
+// TestFlightRecorderEndpoint wires a live recorder into the mux and checks
+// the on-demand dump: NDJSON, one valid object per line, newest event last.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	rec := imtao.NewFlightRecorder(8)
+	for i := 0; i < 12; i++ {
+		rec.Event("game_iter", imtao.Field{Key: "iter", Value: i})
+	}
+	srv := httptest.NewServer(obsMux(rec))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("%d lines, want the 8 retained events:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if rec["event"] != "game_iter" {
+			t.Errorf("line %q: unexpected event", line)
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["seq"] != float64(5) {
+		t.Errorf("oldest retained seq = %v, want 5 (12 events, ring of 8)", first["seq"])
 	}
 }

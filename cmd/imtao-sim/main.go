@@ -9,6 +9,8 @@
 //	imtao-sim -dataset gm -trace                 # print every game iteration
 //	imtao-sim -listen :8080                      # serve /metrics + /debug/pprof, stay up
 //	imtao-sim -trace-out run.jsonl               # stream telemetry events to a file
+//	imtao-sim -trace-out run.trace.json          # record a span timeline for ui.perfetto.dev
+//	imtao-sim -flight 4096 -listen :8080         # keep the last 4096 events at /debug/flightrecorder
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,13 +43,30 @@ func main() {
 		svg     = flag.String("svg", "", "render the solution (cells, routes, transfers) to an SVG file")
 		trace   = flag.Bool("trace", false, "print every collaboration game iteration")
 
-		listen   = flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. :8080) and keep running after the report")
-		traceOut = flag.String("trace-out", "", "stream run telemetry to this JSONL file")
+		listen     = flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. :8080) and keep running after the report")
+		traceOut   = flag.String("trace-out", "", "record run telemetry to this file: a .jsonl path streams events as JSON Lines, any other path writes a Chrome/Perfetto span timeline after the run")
+		flight     = flag.Int("flight", 0, "retain the last N telemetry events in a flight recorder (0 disables); dumped on panic, on SIGQUIT, and at /debug/flightrecorder under -listen")
+		flightDump = flag.String("flight-dump", "", "also dump the flight recorder to this file at exit (default: stderr, and only on panic or SIGQUIT)")
 	)
 	flag.Parse()
 
+	var recorder *imtao.FlightRecorder
+	if *flight > 0 {
+		recorder = imtao.NewFlightRecorder(*flight)
+		watchSIGQUIT(recorder, *flightDump)
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlight(recorder, *flightDump, "panic")
+				panic(r)
+			}
+			if *flightDump != "" {
+				dumpFlight(recorder, *flightDump, "exit")
+			}
+		}()
+	}
+
 	if *listen != "" {
-		addr, err := serveObs(*listen)
+		addr, err := serveObs(*listen, recorder)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,19 +116,38 @@ func main() {
 	}
 
 	opts := []imtao.RunOption{imtao.WithSeed(*seed), imtao.WithOptBudget(*budget)}
+	var observers []imtao.Observer
+	if recorder != nil {
+		observers = append(observers, recorder)
+	}
+	var tracer *imtao.Tracer
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			observers = append(observers, imtao.NewJSONLObserver(f))
+		} else {
+			tracer = imtao.NewTracer(0)
+			opts = append(opts, imtao.WithTracer(tracer))
 		}
-		defer f.Close()
-		opts = append(opts, imtao.WithTrace(f))
+	}
+	if len(observers) > 0 {
+		opts = append(opts, imtao.WithObserver(imtao.MultiObserver(observers...)))
 	}
 	rep, err := imtao.Run(in, m, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	if *traceOut != "" {
+	if tracer != nil {
+		if err := writeChromeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("span timeline (%d spans) written to %s — open in ui.perfetto.dev\n",
+			tracer.Len(), *traceOut)
+	} else if *traceOut != "" {
 		fmt.Printf("telemetry trace streaming to %s\n", *traceOut)
 	}
 
@@ -184,6 +223,61 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 	}
+}
+
+// writeChromeTrace exports the recorded span timeline as Chrome trace-event
+// JSON, openable in ui.perfetto.dev or chrome://tracing.
+func writeChromeTrace(path string, tr *imtao.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// watchSIGQUIT dumps the flight recorder whenever the process receives
+// SIGQUIT (^\) — the conventional "what are you doing right now" signal —
+// without exiting.
+func watchSIGQUIT(rec *imtao.FlightRecorder, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			dumpFlight(rec, path, "SIGQUIT")
+		}
+	}()
+}
+
+// dumpFlight writes the recorder's retained events as JSON Lines to path,
+// or to stderr when path is empty, tagged with why (panic/SIGQUIT/exit).
+func dumpFlight(rec *imtao.FlightRecorder, path, why string) {
+	if rec == nil {
+		return
+	}
+	if path == "" {
+		fmt.Fprintf(os.Stderr, "imtao-sim: flight recorder dump (%s): last %d of %d events\n",
+			why, rec.Len(), rec.Total())
+		rec.WriteTo(os.Stderr)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imtao-sim: flight dump:", err)
+		return
+	}
+	if _, err := rec.WriteTo(f); err != nil {
+		fmt.Fprintln(os.Stderr, "imtao-sim: flight dump:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "imtao-sim: flight dump:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "imtao-sim: flight recorder dump (%s): last %d of %d events written to %s\n",
+		why, rec.Len(), rec.Total(), path)
 }
 
 func fatal(err error) {

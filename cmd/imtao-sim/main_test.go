@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -72,6 +73,96 @@ func TestSimLoadRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "phase 2 (DC)") {
 		t.Errorf("method not applied:\n%s", out)
+	}
+}
+
+// TestSimTraceOut runs the binary with a non-.jsonl -trace-out and checks
+// the emitted file is a valid Chrome trace whose span tree (carried in the
+// events' span_id/parent_id args) contains the full pipeline hierarchy:
+// run → phase1 → phase1_center and run → phase2 → game_iter → trial.
+func TestSimTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build skipped with -short")
+	}
+	bin := buildSim(t)
+	tracePath := filepath.Join(t.TempDir(), "run.trace.json")
+	flightPath := filepath.Join(t.TempDir(), "flight.jsonl")
+	cmd := exec.Command(bin, "-tasks", "400", "-workers", "100", "-centers", "20",
+		"-trace-out", tracePath, "-flight", "256", "-flight-dump", flightPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+
+	// Rebuild the span tree from the args and collect each span's ancestry.
+	parent := make(map[float64]float64)
+	name := make(map[float64]string)
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		id, ok := e.Args["span_id"].(float64)
+		if !ok {
+			t.Fatalf("X event %q lacks span_id", e.Name)
+		}
+		name[id] = e.Name
+		if p, ok := e.Args["parent_id"].(float64); ok {
+			parent[id] = p
+		}
+	}
+	chains := make(map[string]bool)
+	for id := range name {
+		var path []string
+		for cur := id; ; {
+			path = append([]string{name[cur]}, path...)
+			p, ok := parent[cur]
+			if !ok || p == 0 {
+				break
+			}
+			cur = p
+		}
+		chains[strings.Join(path, "→")] = true
+	}
+	for _, want := range []string{
+		"run→phase1→phase1_center",
+		"run→phase2→game_iter→trial",
+	} {
+		if !chains[want] {
+			t.Errorf("span tree lacks chain %s; have:", want)
+			for c := range chains {
+				t.Logf("  %s", c)
+			}
+		}
+	}
+
+	// The -flight-dump file must hold valid JSONL telemetry.
+	flight, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(flight)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("flight dump is empty")
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("flight dump line %q: %v", line, err)
+		}
 	}
 }
 

@@ -97,6 +97,13 @@ type (
 	Observer = obs.Observer
 	// Field is one key/value pair attached to an Observer event.
 	Field = obs.Field
+	// Tracer records hierarchical timing spans from a run (see WithTracer).
+	Tracer = obs.Tracer
+	// SpanID identifies one recorded span; 0 is "no parent".
+	SpanID = obs.SpanID
+	// FlightRecorder is a fixed-size ring of the most recent telemetry
+	// events, dumpable after the fact (see NewFlightRecorder).
+	FlightRecorder = obs.FlightRecorder
 )
 
 // Dataset constants.
@@ -192,6 +199,36 @@ func WithObserver(o Observer) RunOption {
 func WithTrace(w io.Writer) RunOption {
 	return WithObserver(obs.NewJSONL(w))
 }
+
+// NewJSONLObserver returns the JSON Lines encoder WithTrace uses as a
+// standalone Observer, for composing with others via MultiObserver.
+func NewJSONLObserver(w io.Writer) Observer { return obs.NewJSONL(w) }
+
+// NewTracer builds a span recorder for WithTracer. maxSpans bounds the
+// in-memory trace (≤ 0 selects the default, obs.DefaultTraceSpans); once
+// full, further spans are counted as dropped rather than grown.
+func NewTracer(maxSpans int) *Tracer { return obs.NewTracer(maxSpans) }
+
+// WithTracer records the run as a tree of timing spans: the run itself,
+// phase 1 and each per-center assignment, phase 2 with one span per game
+// iteration and per evaluated trial, and every road-network shortest-path
+// search. After the run, write the timeline with Tracer.WriteChromeTrace —
+// the output opens in ui.perfetto.dev or chrome://tracing. A nil tracer
+// (the default) costs nothing on any instrumented path.
+func WithTracer(t *Tracer) RunOption {
+	return func(c *core.Config) { c.Tracer = t }
+}
+
+// NewFlightRecorder builds an Observer that retains the last n telemetry
+// events (≤ 0 selects the default, obs.DefaultFlightEvents) in a ring
+// buffer; dump them with FlightRecorder.WriteTo when something goes wrong.
+// Combine with another observer via MultiObserver.
+func NewFlightRecorder(n int) *FlightRecorder { return obs.NewFlightRecorder(n) }
+
+// MultiObserver fans each telemetry event out to every given observer, in
+// order — e.g. a JSONL stream plus a FlightRecorder. Nil and no-op entries
+// are dropped; with none left it returns the no-op observer.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
 
 // WriteMetrics writes a point-in-time snapshot of the process-wide metrics
 // registry (run, assignment, game, worker-pool, and road-network counters)

@@ -224,6 +224,9 @@ type TrialRunner struct {
 	b       *TrialBase
 	pool    *gridPool
 	peakOps int
+	// lastCopied/lastReplayed profile the most recent Trial call for the
+	// tracing layer: suffix routes taken verbatim vs re-served.
+	lastCopied, lastReplayed int
 	// stolen and freed are the differential replay's symmetric difference
 	// between the trial pool and the baseline pool at the current worker
 	// boundary: stolen = consumed in the trial, still available in the
@@ -348,6 +351,14 @@ func (r *TrialRunner) Release() {
 // — the copy-on-write cost ceiling of its trials.
 func (r *TrialRunner) PeakJournalOps() int { return r.peakOps }
 
+// LastReplay profiles the most recent Trial call: how many suffix routes
+// were copied verbatim (preservation check held, zero pool queries) vs
+// re-served through the differential replay. Deterministic for a given
+// trial, so span args built from it stay comparable across parallelism.
+func (r *TrialRunner) LastReplay() (copied, replayed int) {
+	return r.lastCopied, r.lastReplayed
+}
+
 // Trial returns exactly what Sequential(in, c, baseWorkers∪{cand}, tasks)
 // would return (up to nil-vs-empty slice spelling), by resuming from cand's
 // position in the serve order. cand must not be in the baseline worker set.
@@ -384,6 +395,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 		// The candidate takes nothing, so the suffix replays identically:
 		// the trial IS the baseline plus one more unused worker.
 		mEmptyCand.Add(1)
+		r.lastCopied, r.lastReplayed = len(b.routes), 0
 		if n := g.JournalLen(); n > r.peakOps {
 			r.peakOps = n
 		}
@@ -499,6 +511,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 	}
 	mRoutesCopied.Add(int64(copied))
 	mRoutesReplayed.Add(int64(replayed))
+	r.lastCopied, r.lastReplayed = copied, replayed
 
 	if absorbed {
 		res.LeftTasks = b.leftTasks

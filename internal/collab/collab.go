@@ -176,6 +176,14 @@ type Config struct {
 	// iteration latency. Nil (or obs.Nop) disables emission; the TraceStep
 	// record is filled either way.
 	Obs obs.Observer
+	// Tracer records one game_iter span per iteration with one child trial
+	// span per evaluated candidate (carrying its resume/full outcome), so a
+	// Perfetto timeline shows where the game's wall-clock goes. Nil (the
+	// default) records nothing at zero cost.
+	Tracer *obs.Tracer
+	// TraceParent is the span the iteration spans attach under — core.Run
+	// passes its phase-2 span; zero parents them at the trace root.
+	TraceParent obs.SpanID
 	// noMemo disables the cross-iteration trial cache. Test hook only: the
 	// cache is semantics-preserving for deterministic assigners, so there is
 	// no reason to expose it.
@@ -384,6 +392,10 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		iterStart := time.Now()
 		res.Iterations = iter
 		mIterations.Inc()
+		var iterTS obs.TraceSpan
+		if cfg.Tracer != nil {
+			iterTS = cfg.Tracer.Start(cfg.TraceParent, "game_iter", obs.F("iter", iter))
+		}
 		// Line 13: recipient selection — served from the maintained ρ
 		// vector instead of a per-iteration rebuild.
 		var ci model.CenterID
@@ -483,7 +495,7 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 				mSnapshotBytes.Set(float64(base.FootprintBytes()))
 			}
 		}
-		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci], base)
+		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci], base, iterTS.ID())
 		resumed := 0
 		if base != nil {
 			resumed = evaluated
@@ -607,6 +619,16 @@ func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
 		step.Duration = time.Since(iterStart)
 		res.Trace = append(res.Trace, step)
 		emitGameIter(cfg.Obs, &step)
+		if cfg.Tracer != nil {
+			iterTS.End(
+				obs.F("recipient", int(ci)),
+				obs.F("accepted", step.Accepted),
+				obs.F("trials", evaluated),
+				obs.F("memo_hits", hits),
+				obs.F("pruned", pruned),
+				obs.F("resumed", resumed),
+				obs.F("rho_after", step.RhoAfter))
+		}
 	}
 
 	sol := model.NewSolution(in)

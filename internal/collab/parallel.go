@@ -49,9 +49,17 @@ func parallelism(n int) int {
 // baseWS is the recipient's current worker set (ignored for LeftoverOnly);
 // each full-run trial appends its candidate to a private copy, so the shared
 // slice is never mutated. leftTasks is read-only for the assigners.
+//
+// With a tracer configured, every evaluated miss is wrapped in a "trial"
+// span parented to traceParent (the iteration span) carrying the candidate
+// worker and its evaluation outcome — "resumed" when the prefix-resume
+// engine served it, "full" for a complete assigner run. Memo hits record no
+// span (they cost no wall-clock worth a timeline row); their count rides on
+// the iteration span instead.
 func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID,
 	baseWS []model.WorkerID, leftTasks []model.TaskID, cfg Config,
-	cache map[model.WorkerID]assign.Result, base *assign.TrialBase) ([]assign.Result, int) {
+	cache map[model.WorkerID]assign.Result, base *assign.TrialBase,
+	traceParent obs.SpanID) ([]assign.Result, int) {
 
 	trials := make([]assign.Result, len(cands))
 	misses := make([]int, 0, len(cands))
@@ -66,13 +74,21 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		return trials, 0
 	}
 
+	tr := cfg.Tracer
+	outcome := "full"
+	if base != nil {
+		outcome = "resumed"
+	}
+
 	// newEval builds one evaluator (plus its cleanup) per executing
 	// goroutine: a TrialRunner owns mutable scratch (the journaled grid), so
-	// it cannot be shared across goroutines.
-	newEval := func() (eval func(int) assign.Result, done func()) {
+	// it cannot be shared across goroutines. The runner is also returned so
+	// trial spans can read its per-trial replay profile; nil on the
+	// full-run path.
+	newEval := func() (eval func(int) assign.Result, done func(), runner *assign.TrialRunner) {
 		if base != nil {
 			r := base.NewRunner()
-			return func(i int) assign.Result { return r.Trial(cands[i]) }, r.Release
+			return func(i int) assign.Result { return r.Trial(cands[i]) }, r.Release, r
 		}
 		return func(i int) assign.Result {
 			w := cands[i]
@@ -83,7 +99,24 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 			copy(ws, baseWS)
 			ws[len(baseWS)] = w
 			return cfg.Assigner(in, center, ws, center.Tasks)
-		}, func() {}
+		}, func() {}, nil
+	}
+
+	// tracedEval wraps one miss evaluation in a "trial" span carrying the
+	// candidate, the evaluation outcome, and — on the resume path — the
+	// replay profile of the differential engine.
+	tracedEval := func(eval func(int) assign.Result, runner *assign.TrialRunner, i int) assign.Result {
+		ts := tr.Start(traceParent, "trial",
+			obs.F("worker", int(cands[i])), obs.F("outcome", outcome))
+		r := eval(i)
+		if runner != nil {
+			copied, replayed := runner.LastReplay()
+			ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned),
+				obs.F("routes_copied", copied), obs.F("routes_replayed", replayed))
+		} else {
+			ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned))
+		}
+		return r
 	}
 
 	workers := parallelism(cfg.Parallelism)
@@ -91,9 +124,13 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 		workers = len(misses)
 	}
 	if workers <= 1 {
-		eval, done := newEval()
+		eval, done, runner := newEval()
 		for _, i := range misses {
-			trials[i] = eval(i)
+			if tr == nil {
+				trials[i] = eval(i)
+			} else {
+				trials[i] = tracedEval(eval, runner, i)
+			}
 		}
 		done()
 		return trials, len(misses)
@@ -110,7 +147,7 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 			defer wg.Done()
 			mPoolWorkers.Add(1)
 			defer mPoolWorkers.Add(-1)
-			eval, done := newEval()
+			eval, done, runner := newEval()
 			defer done()
 			for {
 				k := next.Add(1) - 1
@@ -121,7 +158,11 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 					mPoolQueueWait.Observe(time.Since(dispatched).Seconds())
 				}
 				i := misses[k]
-				trials[i] = eval(i)
+				if tr == nil {
+					trials[i] = eval(i)
+				} else {
+					trials[i] = tracedEval(eval, runner, i)
+				}
 			}
 		}()
 	}

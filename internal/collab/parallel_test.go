@@ -149,7 +149,7 @@ func TestEvalTrialsSlots(t *testing.T) {
 	base := center.Workers
 	for _, par := range []int{1, 2, 8} {
 		cfg := Config{Assigner: assign.Sequential, Parallelism: par}
-		got, evaluated := evalTrials(in, center, cands, base, nil, cfg, nil, nil)
+		got, evaluated := evalTrials(in, center, cands, base, nil, cfg, nil, nil, 0)
 		if len(got) != len(cands) {
 			t.Fatalf("par=%d: %d results for %d candidates", par, len(got), len(cands))
 		}
@@ -175,7 +175,7 @@ func TestEvalTrialsSlots(t *testing.T) {
 		cache[w] = assign.Sequential(in, center, ws, center.Tasks)
 	}
 	cfg := Config{Assigner: poisoned, Parallelism: 4}
-	got, evaluated := evalTrials(in, center, cands, base, nil, cfg, cache, nil)
+	got, evaluated := evalTrials(in, center, cands, base, nil, cfg, cache, nil, 0)
 	if evaluated != 0 {
 		t.Fatalf("full cache but %d trials evaluated", evaluated)
 	}

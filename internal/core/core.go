@@ -166,6 +166,13 @@ type Config struct {
 	// collaboration iteration, and run_end. Nil disables emission (the
 	// no-op default); see internal/obs for the event vocabulary.
 	Observer obs.Observer
+	// Tracer records the run's hierarchical span tree — run → phase1 →
+	// per-center spans and run → phase2 → game iterations → trials, plus
+	// metric-preparation and oracle Dijkstra spans — into a bounded
+	// in-memory trace exportable as a Perfetto timeline
+	// (obs.Tracer.WriteChromeTrace). Nil (the default) disables tracing at
+	// zero cost: no span IDs are allocated and no clock is read.
+	Tracer *obs.Tracer
 }
 
 // Report is the outcome of an IMTAO run.
@@ -245,19 +252,6 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		}
 	}
 
-	// Distance-oracle warm-up: memoize entity→node snaps and precompute the
-	// center source tables once per run. Every route starts at a center, so
-	// the center tables answer the first leg of every trial the game plays;
-	// the remaining sources fill in lazily through the oracle's cache.
-	in.PrepareMetric()
-	if pc, ok := in.Metric.(interface{ PrecomputeSources([]geo.Point) }); ok {
-		locs := make([]geo.Point, len(in.Centers))
-		for i := range in.Centers {
-			locs[i] = in.Centers[i].Loc
-		}
-		pc.PrecomputeSources(locs)
-	}
-
 	assigner := collab.Assigner(assign.Sequential)
 	// PruneAuto covers the Sequential assigner; the Opt closure needs an
 	// explicit mode. Unbudgeted Optimal admits exact pruning (its VTDS
@@ -281,8 +275,17 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	if o == nil {
 		o = obs.Nop
 	}
+	tr := cfg.Tracer
 	mRuns.Inc()
 	runSpan := obs.StartSpan(o, "run_end", obs.F("method", cfg.Method.String()))
+	var runTS obs.TraceSpan
+	if tr != nil {
+		runTS = tr.Start(0, "run",
+			obs.F("method", cfg.Method.String()),
+			obs.F("centers", len(in.Centers)),
+			obs.F("workers", len(in.Workers)),
+			obs.F("tasks", len(in.Tasks)))
+	}
 	if obs.Enabled(o) {
 		o.Event("run_start",
 			obs.F("method", cfg.Method.String()),
@@ -291,6 +294,31 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 			obs.F("tasks", len(in.Tasks)),
 			obs.F("parallelism", cfg.Parallelism))
 	}
+
+	// Distance-oracle warm-up: memoize entity→node snaps and precompute the
+	// center source tables once per run. Every route starts at a center, so
+	// the center tables answer the first leg of every trial the game plays;
+	// the remaining sources fill in lazily through the oracle's cache. With
+	// a tracer attached, the oracle records one span per Dijkstra table
+	// build (pinned warm-up here, cache misses later) under the run span.
+	if tr != nil {
+		if st, ok := in.Metric.(interface {
+			SetTrace(*obs.Tracer, obs.SpanID)
+		}); ok {
+			st.SetTrace(tr, runTS.ID())
+			defer st.SetTrace(nil, 0)
+		}
+	}
+	prepTS := tr.Start(runTS.ID(), "prepare_metric")
+	in.PrepareMetric()
+	if pc, ok := in.Metric.(interface{ PrecomputeSources([]geo.Point) }); ok {
+		locs := make([]geo.Point, len(in.Centers))
+		for i := range in.Centers {
+			locs[i] = in.Centers[i].Loc
+		}
+		pc.PrecomputeSources(locs)
+	}
+	prepTS.End()
 
 	// Phase 1: center-independent task assignment. Centers are independent
 	// by construction (the Voronoi partition is disjoint), so they are
@@ -305,10 +333,30 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	if par > len(in.Centers) {
 		par = len(in.Centers)
 	}
+	var p1TS obs.TraceSpan
+	if tr != nil {
+		p1TS = tr.Start(runTS.ID(), "phase1", obs.F("parallelism", par))
+	}
+	// runCenter assigns one center, wrapped in a phase1_center span when
+	// traced; it runs on the caller or on worker goroutines — the span
+	// parent link is captured here, so the tree survives the fan-out.
+	runCenter := func(ci int) {
+		c := in.Center(model.CenterID(ci))
+		if tr == nil {
+			phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+			return
+		}
+		cs := tr.Start(p1TS.ID(), "phase1_center", obs.F("center", ci))
+		r := assigner(in, c, c.Workers, c.Tasks)
+		cs.End(
+			obs.F("assigned", r.AssignedCount()),
+			obs.F("left_workers", len(r.LeftWorkers)),
+			obs.F("left_tasks", len(r.LeftTasks)))
+		phase1[ci] = r
+	}
 	if par <= 1 {
 		for ci := range in.Centers {
-			c := in.Center(model.CenterID(ci))
-			phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+			runCenter(ci)
 		}
 	} else {
 		var next atomic.Int64
@@ -322,8 +370,7 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 					if ci >= len(in.Centers) {
 						return
 					}
-					c := in.Center(model.CenterID(ci))
-					phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+					runCenter(ci)
 				}
 			}()
 		}
@@ -331,6 +378,9 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	}
 	phase1Time := time.Since(t0)
 	mPhase1Seconds.Observe(phase1Time.Seconds())
+	if tr != nil {
+		p1TS.End(obs.F("centers", len(in.Centers)))
+	}
 
 	rep := &Report{Method: cfg.Method, Phase1Time: phase1Time}
 	p1sol := collab.NoCollaboration(in, phase1)
@@ -359,6 +409,10 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 
 	// Phase 2: inter-center workforce transfer.
 	t1 := time.Now()
+	var p2TS obs.TraceSpan
+	if tr != nil {
+		p2TS = tr.Start(runTS.ID(), "phase2", obs.F("collab", cfg.Method.Collab.String()))
+	}
 	switch cfg.Method.Collab {
 	case WoC:
 		rep.Solution = p1sol
@@ -369,6 +423,8 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 			MaxIterations: cfg.MaxGameIterations,
 			Prune:         prune,
 			Obs:           cfg.Observer,
+			Tracer:        tr,
+			TraceParent:   p2TS.ID(),
 		}
 		switch cfg.Method.Collab {
 		case RBDC:
@@ -384,6 +440,11 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	}
 	rep.Phase2Time = time.Since(t1)
 	mPhase2Seconds.Observe(rep.Phase2Time.Seconds())
+	if tr != nil {
+		p2TS.End(
+			obs.F("iterations", rep.Iterations),
+			obs.F("transfers", len(rep.Solution.Transfers)))
+	}
 
 	rep.Assigned = rep.Solution.AssignedCount()
 	rep.Ratios = metrics.Ratios(in, rep.Solution)
@@ -403,5 +464,12 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		obs.F("unfairness", rep.Unfairness),
 		obs.F("transfers", rep.Transfers),
 		obs.F("iterations", rep.Iterations))
+	if tr != nil {
+		runTS.End(
+			obs.F("assigned", rep.Assigned),
+			obs.F("unfairness", rep.Unfairness),
+			obs.F("transfers", rep.Transfers),
+			obs.F("iterations", rep.Iterations))
+	}
 	return rep, nil
 }

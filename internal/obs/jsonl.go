@@ -59,25 +59,33 @@ func (j *JSONL) Event(name string, fields ...Field) {
 	ms := float64(j.clock().Sub(j.start).Nanoseconds()) / 1e6
 	j.buf.WriteString(strconv.FormatFloat(ms, 'f', 3, 64))
 	j.buf.WriteString(`,"event":`)
-	j.writeValue(name)
-	for _, f := range fields {
-		j.buf.WriteByte(',')
-		j.writeValue(f.Key)
-		j.buf.WriteByte(':')
-		j.writeValue(f.Value)
-	}
+	appendJSONValue(&j.buf, name)
+	appendFields(&j.buf, fields)
 	j.buf.WriteString("}\n")
 	if _, err := j.w.Write(j.buf.Bytes()); err != nil {
 		j.err = err
 	}
 }
 
-func (j *JSONL) writeValue(v any) {
+// appendFields renders `,"key":value` for every field — the shared event
+// body encoding of the JSONL observer and the flight recorder.
+func appendFields(buf *bytes.Buffer, fields []Field) {
+	for _, f := range fields {
+		buf.WriteByte(',')
+		appendJSONValue(buf, f.Key)
+		buf.WriteByte(':')
+		appendJSONValue(buf, f.Value)
+	}
+}
+
+// appendJSONValue marshals v into buf, substituting an error string for
+// unmarshalable values so one bad field cannot corrupt the stream.
+func appendJSONValue(buf *bytes.Buffer, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		b, _ = json.Marshal("!marshal: " + err.Error())
 	}
-	j.buf.Write(b)
+	buf.Write(b)
 }
 
 // Err returns the first write error encountered, if any. Events after an

@@ -17,8 +17,15 @@ type Counter struct{ v atomic.Int64 }
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds n (n must be ≥ 0 to keep the counter monotone).
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+// Add adds n. n must be ≥ 0: counters are monotone, and a silent negative
+// add would corrupt every rate() computed from the series downstream — so
+// the contract is enforced with a panic, mirroring prometheus/client_golang.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: Counter.Add called with a negative delta; counters are monotone (use a Gauge)")
+	}
+	c.v.Add(n)
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
@@ -44,7 +51,15 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket distribution with a running sum and count,
 // exported in Prometheus histogram exposition (cumulative le buckets).
+//
+// Observe runs under a shared (read) lock so concurrent observers never
+// serialize on each other — the per-bucket counters stay atomic — while the
+// exporter takes the write lock for its snapshot. That snapshot is therefore
+// consistent: the cumulative +Inf bucket always equals _count and _sum has
+// no torn half-observation, which independent atomic loads could not
+// guarantee while Observe runs concurrently.
 type Histogram struct {
+	mu      sync.RWMutex
 	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
 	counts  []atomic.Int64
 	sumBits atomic.Uint64
@@ -60,21 +75,36 @@ var TimeBuckets = []float64{
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.mu.RLock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) = +Inf
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
+			break
 		}
 	}
+	h.mu.RUnlock()
 }
 
-// Count returns the total number of samples observed.
+// snapshot returns a mutually consistent (buckets, sum, count) triple by
+// excluding in-flight Observes for the duration of the reads.
+func (h *Histogram) snapshot() (counts []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sumBits.Load()), h.count.Load()
+}
+
+// Count returns the total number of samples observed. As a point read it
+// may be mid-update relative to Sum; Registry.WriteTo snapshots instead.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
-// Sum returns the sum of all observed samples.
+// Sum returns the sum of all observed samples (point read, see Count).
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 type metricKind int
@@ -216,9 +246,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				m.name, m.help, m.name); err != nil {
 				break
 			}
+			counts, sum, count := h.snapshot()
 			var cum int64
 			for i, b := range h.bounds {
-				cum += h.counts[i].Load()
+				cum += counts[i]
 				if _, err = fmt.Fprintf(cw, "%s_bucket{le=%q} %d\n",
 					m.name, formatFloat(b), cum); err != nil {
 					break
@@ -227,9 +258,9 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			if err != nil {
 				break
 			}
-			cum += h.counts[len(h.bounds)].Load()
+			cum += counts[len(h.bounds)]
 			_, err = fmt.Fprintf(cw, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-				m.name, cum, m.name, formatFloat(h.Sum()), m.name, h.Count())
+				m.name, cum, m.name, formatFloat(sum), m.name, count)
 		}
 		if err != nil {
 			return cw.n, err

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCounterAddRejectsNegative pins the documented Add(n ≥ 0) contract:
+// a negative delta would silently break monotonicity, so it panics instead.
+func TestCounterAddRejectsNegative(t *testing.T) {
+	var c Counter
+	c.Add(0)
+	c.Add(5)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Counter.Add(-1) must panic")
+		}
+		if c.Value() != 5 {
+			t.Errorf("failed Add mutated the counter: %d", c.Value())
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestHistogramSnapshotConsistent exercises the torn-read fix in
+// Registry.WriteTo: while Observe runs concurrently, every exposition
+// snapshot must satisfy +Inf cumulative bucket == _count (the invariant
+// Prometheus clients rely on). Run under -race this also checks the lock
+// discipline between Observe and the exporter.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("work_seconds", "t", []float64{0.25, 0.5, 0.75})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	const writers = 4
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(g)
+	}
+
+	for snap := 0; snap < 200; snap++ {
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count int64
+		var haveInf, haveCount bool
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if v, ok := strings.CutPrefix(line, `work_seconds_bucket{le="+Inf"} `); ok {
+				inf, _ = strconv.ParseInt(v, 10, 64)
+				haveInf = true
+			}
+			if v, ok := strings.CutPrefix(line, "work_seconds_count "); ok {
+				count, _ = strconv.ParseInt(v, 10, 64)
+				haveCount = true
+			}
+		}
+		if !haveInf || !haveCount {
+			t.Fatalf("exposition missing bucket or count:\n%s", buf.String())
+		}
+		if inf != count {
+			t.Fatalf("torn snapshot: +Inf bucket %d != _count %d", inf, count)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestExpositionGolden pins the full Prometheus text exposition across every
+// metric kind — counter, gauge, info, histogram — including the le label's
+// shortest-float formatting ("1e-06", "0.001"), so an exporter change cannot
+// silently break scrapers.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("imtao_runs_total", "pipeline runs").Add(42)
+	r.Gauge("imtao_pool_workers", "live goroutines").Set(3.25)
+	r.Info("imtao_env_info", "build environment",
+		map[string]string{"goos": "linux", "go_version": "go1.24.0"})
+	h := r.Histogram("imtao_wait_seconds", "waits",
+		[]float64{1e-6, 0.001, 0.3, 1, 10})
+	for _, v := range []float64{5e-7, 5e-4, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP imtao_runs_total pipeline runs
+# TYPE imtao_runs_total counter
+imtao_runs_total 42
+# HELP imtao_pool_workers live goroutines
+# TYPE imtao_pool_workers gauge
+imtao_pool_workers 3.25
+# HELP imtao_env_info build environment
+# TYPE imtao_env_info gauge
+imtao_env_info{go_version="go1.24.0",goos="linux"} 1
+# HELP imtao_wait_seconds waits
+# TYPE imtao_wait_seconds histogram
+imtao_wait_seconds_bucket{le="1e-06"} 1
+imtao_wait_seconds_bucket{le="0.001"} 2
+imtao_wait_seconds_bucket{le="0.3"} 2
+imtao_wait_seconds_bucket{le="1"} 3
+imtao_wait_seconds_bucket{le="10"} 4
+imtao_wait_seconds_bucket{le="+Inf"} 5
+imtao_wait_seconds_sum 102.5005005
+imtao_wait_seconds_count 5
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -55,6 +55,34 @@ var Nop Observer = nopObserver{}
 // unobserved runs.
 func Enabled(o Observer) bool { return o != nil && o != Nop }
 
+// Multi fans every event out to each enabled observer, letting one run feed
+// a JSONL stream and a flight recorder at once. Disabled observers (nil,
+// Nop) are dropped; with none left it returns Nop, with one it returns that
+// observer unwrapped.
+func Multi(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if Enabled(o) {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) Event(name string, fields ...Field) {
+	for _, o := range m {
+		o.Event(name, fields...)
+	}
+}
+
 // Span is a timed region. StartSpan captures the start time; End emits one
 // event named after the span carrying a "duration_ms" field plus any fields
 // given at either end. The zero Span (from a disabled observer) is inert.

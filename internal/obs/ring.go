@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is an Observer that keeps the last N events in a fixed-size
+// ring buffer instead of streaming them anywhere — a post-mortem aid for
+// long runs: tracing everything to disk is too expensive to leave on, but
+// the most recent events are exactly what a panic, a stuck run, or an
+// operator poking /debug/flightrecorder needs.
+//
+// Recording is lock-cheap: field rendering (the expensive part) happens
+// outside the lock, and the critical section is one slot assignment. Dump
+// (WriteTo) takes the same lock only long enough to snapshot the slots, so
+// it can run concurrently with emitters from phase-1 workers and the trial
+// pool.
+type FlightRecorder struct {
+	start time.Time
+
+	mu   sync.Mutex
+	buf  []flightRec
+	next uint64 // total events ever recorded
+}
+
+type flightRec struct {
+	seq    uint64
+	tNS    int64
+	name   string
+	fields string // pre-rendered `,"k":v,...` JSON fragment ("" when no fields)
+}
+
+// DefaultFlightEvents is the default ring capacity of NewFlightRecorder.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a recorder holding the last n events
+// (DefaultFlightEvents when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &FlightRecorder{start: time.Now(), buf: make([]flightRec, n)}
+}
+
+// Event implements Observer, overwriting the oldest record once the ring is
+// full.
+func (f *FlightRecorder) Event(name string, fields ...Field) {
+	t := time.Since(f.start)
+	var frag string
+	if len(fields) > 0 {
+		var b bytes.Buffer
+		appendFields(&b, fields)
+		frag = b.String()
+	}
+	f.mu.Lock()
+	slot := &f.buf[f.next%uint64(len(f.buf))]
+	f.next++
+	slot.seq = f.next
+	slot.tNS = t.Nanoseconds()
+	slot.name = name
+	slot.fields = frag
+	f.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ the ring capacity).
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if n > uint64(len(f.buf)) {
+		n = uint64(len(f.buf))
+	}
+	return int(n)
+}
+
+// Total returns the number of events ever recorded, including overwritten
+// ones.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// WriteTo dumps the retained events oldest-first as JSON Lines in the same
+// schema as the JSONL observer ({"seq":…,"t_ms":…,"event":…,…}); seq is the
+// global event number, so a gap at the front tells the reader how much the
+// ring has forgotten.
+func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	f.mu.Lock()
+	n := uint64(len(f.buf))
+	count := f.next
+	if count > n {
+		count = n
+	}
+	recs := make([]flightRec, 0, count)
+	for i := f.next - count; i < f.next; i++ {
+		recs = append(recs, f.buf[i%n])
+	}
+	f.mu.Unlock()
+
+	var buf bytes.Buffer
+	var written int64
+	for _, r := range recs {
+		buf.Reset()
+		buf.WriteString(`{"seq":`)
+		buf.WriteString(strconv.FormatUint(r.seq, 10))
+		buf.WriteString(`,"t_ms":`)
+		buf.WriteString(strconv.FormatFloat(float64(r.tNS)/1e6, 'f', 3, 64))
+		buf.WriteString(`,"event":`)
+		appendJSONValue(&buf, r.name)
+		buf.WriteString(r.fields)
+		buf.WriteString("}\n")
+		n, err := w.Write(buf.Bytes())
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

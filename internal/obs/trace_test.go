@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer(0)
+	run := tr.Start(0, "run", F("method", "Seq-BDC"))
+	p1 := tr.Start(run.ID(), "phase1")
+	c0 := tr.Start(p1.ID(), "phase1_center", F("center", 0))
+	c0.End(F("assigned", 7))
+	p1.End()
+	p2 := tr.Start(run.ID(), "phase2")
+	it := tr.Start(p2.ID(), "game_iter", F("iter", 1))
+	trial := tr.Start(it.ID(), "trial", F("worker", 3))
+	trial.End(F("outcome", "resumed"))
+	it.End(F("accepted", true))
+	p2.End()
+	run.End()
+
+	spans := tr.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	byID := make(map[SpanID]SpanInfo)
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	// Walk trial → game_iter → phase2 → run → root.
+	var names []string
+	cur := trial.ID()
+	for cur != 0 {
+		s, ok := byID[cur]
+		if !ok {
+			t.Fatalf("broken parent chain at span %d", cur)
+		}
+		names = append(names, s.Name)
+		cur = s.Parent
+	}
+	want := []string{"trial", "game_iter", "phase2", "run"}
+	if len(names) != len(want) {
+		t.Fatalf("chain %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("chain %v, want %v", names, want)
+		}
+	}
+	// Merged args from Start and End.
+	ts := byID[trial.ID()]
+	if len(ts.Args) != 2 || ts.Args[0].Key != "worker" || ts.Args[1].Key != "outcome" {
+		t.Errorf("trial args not merged: %+v", ts.Args)
+	}
+}
+
+func TestTracerNilIsInertAndAllocationFree(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start(0, "x")
+	if s.ID() != 0 {
+		t.Error("nil tracer span must have ID 0")
+	}
+	s.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Error("nil tracer must report empty")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start(0, "phase1_center")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTracerBounded(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start(0, "s").End()
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(0, "run")
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				s := tr.Start(root.ID(), "trial", F("k", k))
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != goroutines*per+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), goroutines*per+1)
+	}
+	seen := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Name == "trial" && s.Parent != root.ID() {
+			t.Fatalf("trial parented to %d, want %d", s.Parent, root.ID())
+		}
+	}
+}
+
+// chromeEvent is the subset of the trace-event schema the exporter emits.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	run := tr.Start(0, "run")
+	// Two overlapping children forked from the root, as phase-1 center
+	// workers produce, plus a nested grandchild.
+	a := tr.Start(run.ID(), "phase1_center", F("center", 0))
+	b := tr.Start(run.ID(), "phase1_center", F("center", 1))
+	g := tr.Start(a.ID(), "trial")
+	time.Sleep(time.Millisecond)
+	g.End()
+	a.End()
+	b.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		Metadata        map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if doc.Metadata["dropped_spans"] != float64(0) {
+		t.Errorf("dropped_spans = %v", doc.Metadata["dropped_spans"])
+	}
+
+	var events []chromeEvent
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			events = append(events, e)
+		}
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d X events, want 4", len(events))
+	}
+	// Every event carries the span tree in args.
+	byID := make(map[float64]chromeEvent)
+	for _, e := range events {
+		id, ok := e.Args["span_id"].(float64)
+		if !ok {
+			t.Fatalf("event %q lacks span_id args: %v", e.Name, e.Args)
+		}
+		byID[id] = e
+	}
+	for _, e := range events {
+		if e.Name == "run" {
+			continue
+		}
+		parent := e.Args["parent_id"].(float64)
+		if _, ok := byID[parent]; !ok {
+			t.Errorf("event %q parent %v not exported", e.Name, parent)
+		}
+	}
+	// No two events on one tid may partially overlap — Chrome nests by
+	// containment, so a partial overlap renders garbage.
+	for i, e1 := range events {
+		for _, e2 := range events[i+1:] {
+			if e1.Tid != e2.Tid {
+				continue
+			}
+			s1, e1e := e1.Ts, e1.Ts+e1.Dur
+			s2, e2e := e2.Ts, e2.Ts+e2.Dur
+			overlap := s1 < e2e && s2 < e1e
+			contained := (s1 <= s2 && e2e <= e1e) || (s2 <= s1 && e1e <= e2e)
+			if overlap && !contained {
+				t.Errorf("partial overlap on tid %d: %q [%v,%v) vs %q [%v,%v)",
+					e1.Tid, e1.Name, s1, e1e, e2.Name, s2, e2e)
+			}
+		}
+	}
+}

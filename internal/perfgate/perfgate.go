@@ -1,0 +1,321 @@
+// Package perfgate compares freshly produced benchmark artifacts
+// (BENCH_*.json) against committed baselines and reports regressions.
+//
+// The gate is built for noisy CI machines: every gated metric carries an
+// explicit direction and tolerance, so deterministic outputs (iteration
+// counts, assignment totals, fingerprints) are compared exactly while
+// wall-clock metrics get wide relative headroom. Comparison runs over the
+// intersection of the two documents' metric paths — a baseline committed
+// with three presets gates a fresh run that only exercised one, and extra
+// metrics in either file are ignored rather than failed.
+//
+// Documents are flattened to dotted paths ("presets.10k.phase2_ms"); array
+// elements are keyed by their "name", "dataset", or "parallelism" field
+// when those are present and distinct, falling back to the element index,
+// so bench presets stay addressable even if their order changes.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Direction states which way a gated metric is allowed to move.
+type Direction string
+
+const (
+	// HigherWorse gates a cost metric (latency, bytes): the fresh value
+	// may not exceed baseline + tolerance.
+	HigherWorse Direction = "higher_worse"
+	// LowerWorse gates a quality metric (hit rate, speedup): the fresh
+	// value may not fall below baseline - tolerance.
+	LowerWorse Direction = "lower_worse"
+	// Equal gates a deterministic metric: the fresh value must match the
+	// baseline within tolerance (exactly, with zero tolerances).
+	Equal Direction = "equal"
+)
+
+// Rule gates every metric path matching Match. Match is a dotted path where
+// a "*" segment matches any single segment ("presets.*.phase2_ms"). The
+// allowed drift is |base|*RelTol + AbsTol in the direction's bad sense.
+// Booleans compare as 0/1; strings only support Equal (a non-Equal rule on
+// a string still requires equality).
+type Rule struct {
+	Match     string    `json:"match"`
+	Direction Direction `json:"direction"`
+	RelTol    float64   `json:"rel_tol,omitempty"`
+	AbsTol    float64   `json:"abs_tol,omitempty"`
+}
+
+// ruleFile is the on-disk rules schema (see perfgate.rules.json).
+type ruleFile struct {
+	Rules []Rule `json:"rules"`
+}
+
+// LoadRules parses a rules JSON document ({"rules":[{"match":...},...]}).
+func LoadRules(r io.Reader) ([]Rule, error) {
+	var f ruleFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("perfgate: rules: %w", err)
+	}
+	if len(f.Rules) == 0 {
+		return nil, fmt.Errorf("perfgate: rules file defines no rules")
+	}
+	for i, r := range f.Rules {
+		if r.Match == "" {
+			return nil, fmt.Errorf("perfgate: rule %d has no match pattern", i)
+		}
+		switch r.Direction {
+		case HigherWorse, LowerWorse, Equal:
+		default:
+			return nil, fmt.Errorf("perfgate: rule %q: unknown direction %q", r.Match, r.Direction)
+		}
+		if r.RelTol < 0 || r.AbsTol < 0 {
+			return nil, fmt.Errorf("perfgate: rule %q: negative tolerance", r.Match)
+		}
+	}
+	return f.Rules, nil
+}
+
+// Flatten reduces a decoded JSON document to a map of dotted metric paths
+// to scalar leaves. Array elements are keyed by the first of their "name",
+// "dataset", or "parallelism" fields that exists on every element with
+// distinct scalar values; otherwise by index.
+func Flatten(doc any) map[string]any {
+	out := make(map[string]any)
+	flattenInto(out, "", doc)
+	return out
+}
+
+func flattenInto(out map[string]any, prefix string, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			flattenInto(out, joinPath(prefix, k), val)
+		}
+	case []any:
+		keys := elementKeys(x)
+		for i, el := range x {
+			flattenInto(out, joinPath(prefix, keys[i]), el)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func joinPath(prefix, seg string) string {
+	if prefix == "" {
+		return seg
+	}
+	return prefix + "." + seg
+}
+
+// arrayKeyFields, in precedence order, are the element fields that can key
+// an array: bench presets carry "name", sweep groups "dataset", and sweep
+// points "parallelism".
+var arrayKeyFields = [...]string{"name", "dataset", "parallelism"}
+
+func elementKeys(arr []any) []string {
+	for _, field := range arrayKeyFields {
+		keys := make([]string, len(arr))
+		seen := make(map[string]bool, len(arr))
+		ok := len(arr) > 0
+		for i, el := range arr {
+			m, isMap := el.(map[string]any)
+			if !isMap {
+				ok = false
+				break
+			}
+			s := scalarKey(m[field])
+			if s == "" || seen[s] {
+				ok = false
+				break
+			}
+			seen[s] = true
+			keys[i] = s
+		}
+		if ok {
+			return keys
+		}
+	}
+	keys := make([]string, len(arr))
+	for i := range arr {
+		keys[i] = strconv.Itoa(i)
+	}
+	return keys
+}
+
+// scalarKey renders a value usable as a path segment, "" when it is not.
+func scalarKey(v any) string {
+	switch x := v.(type) {
+	case string:
+		if x == "" || strings.ContainsAny(x, ". ") {
+			return ""
+		}
+		return x
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	}
+	return ""
+}
+
+// Finding is one gated comparison.
+type Finding struct {
+	Path       string
+	Rule       string // the Match pattern that gated this path
+	Direction  Direction
+	Base       any
+	Fresh      any
+	Regression bool
+	Detail     string // human-readable verdict
+}
+
+// Report is the outcome of one Compare call.
+type Report struct {
+	Findings []Finding // gated comparisons, path-sorted
+	Gated    int       // paths compared under a rule
+	Ungated  int       // shared paths no rule matched (informational)
+	Missing  int       // baseline paths absent from the fresh document
+}
+
+// Regressions returns the number of gated comparisons that failed.
+func (r *Report) Regressions() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the gate passes: at least one metric was actually
+// gated and none regressed. Zero gated comparisons is a failure — it means
+// the rules and the artifacts no longer talk about the same metrics, which
+// must not pass silently.
+func (r *Report) OK() bool {
+	return r.Gated > 0 && r.Regressions() == 0
+}
+
+// Write renders the report; with verbose every gated comparison prints,
+// otherwise only regressions and the summary line.
+func (r *Report) Write(w io.Writer, verbose bool) {
+	for _, f := range r.Findings {
+		if !f.Regression && !verbose {
+			continue
+		}
+		status := "ok"
+		if f.Regression {
+			status = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%-10s %-55s %s\n", status, f.Path, f.Detail)
+	}
+	fmt.Fprintf(w, "perfgate: %d gated, %d regressions, %d ungated, %d missing from fresh\n",
+		r.Gated, r.Regressions(), r.Ungated, r.Missing)
+}
+
+// Compare gates every baseline path present in fresh under the first
+// matching rule. Paths missing from fresh are counted but not failed
+// (partial CI runs gate the presets they produced); paths with no matching
+// rule are informational.
+func Compare(base, fresh map[string]any, rules []Rule) *Report {
+	paths := make([]string, 0, len(base))
+	for p := range base {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	rep := &Report{}
+	for _, p := range paths {
+		fv, ok := fresh[p]
+		if !ok {
+			rep.Missing++
+			continue
+		}
+		rule, ok := matchRule(p, rules)
+		if !ok {
+			rep.Ungated++
+			continue
+		}
+		rep.Gated++
+		f := compareOne(p, rule, base[p], fv)
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}
+
+func matchRule(path string, rules []Rule) (Rule, bool) {
+	segs := strings.Split(path, ".")
+	for _, r := range rules {
+		pat := strings.Split(r.Match, ".")
+		if len(pat) != len(segs) {
+			continue
+		}
+		ok := true
+		for i, ps := range pat {
+			if ps != "*" && ps != segs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+func compareOne(path string, rule Rule, bv, fv any) Finding {
+	f := Finding{Path: path, Rule: rule.Match, Direction: rule.Direction, Base: bv, Fresh: fv}
+
+	bn, bNum := asNumber(bv)
+	fn, fNum := asNumber(fv)
+	switch {
+	case bNum && fNum:
+		tol := math.Abs(bn)*rule.RelTol + rule.AbsTol
+		delta := fn - bn
+		switch rule.Direction {
+		case HigherWorse:
+			f.Regression = delta > tol
+		case LowerWorse:
+			f.Regression = -delta > tol
+		case Equal:
+			f.Regression = math.Abs(delta) > tol
+		}
+		f.Detail = fmt.Sprintf("base=%v fresh=%v delta=%+g tol=%g", bv, fv, delta, tol)
+	default:
+		// Non-numeric leaves (fingerprints, version strings) or a type
+		// change between the documents: equality is the only meaningful
+		// comparison, whatever the rule says.
+		f.Regression = fmt.Sprintf("%v", bv) != fmt.Sprintf("%v", fv)
+		f.Detail = fmt.Sprintf("base=%v fresh=%v", bv, fv)
+	}
+	return f
+}
+
+// asNumber converts a JSON leaf to a comparable float: numbers as-is,
+// booleans as 0/1 (so equilibrium_ok gates as lower-is-worse too).
+func asNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case json.Number:
+		n, err := x.Float64()
+		return n, err == nil
+	}
+	return 0, false
+}

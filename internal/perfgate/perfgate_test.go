@@ -1,0 +1,175 @@
+package perfgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustFlatten(t *testing.T, src string) map[string]any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(src), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return Flatten(doc)
+}
+
+func TestFlattenKeysArraysByNameField(t *testing.T) {
+	flat := mustFlatten(t, `{
+		"benchmark": "game-engine",
+		"presets": [
+			{"name": "10k", "iterations": 139, "equilibrium_ok": true},
+			{"name": "50k", "iterations": 767}
+		]
+	}`)
+	for path, want := range map[string]any{
+		"benchmark":                  "game-engine",
+		"presets.10k.name":           "10k",
+		"presets.10k.iterations":     float64(139),
+		"presets.10k.equilibrium_ok": true,
+		"presets.50k.iterations":     float64(767),
+	} {
+		if got, ok := flat[path]; !ok || got != want {
+			t.Errorf("flat[%q] = %v (present=%v), want %v", path, got, ok, want)
+		}
+	}
+}
+
+func TestFlattenKeysPointsByParallelism(t *testing.T) {
+	flat := mustFlatten(t, `{
+		"datasets": [
+			{"dataset": "SYN", "points": [
+				{"parallelism": 1, "best_ms": 0.41},
+				{"parallelism": 8, "best_ms": 0.39}
+			]}
+		]
+	}`)
+	if got := flat["datasets.SYN.points.8.best_ms"]; got != 0.39 {
+		t.Errorf("points not keyed by parallelism: %v\nall: %v", got, flat)
+	}
+}
+
+func TestFlattenFallsBackToIndex(t *testing.T) {
+	// Duplicate names cannot key the array — indexes must kick in.
+	flat := mustFlatten(t, `{"xs": [{"name": "a", "v": 1}, {"name": "a", "v": 2}]}`)
+	if flat["xs.0.v"] != float64(1) || flat["xs.1.v"] != float64(2) {
+		t.Errorf("index fallback failed: %v", flat)
+	}
+	// Scalar arrays index too.
+	flat = mustFlatten(t, `{"xs": [10, 20]}`)
+	if flat["xs.0"] != float64(10) || flat["xs.1"] != float64(20) {
+		t.Errorf("scalar array: %v", flat)
+	}
+}
+
+func TestMatchRuleWildcard(t *testing.T) {
+	rules := []Rule{
+		{Match: "presets.*.iterations", Direction: Equal},
+		{Match: "presets.*.phase2_ms", Direction: HigherWorse, RelTol: 3},
+	}
+	if r, ok := matchRule("presets.10k.iterations", rules); !ok || r.Direction != Equal {
+		t.Errorf("iterations rule: %+v ok=%v", r, ok)
+	}
+	if r, ok := matchRule("presets.50k.phase2_ms", rules); !ok || r.Direction != HigherWorse {
+		t.Errorf("phase2_ms rule: %+v ok=%v", r, ok)
+	}
+	// A wildcard matches exactly one segment.
+	if _, ok := matchRule("presets.10k.sub.iterations", rules); ok {
+		t.Error("wildcard must not span segments")
+	}
+	if _, ok := matchRule("presets.iterations", rules); ok {
+		t.Error("pattern longer than path must not match")
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := map[string]any{"lat": 100.0, "rate": 0.99, "iters": 139.0, "fp": "d460", "ok": true}
+	fresh := map[string]any{"lat": 100.0, "rate": 0.99, "iters": 139.0, "fp": "d460", "ok": true}
+	rules := []Rule{
+		{Match: "lat", Direction: HigherWorse, RelTol: 0.5},
+		{Match: "rate", Direction: LowerWorse, AbsTol: 0.01},
+		{Match: "iters", Direction: Equal},
+		{Match: "fp", Direction: Equal},
+		{Match: "ok", Direction: LowerWorse},
+	}
+	if rep := Compare(base, fresh, rules); !rep.OK() || rep.Gated != 5 {
+		t.Fatalf("identical docs must pass: %+v", rep)
+	}
+
+	cases := []struct {
+		name  string
+		fresh map[string]any
+		bad   bool
+	}{
+		{"latency within headroom", map[string]any{"lat": 149.0}, false},
+		{"latency beyond headroom", map[string]any{"lat": 151.0}, true},
+		{"latency improved a lot", map[string]any{"lat": 1.0}, false},
+		{"rate dip within tol", map[string]any{"rate": 0.985}, false},
+		{"rate collapsed", map[string]any{"rate": 0.9}, true},
+		{"rate improved", map[string]any{"rate": 1.0}, false},
+		{"iteration drift", map[string]any{"iters": 140.0}, true},
+		{"fingerprint change", map[string]any{"fp": "beef"}, true},
+		{"equilibrium lost", map[string]any{"ok": false}, true},
+	}
+	for _, tc := range cases {
+		f := map[string]any{}
+		for k, v := range fresh {
+			f[k] = v
+		}
+		for k, v := range tc.fresh {
+			f[k] = v
+		}
+		rep := Compare(base, f, rules)
+		if got := rep.Regressions() > 0; got != tc.bad {
+			var buf bytes.Buffer
+			rep.Write(&buf, true)
+			t.Errorf("%s: regression=%v, want %v\n%s", tc.name, got, tc.bad, buf.String())
+		}
+	}
+}
+
+func TestCompareIntersectionAndUngated(t *testing.T) {
+	base := map[string]any{"a": 1.0, "b": 2.0, "c": 3.0}
+	fresh := map[string]any{"a": 1.0, "c": 9.0, "d": 4.0}
+	rules := []Rule{{Match: "a", Direction: Equal}}
+	rep := Compare(base, fresh, rules)
+	if rep.Gated != 1 || rep.Missing != 1 || rep.Ungated != 1 {
+		t.Errorf("gated=%d missing=%d ungated=%d, want 1/1/1", rep.Gated, rep.Missing, rep.Ungated)
+	}
+	if !rep.OK() {
+		t.Error("ungated drift in c must not fail the gate")
+	}
+}
+
+func TestReportRequiresGatedComparisons(t *testing.T) {
+	rep := Compare(map[string]any{"x": 1.0}, map[string]any{"x": 1.0},
+		[]Rule{{Match: "nomatch", Direction: Equal}})
+	if rep.OK() {
+		t.Error("a gate that compared nothing must not pass")
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	rules, err := LoadRules(strings.NewReader(`{"rules": [
+		{"match": "presets.*.phase2_ms", "direction": "higher_worse", "rel_tol": 3.0, "abs_tol": 250}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].RelTol != 3.0 || rules[0].AbsTol != 250 {
+		t.Errorf("rules = %+v", rules)
+	}
+	for name, src := range map[string]string{
+		"empty":         `{"rules": []}`,
+		"bad direction": `{"rules": [{"match": "x", "direction": "sideways"}]}`,
+		"no match":      `{"rules": [{"direction": "equal"}]}`,
+		"negative tol":  `{"rules": [{"match": "x", "direction": "equal", "rel_tol": -1}]}`,
+		"unknown field": `{"rules": [{"match": "x", "direction": "equal", "typo_tol": 1}]}`,
+	} {
+		if _, err := LoadRules(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -34,10 +34,18 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"imtao/internal/geo"
 	"imtao/internal/obs"
 )
+
+// traceHook pairs a tracer with the span every search parents to; held
+// behind one pointer so queries load both with a single atomic read.
+type traceHook struct {
+	tr     *obs.Tracer
+	parent obs.SpanID
+}
 
 // Cache and search counters, shared by every Network in the process (the
 // pipeline normally runs one). Per-network numbers are available via Stats.
@@ -83,6 +91,11 @@ type Network struct {
 
 	cache   *sourceCache
 	scratch sync.Pool // *searchScratch
+
+	// trace, when non-nil, parents a "dijkstra" span on every full
+	// shortest-path search (cache misses and pinned-table builds). Stored
+	// atomically so SetTrace is safe against concurrent queries.
+	trace atomic.Pointer[traceHook]
 
 	// Pinned sources (PrecomputeSources): always-resident distance tables,
 	// looked up without locks. pinnedIdx[node] indexes pinnedDist, -1 when
@@ -252,6 +265,19 @@ func (n *Network) SetCacheCapacity(tables int) {
 // FlushCache drops every cached unpinned distance table. Pinned tables stay.
 func (n *Network) FlushCache() {
 	n.cache.purge()
+}
+
+// SetTrace attaches a tracer: every full shortest-path search records a
+// "dijkstra" span parented to parent (normally the pipeline's run span —
+// core.Run wires this automatically when the instance metric is a Network).
+// A nil tracer detaches. Safe concurrently with queries; spans started
+// before a detach still complete.
+func (n *Network) SetTrace(tr *obs.Tracer, parent obs.SpanID) {
+	if tr == nil {
+		n.trace.Store(nil)
+		return
+	}
+	n.trace.Store(&traceHook{tr: tr, parent: parent})
 }
 
 // PrecomputeSources computes and pins the distance tables of the nodes

@@ -1,6 +1,10 @@
 package roadnet
 
-import "math"
+import (
+	"math"
+
+	"imtao/internal/obs"
+)
 
 // searchScratch is the reusable per-search working set: the Dial bucket
 // ring, the settled-epoch marks, and the typed heap of the fallback. One
@@ -20,6 +24,15 @@ type searchScratch struct {
 // monotone bucket queue (or a typed heap ordered by (distance, id)), and
 // settled nodes are never relaxed again.
 func (n *Network) runSearch(src int32) []float64 {
+	// A full search is the oracle's expensive path (a cache miss or a
+	// pinned-table build), so a span per search is cheap relative to the
+	// work it times.
+	if h := n.trace.Load(); h != nil {
+		ts := h.tr.Start(h.parent, "dijkstra", obs.F("src", int(src)))
+		defer func() {
+			ts.End(obs.F("pinned", n.pinnedIdx[src] >= 0))
+		}()
+	}
 	total := n.Nodes()
 	dist := make([]float64, total)
 	for i := range dist {

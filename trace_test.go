@@ -266,3 +266,110 @@ func ExampleWithTrace() {
 	fmt.Println(rep.Iterations == strings.Count(trace.String(), `"event":"game_iter"`))
 	// Output: true
 }
+
+// TestTraceSeqUnderParallelism drives the JSONL encoder from every emitter
+// the pipeline has — phase-1 center workers and the phase-2 trial pool —
+// and checks the stream survives the concurrency: every line is valid
+// standalone JSON and seq is exactly 1..N with no gap, duplicate, or
+// reordering. Run under -race in CI, this is the torn-write regression test
+// for the encoder's internal serialization.
+func TestTraceSeqUnderParallelism(t *testing.T) {
+	p := DefaultParams(SYN)
+	p.NumTasks, p.NumWorkers, p.NumCenters = 300, 80, 10
+	var buf bytes.Buffer
+	if _, err := Solve(p, SeqBDC, WithTrace(&buf), WithParallelism(4)); err != nil {
+		t.Fatal(err)
+	}
+	events := parseTrace(t, &buf)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for i, ev := range events {
+		if want := int64(i + 1); ev.Seq != want {
+			t.Fatalf("line %d: seq %d, want %d (gap, duplicate, or reorder)", i, ev.Seq, want)
+		}
+	}
+	var sawCenter, sawIter bool
+	for _, ev := range events {
+		switch ev.Event {
+		case "phase1_center":
+			sawCenter = true
+		case "game_iter":
+			sawIter = true
+		}
+	}
+	if !sawCenter || !sawIter {
+		t.Errorf("stream lacks concurrent emitters: phase1_center=%v game_iter=%v",
+			sawCenter, sawIter)
+	}
+}
+
+// TestWithTracerTimeline records a parallel run through the public tracing
+// API and checks the span tree and its Chrome export: the hierarchy
+// run → phase1 → phase1_center and run → phase2 → game_iter → trial must be
+// present, and WriteChromeTrace must emit valid JSON carrying every span.
+func TestWithTracerTimeline(t *testing.T) {
+	p := DefaultParams(SYN)
+	p.NumTasks, p.NumWorkers, p.NumCenters = 300, 80, 10
+	tr := NewTracer(0)
+	rep, err := Solve(p, SeqBDC, WithTracer(tr), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if tr.Dropped() != 0 {
+		t.Fatalf("%d spans dropped at default capacity", tr.Dropped())
+	}
+	names := make(map[SpanID]string, len(spans))
+	parents := make(map[SpanID]SpanID, len(spans))
+	counts := make(map[string]int)
+	for _, s := range spans {
+		names[s.ID] = s.Name
+		parents[s.ID] = s.Parent
+		counts[s.Name]++
+	}
+	chains := make(map[string]bool)
+	for id := range names {
+		var path []string
+		for cur := id; cur != 0; cur = parents[cur] {
+			path = append([]string{names[cur]}, path...)
+		}
+		chains[strings.Join(path, "→")] = true
+	}
+	for _, want := range []string{
+		"run→phase1→phase1_center",
+		"run→phase2→game_iter→trial",
+	} {
+		if !chains[want] {
+			t.Errorf("span tree lacks %s; chains: %v", want, chains)
+		}
+	}
+	if counts["phase1_center"] != p.NumCenters {
+		t.Errorf("%d phase1_center spans, want %d", counts["phase1_center"], p.NumCenters)
+	}
+	if counts["game_iter"] != rep.Iterations {
+		t.Errorf("%d game_iter spans vs %d report iterations", counts["game_iter"], rep.Iterations)
+	}
+
+	var out bytes.Buffer
+	if err := tr.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is invalid JSON: %v", err)
+	}
+	var xEvents int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			xEvents++
+		}
+	}
+	if xEvents != len(spans) {
+		t.Errorf("export carries %d X events for %d spans", xEvents, len(spans))
+	}
+}

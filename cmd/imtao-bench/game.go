@@ -76,6 +76,19 @@ type gamePreset struct {
 	ResumeRate       float64 `json:"resume_rate"`
 	SnapshotBytes    int64   `json:"snapshot_bytes"`
 
+	// Steady-state memory profile, sampled from a separate stepwise run of
+	// the same game (collab.NewGame/Step) after a warm-up prefix:
+	// AllocsPerIter is the MEDIAN heap allocations per game iteration over
+	// the sampled window (0 in the zero-allocation steady state — the
+	// occasional high-water growth of a recycled buffer shows up in the
+	// mean, not the median), BytesPerIter the mean allocated bytes per
+	// iteration, HeapInuseBytes the live heap at the end of the window.
+	AllocsPerIter     float64 `json:"allocs_per_iter"`
+	AllocsPerIterMean float64 `json:"allocs_per_iter_mean"`
+	BytesPerIter      float64 `json:"bytes_per_iter"`
+	HeapInuseBytes    int64   `json:"heap_inuse_bytes"`
+	MemWindowIters    int     `json:"mem_window_iters"`
+
 	// EquilibriumOK is the Nash check on the optimized engine's outcome.
 	EquilibriumOK bool `json:"equilibrium_ok"`
 
@@ -218,6 +231,9 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 			pr.IterMaxMs = ms(durs[len(durs)-1])
 		}
 
+		pr.AllocsPerIter, pr.AllocsPerIterMean, pr.BytesPerIter,
+			pr.HeapInuseBytes, pr.MemWindowIters = meterGameMemory(in, p1, ccfg, res.Iterations)
+
 		t0 = time.Now()
 		pr.EquilibriumOK = res.VerifyEquilibrium(in, nil) == nil
 		verify := time.Since(t0)
@@ -247,6 +263,8 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 			pr.IterP50Ms, pr.IterP90Ms, pr.IterP99Ms, pr.IterMaxMs)
 		fmt.Printf("  pruned %d (rate %.4f), trials %d (resume rate %.4f), snapshot %d B\n",
 			pr.CandidatesPruned, pr.PruneRate, pr.TrialsEvaluated, pr.ResumeRate, pr.SnapshotBytes)
+		fmt.Printf("  memory/iter over %d steady iters: allocs p50 %.0f (mean %.2f), %.0f B, heap in use %d B\n",
+			pr.MemWindowIters, pr.AllocsPerIter, pr.AllocsPerIterMean, pr.BytesPerIter, pr.HeapInuseBytes)
 		fmt.Printf("  equilibrium_ok=%v (verified in %.0f ms)\n", pr.EquilibriumOK, ms(verify))
 		fmt.Printf("  frozen: ph2 %.0f ms (%.2f ms/iter) → speedup %.1fx, identical=%v\n\n",
 			pr.RefPhase2Ms, pr.RefIterMeanMs, pr.Speedup, pr.OutputIdentical)
@@ -294,6 +312,62 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "game record written to %s\n", cfg.jsonPath)
 	return nil
+}
+
+// meterGameMemory replays the game stepwise (collab.NewGame/Step) on the
+// same phase-1 state and samples per-iteration heap-allocation deltas over a
+// steady-state window: 200 warm-up iterations grow every recycled buffer to
+// its high-water capacity, then up to 256 iterations are measured with
+// runtime.ReadMemStats around each Step. Returns the window's median and
+// mean allocations per iteration, mean allocated bytes per iteration, the
+// live heap at the end of the window, and the window length. The run is
+// untimed, so the sampling overhead never touches the reported wall-clocks.
+func meterGameMemory(in *model.Instance, p1 []assign.Result, ccfg collab.Config,
+	totalIters int) (
+	allocsMedian, allocsMean, bytesMean float64, heapInuse int64, window int) {
+
+	ccfg.Tracer, ccfg.TraceParent, ccfg.Obs = nil, 0, nil
+	g := collab.NewGame(in, p1, ccfg)
+	defer g.Finish()
+	// The game length is known from the timed run: warm over the first
+	// half (capped) so every recycled buffer reaches its high-water
+	// capacity, measure the rest.
+	warmIters := totalIters / 2
+	if warmIters > 200 {
+		warmIters = 200
+	}
+	const windowIters = 256
+	for i := 0; i < warmIters && g.Step(); i++ {
+	}
+	if g.Over() {
+		return 0, 0, 0, 0, 0
+	}
+	g.Reserve(windowIters + 1)
+	allocs := make([]float64, 0, windowIters)
+	bytes := make([]float64, 0, windowIters)
+	var m0, m1 runtime.MemStats
+	for len(allocs) < windowIters {
+		runtime.ReadMemStats(&m0)
+		if !g.Step() {
+			break
+		}
+		runtime.ReadMemStats(&m1)
+		allocs = append(allocs, float64(m1.Mallocs-m0.Mallocs))
+		bytes = append(bytes, float64(m1.TotalAlloc-m0.TotalAlloc))
+	}
+	if len(allocs) == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	heapInuse = int64(m1.HeapInuse)
+	sort.Float64s(allocs)
+	allocsMedian = allocs[len(allocs)/2]
+	var sumA, sumB float64
+	for i := range allocs {
+		sumA += allocs[i]
+		sumB += bytes[i]
+	}
+	n := float64(len(allocs))
+	return allocsMedian, sumA / n, sumB / n, heapInuse, len(allocs)
 }
 
 // percentileDur returns the q-quantile of an ascending duration slice by the

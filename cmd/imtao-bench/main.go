@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -66,6 +67,7 @@ func main() {
 		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit; pair with -cpuprofile when hunting allocation sites (docs/MEMPROFILE.md)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,20 @@ func main() {
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "allocation profile written to %s\n", *memProfile)
 		}()
 	}
 

@@ -25,6 +25,7 @@ import (
 	"imtao/internal/index"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/slab"
 )
 
 // Result is the outcome of a per-center assignment: the routes of A(c) —
@@ -127,14 +128,16 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 		recordStats(res.Stats)
 		return res
 	}
+	in.EnsureHot()
+	wh := in.HotWorkers()
 
 	// Algorithm 2 line 4: order workers. Ties break by ID for determinism.
 	order := append([]model.WorkerID(nil), workers...)
 	switch opt.Order {
 	case MarginalFirst:
 		sort.Slice(order, func(i, j int) bool {
-			di := in.Worker(order[i]).Loc.Dist2(c.Loc)
-			dj := in.Worker(order[j]).Loc.Dist2(c.Loc)
+			di := wh[order[i]].Loc.Dist2(c.Loc)
+			dj := wh[order[j]].Loc.Dist2(c.Loc)
 			if di != dj {
 				return di > dj
 			}
@@ -142,8 +145,8 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 		})
 	case NearestFirst:
 		sort.Slice(order, func(i, j int) bool {
-			di := in.Worker(order[i]).Loc.Dist2(c.Loc)
-			dj := in.Worker(order[j]).Loc.Dist2(c.Loc)
+			di := wh[order[i]].Loc.Dist2(c.Loc)
+			dj := wh[order[j]].Loc.Dist2(c.Loc)
 			if di != dj {
 				return di < dj
 			}
@@ -169,7 +172,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 
 	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
-		route := serveWorker(in, c, cref, wid, pool, &res.Stats)
+		route := serveWorker(in, c, cref, wid, pool, &res.Stats, nil)
 		if len(route.Tasks) == 0 {
 			// Line 19: unused worker — available for workforce transfer.
 			res.LeftWorkers = append(res.LeftWorkers, wid)
@@ -192,15 +195,24 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 // consuming them from the shared pool. The pool is the ONLY cross-worker
 // state of the sequential assigner — a fact the resumable trial engine
 // (trial.go) exploits to replay just a suffix of the serve order.
-func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid model.WorkerID, pool taskPool, stats *Stats) model.Route {
-	w := in.Worker(wid)
+//
+// A non-nil arena supplies the route's task slice from recycled scratch
+// (the trial engine's per-iteration buffers); nil falls back to a fresh
+// allocation for the one-shot phase-1 path. min(MaxT, pool.len()) bounds the
+// final route length exactly, so the grab never overflows its reservation.
+func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid model.WorkerID, pool taskPool, stats *Stats, arena *slab.Arena[model.TaskID]) model.Route {
+	w := &in.HotWorkers()[wid]
 	route := model.Route{Worker: wid, Center: c.ID}
-	if hint := min(w.MaxT, pool.len()); hint > 0 {
-		route.Tasks = make([]model.TaskID, 0, hint)
+	if hint := min(int(w.MaxT), pool.len()); hint > 0 {
+		if arena != nil {
+			route.Tasks = arena.Grab(hint)
+		} else {
+			route.Tasks = make([]model.TaskID, 0, hint)
+		}
 	}
 	// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
-	t := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, cref)
-	extendServe(in, &route, t, c.Loc, cref, w.MaxT, pool, stats)
+	t := in.TravelTimeRef(w.Loc, w.Ref, c.Loc, cref)
+	extendServe(in, &route, t, c.Loc, cref, int(w.MaxT), pool, stats)
 	return route
 }
 
@@ -210,6 +222,7 @@ func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid mo
 // engine (trial.go) resumes it at the end of a preserved baseline route to
 // check whether the trial pool extends the sequence.
 func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Point, curRef model.NodeRef, maxT int, pool taskPool, stats *Stats) {
+	th := in.HotTasks()
 	for len(route.Tasks) < maxT && pool.len() > 0 {
 		// Line 10: nearest unassigned task to the worker's position.
 		sid, ok := pool.nearest(cur)
@@ -217,9 +230,8 @@ func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Poin
 			break
 		}
 		stats.TasksScanned++
-		task := in.Task(sid)
-		taskRef := in.TaskRef(sid)
-		arrive := t + in.TravelTimeRef(cur, curRef, task.Loc, taskRef)
+		task := &th[sid]
+		arrive := t + in.TravelTimeRef(cur, curRef, task.Loc, task.Ref)
 		// Line 11: deadline check. Under the paper's uniform expiry a
 		// failing nearest task means every remaining task fails too, so
 		// the sequence ends here.
@@ -231,7 +243,7 @@ func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Poin
 		route.Tasks = append(route.Tasks, sid)
 		stats.RouteExtensions++
 		t = arrive
-		cur, curRef = task.Loc, taskRef
+		cur, curRef = task.Loc, task.Ref
 	}
 }
 
@@ -258,8 +270,9 @@ var gridFree = sync.Pool{New: func() any { return &gridPool{g: &index.Grid{}} }}
 func newGridPool(in *model.Instance, tasks []model.TaskID) *gridPool {
 	p := gridFree.Get().(*gridPool)
 	p.g.Reset(in.Bounds, max(len(tasks), 1), 4)
+	th := in.HotTasks()
 	for _, id := range tasks {
-		p.g.Insert(index.Item{ID: int(id), Point: in.Task(id).Loc})
+		p.g.Insert(index.Item{ID: int(id), Point: th[id].Loc})
 	}
 	return p
 }

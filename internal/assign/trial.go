@@ -2,12 +2,14 @@ package assign
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"imtao/internal/geo"
 	"imtao/internal/index"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/slab"
 )
 
 // Differential-replay work profile: routes copied verbatim from the baseline
@@ -34,6 +36,12 @@ var (
 // restore is O(tasks consumed by the suffix) via the index.Grid op journal
 // (Mark/Rewind) instead of O(|S|) pool rebuilds per trial.
 //
+// Memory discipline (DESIGN.md §13): TrialBase and TrialRunner are reusable.
+// The game resets one base per iteration (Reset) and rebinds long-lived
+// per-goroutine runners to it (Rebind); every slice a trial emits comes from
+// the runner's slab arenas, recycled on Rebind. In the steady state a whole
+// game iteration performs zero heap allocations.
+//
 // PrunePad is the conservative admission-slack margin: a worker is pruned
 // only when its center travel time exceeds the slack by more than the pad,
 // so floating-point noise can only over-admit (costing a wasted trial),
@@ -48,11 +56,13 @@ const PrunePad = 1e-9
 // yields a trial identical to the baseline — it can be pruned without
 // evaluation. Returns -Inf when tasks is empty (nobody is admissible).
 func AdmissionSlack(in *model.Instance, c *model.Center, tasks []model.TaskID) float64 {
+	in.EnsureHot()
+	th := in.HotTasks()
 	cref := in.CenterRef(c.ID)
 	slack := math.Inf(-1)
 	for _, sid := range tasks {
-		task := in.Task(sid)
-		s := task.Expiry + timeEps - in.TravelTimeRef(c.Loc, cref, task.Loc, in.TaskRef(sid))
+		task := &th[sid]
+		s := task.Expiry + timeEps - in.TravelTimeRef(c.Loc, cref, task.Loc, task.Ref)
 		if s > slack {
 			slack = s
 		}
@@ -63,40 +73,56 @@ func AdmissionSlack(in *model.Instance, c *model.Center, tasks []model.TaskID) f
 // WorkerAdmissible reports whether wid could feasibly deliver a first task
 // for center c given the slack from AdmissionSlack.
 func WorkerAdmissible(in *model.Instance, c *model.Center, wid model.WorkerID, slack float64) bool {
-	w := in.Worker(wid)
-	tt := in.TravelTimeRef(w.Loc, in.WorkerRef(wid), c.Loc, in.CenterRef(c.ID))
+	in.EnsureHot()
+	w := &in.HotWorkers()[wid]
+	tt := in.TravelTimeRef(w.Loc, w.Ref, c.Loc, in.CenterRef(c.ID))
 	return tt <= slack+PrunePad
+}
+
+// orderEnt pairs a worker with its cached squared center distance so the
+// serve order sorts without re-deriving distances or allocating a closure.
+type orderEnt struct {
+	d2  float64
+	wid model.WorkerID
 }
 
 // TrialBase is an immutable snapshot of one center's current assignment —
 // serve order, per-position routes, leftover tasks and unused workers — from
-// which many single-candidate trials can be answered incrementally. Build it
-// once per game iteration; run trials through per-goroutine TrialRunners.
+// which many single-candidate trials can be answered incrementally. Reset it
+// once per game iteration (the backing arrays are recycled); run trials
+// through per-goroutine TrialRunners rebound to it.
 type TrialBase struct {
 	in   *model.Instance
 	c    *model.Center
 	cref model.NodeRef
+	// th/wh are the instance's SoA hot slab, cached so the replay loops walk
+	// contiguous arrays instead of the wider entity structs.
+	th []model.TaskHot
+	wh []model.WorkerHot
 
 	// order is the baseline worker set in Sequential's marginal-first serve
 	// order (distance from the center descending, ties to the smaller ID);
 	// dist2 caches each worker's squared center distance for the insertion
-	// search.
+	// search. ord is the sort scratch combining both.
 	order []model.WorkerID
 	dist2 []float64
+	ord   []orderEnt
 	// routes are the baseline routes, which Sequential emits in serve order;
 	// routeAt[j] indexes routes for position j (-1 when order[j] went
 	// unused) and cumRoutes[j] counts routes among positions < j.
 	routes    []model.Route
-	routeAt   []int
-	cumRoutes []int
-	// stepT[ri][i] is serveWorker's time accumulator after serving the
-	// first i tasks of route ri (stepT[ri][0] is the worker→center
-	// arrival), bit-identical to the baseline run's — same query sequence,
-	// same addition order. It is the resume state for the differential
-	// replay: divergence at step d restarts Algorithm 2's loop from
-	// stepT[ri][d], and a preserved short route extends from the final
-	// entry.
-	stepT [][]float64
+	routeAt   []int32
+	cumRoutes []int32
+	// stepT holds serveWorker's time accumulators for every baseline route,
+	// flattened into one slab: route ri's accumulators are
+	// stepT[stepOff[ri]:stepOff[ri+1]], where entry i is the time after
+	// serving the first i tasks (entry 0 is the worker→center arrival),
+	// bit-identical to the baseline run's — same query sequence, same
+	// addition order. It is the resume state for the differential replay:
+	// divergence at step d restarts Algorithm 2's loop from the step-d
+	// accumulator, and a preserved short route extends from the final entry.
+	stepT   []float64
+	stepOff []int32
 	// baseLeft are the baseline unused workers (ID-sorted) and leftTasks the
 	// baseline leftover tasks (ID-sorted) — the pool end state E shared by
 	// every runner.
@@ -122,43 +148,73 @@ type TrialBase struct {
 // fall back to full re-assignment. The snapshot aliases the caller's routes
 // and leftTasks; both are treated as immutable.
 func NewTrialBase(in *model.Instance, c *model.Center, workers []model.WorkerID, routes []model.Route, leftTasks []model.TaskID) (*TrialBase, bool) {
-	b := &TrialBase{
-		in:        in,
-		c:         c,
-		cref:      in.CenterRef(c.ID),
-		order:     append([]model.WorkerID(nil), workers...),
-		routes:    routes,
-		leftTasks: leftTasks,
+	b := &TrialBase{}
+	if !b.Reset(in, c, workers, routes, leftTasks) {
+		return nil, false
 	}
-	sort.Slice(b.order, func(i, j int) bool {
-		di := in.Worker(b.order[i]).Loc.Dist2(c.Loc)
-		dj := in.Worker(b.order[j]).Loc.Dist2(c.Loc)
-		if di != dj {
-			return di > dj
+	return b, true
+}
+
+// Reset re-snapshots the base in place, recycling every backing array — the
+// per-iteration entry point of the game engine. Same contract and validation
+// as NewTrialBase; on ok=false the base must not be used until a successful
+// Reset.
+func (b *TrialBase) Reset(in *model.Instance, c *model.Center, workers []model.WorkerID, routes []model.Route, leftTasks []model.TaskID) bool {
+	in.EnsureHot()
+	b.in = in
+	b.c = c
+	b.cref = in.CenterRef(c.ID)
+	b.th = in.HotTasks()
+	b.wh = in.HotWorkers()
+	b.routes = routes
+	b.leftTasks = leftTasks
+
+	b.ord = b.ord[:0]
+	for _, wid := range workers {
+		b.ord = append(b.ord, orderEnt{d2: b.wh[wid].Loc.Dist2(c.Loc), wid: wid})
+	}
+	// Marginal-first serve order: distance descending, ties to the smaller
+	// ID — a strict total order, so any sorting algorithm lands on the same
+	// permutation.
+	slices.SortFunc(b.ord, func(x, y orderEnt) int {
+		if x.d2 != y.d2 {
+			if x.d2 > y.d2 {
+				return -1
+			}
+			return 1
 		}
-		return b.order[i] < b.order[j]
+		if x.wid != y.wid {
+			if x.wid < y.wid {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	b.dist2 = make([]float64, len(b.order))
-	b.routeAt = make([]int, len(b.order))
-	b.cumRoutes = make([]int, len(b.order)+1)
+	b.order = b.order[:0]
+	b.dist2 = b.dist2[:0]
+	b.routeAt = b.routeAt[:0]
+	b.cumRoutes = append(b.cumRoutes[:0], 0)
+	b.baseLeft = b.baseLeft[:0]
 	r := 0
-	for j, wid := range b.order {
-		b.dist2[j] = in.Worker(wid).Loc.Dist2(c.Loc)
-		if r < len(routes) && routes[r].Worker == wid {
-			b.routeAt[j] = r
+	for _, e := range b.ord {
+		b.order = append(b.order, e.wid)
+		b.dist2 = append(b.dist2, e.d2)
+		if r < len(routes) && routes[r].Worker == e.wid {
+			b.routeAt = append(b.routeAt, int32(r))
 			r++
 		} else {
-			b.routeAt[j] = -1
-			b.baseLeft = append(b.baseLeft, wid)
+			b.routeAt = append(b.routeAt, -1)
+			b.baseLeft = append(b.baseLeft, e.wid)
 		}
-		b.cumRoutes[j+1] = r
+		b.cumRoutes = append(b.cumRoutes, int32(r))
 	}
 	if r != len(routes) {
 		// The routes do not correspond to this worker set's serve order —
 		// they came from a different assigner or a stale state.
-		return nil, false
+		return false
 	}
-	sort.Slice(b.baseLeft, func(i, j int) bool { return b.baseLeft[i] < b.baseLeft[j] })
+	slices.Sort(b.baseLeft)
 	lo, hi := c.Loc, c.Loc
 	grow := func(p geo.Point) {
 		if p.X < lo.X {
@@ -176,33 +232,37 @@ func NewTrialBase(in *model.Instance, c *model.Center, workers []model.WorkerID,
 	}
 	b.poolSize = len(leftTasks)
 	for _, sid := range leftTasks {
-		grow(in.Task(sid).Loc)
+		grow(b.th[sid].Loc)
 	}
-	for _, rt := range routes {
-		b.poolSize += len(rt.Tasks)
-		for _, sid := range rt.Tasks {
-			grow(in.Task(sid).Loc)
+	for ri := range routes {
+		b.poolSize += len(routes[ri].Tasks)
+		for _, sid := range routes[ri].Tasks {
+			grow(b.th[sid].Loc)
 		}
 	}
 	b.poolBounds = geo.Rect{Min: lo, Max: hi}
-	b.stepT = make([][]float64, len(routes))
+	b.stepT = b.stepT[:0]
+	b.stepOff = append(b.stepOff[:0], 0)
 	for ri := range routes {
 		rt := &routes[ri]
-		w := in.Worker(rt.Worker)
-		st := make([]float64, len(rt.Tasks)+1)
-		t := in.TravelTimeRef(w.Loc, in.WorkerRef(rt.Worker), c.Loc, b.cref)
-		st[0] = t
+		w := &b.wh[rt.Worker]
+		t := in.TravelTimeRef(w.Loc, w.Ref, c.Loc, b.cref)
+		b.stepT = append(b.stepT, t)
 		cur, curRef := c.Loc, b.cref
-		for i, sid := range rt.Tasks {
-			task := in.Task(sid)
-			ref := in.TaskRef(sid)
-			t += in.TravelTimeRef(cur, curRef, task.Loc, ref)
-			st[i+1] = t
-			cur, curRef = task.Loc, ref
+		for _, sid := range rt.Tasks {
+			task := &b.th[sid]
+			t += in.TravelTimeRef(cur, curRef, task.Loc, task.Ref)
+			b.stepT = append(b.stepT, t)
+			cur, curRef = task.Loc, task.Ref
 		}
-		b.stepT[ri] = st
+		b.stepOff = append(b.stepOff, int32(len(b.stepT)))
 	}
-	return b, true
+	return true
+}
+
+// stepsOf returns route ri's resume accumulators (see stepT).
+func (b *TrialBase) stepsOf(ri int32) []float64 {
+	return b.stepT[b.stepOff[ri]:b.stepOff[ri+1]]
 }
 
 // FootprintBytes estimates the snapshot's memory footprint (order, route
@@ -216,10 +276,12 @@ func (b *TrialBase) FootprintBytes() int64 {
 }
 
 // TrialRunner answers trials against one TrialBase. It owns a pooled grid
-// holding the baseline leftover tasks (end state E); each trial journals its
-// mutations and rewinds, so the grid is built once per runner, not per
-// trial. Runners are NOT safe for concurrent use — create one per goroutine
-// and Release it when done.
+// holding the trial task pool plus the slab arenas every result slice is
+// carved from; Rebind rebuilds the grid for a freshly Reset base and recycles
+// the arenas, so a runner serves a whole game with a one-time high-water
+// allocation. Results are valid until the runner's next Rebind — promote
+// (deep-copy) anything that must live longer. Runners are NOT safe for
+// concurrent use — create one per goroutine and Release when done.
 type TrialRunner struct {
 	b       *TrialBase
 	pool    *gridPool
@@ -235,6 +297,10 @@ type TrialRunner struct {
 	// capacities), so linear scans beat maps.
 	stolen []diffTask
 	freed  []diffTask
+	// Result-slice arenas, recycled per Rebind (one game iteration).
+	tids slab.Arena[model.TaskID]
+	wids slab.Arena[model.WorkerID]
+	rts  slab.Arena[model.Route]
 }
 
 // diffTask is a pool-difference entry with its location cached for the
@@ -274,7 +340,7 @@ func (r *TrialRunner) updateDiff(base, trial []model.TaskID) {
 		if i := diffIndex(r.stolen, x); i >= 0 {
 			r.stolen = append(r.stolen[:i], r.stolen[i+1:]...)
 		} else {
-			r.freed = append(r.freed, diffTask{x, r.b.in.Task(x).Loc})
+			r.freed = append(r.freed, diffTask{x, r.b.th[x].Loc})
 		}
 	}
 	for _, x := range trial {
@@ -284,7 +350,7 @@ func (r *TrialRunner) updateDiff(base, trial []model.TaskID) {
 		if i := diffIndex(r.freed, x); i >= 0 {
 			r.freed = append(r.freed[:i], r.freed[i+1:]...)
 		} else {
-			r.stolen = append(r.stolen, diffTask{x, r.b.in.Task(x).Loc})
+			r.stolen = append(r.stolen, diffTask{x, r.b.th[x].Loc})
 		}
 	}
 }
@@ -304,7 +370,7 @@ func (r *TrialRunner) divergeStep(rt *model.Route) int {
 		if diffIndex(r.stolen, sid) >= 0 {
 			return i
 		}
-		p := b.in.Task(sid).Loc
+		p := b.th[sid].Loc
 		if len(r.freed) > 0 {
 			ds := cur.Dist2(p)
 			for _, e := range r.freed {
@@ -327,17 +393,30 @@ func (r *TrialRunner) divergeStep(rt *model.Route) int {
 // (whereas restoring from the end state would re-insert nearly the whole
 // suffix on every trial).
 func (b *TrialBase) NewRunner() *TrialRunner {
-	p := gridFree.Get().(*gridPool)
-	p.g.Reset(b.poolBounds, max(b.poolSize, 1), 4)
+	r := &TrialRunner{pool: gridFree.Get().(*gridPool)}
+	r.Rebind(b)
+	return r
+}
+
+// Rebind points the runner at a (typically freshly Reset) base: the trial
+// grid is rebuilt to the base's start state and the result arenas are
+// recycled, invalidating every Result this runner produced since the last
+// Rebind. Call once per game iteration instead of creating a new runner.
+func (r *TrialRunner) Rebind(b *TrialBase) {
+	r.b = b
+	r.tids.Reset()
+	r.wids.Reset()
+	r.rts.Reset()
+	g := r.pool.g
+	g.Reset(b.poolBounds, max(b.poolSize, 1), 4)
 	for _, id := range b.leftTasks {
-		p.g.Insert(index.Item{ID: int(id), Point: b.in.Task(id).Loc})
+		g.Insert(index.Item{ID: int(id), Point: b.th[id].Loc})
 	}
-	for _, rt := range b.routes {
-		for _, tid := range rt.Tasks {
-			p.g.Insert(index.Item{ID: int(tid), Point: b.in.Task(tid).Loc})
+	for ri := range b.routes {
+		for _, tid := range b.routes[ri].Tasks {
+			g.Insert(index.Item{ID: int(tid), Point: b.th[tid].Loc})
 		}
 	}
-	return &TrialRunner{b: b, pool: p}
 }
 
 // Release returns the runner's grid scratch to the shared free list. The
@@ -362,11 +441,12 @@ func (r *TrialRunner) LastReplay() (copied, replayed int) {
 // Trial returns exactly what Sequential(in, c, baseWorkers∪{cand}, tasks)
 // would return (up to nil-vs-empty slice spelling), by resuming from cand's
 // position in the serve order. cand must not be in the baseline worker set.
+// The result's slices live in the runner's arenas: valid until the next
+// Rebind, shared with no other trial.
 func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 	b := r.b
 	var res Result
-	w := b.in.Worker(cand)
-	cd2 := w.Loc.Dist2(b.c.Loc)
+	cd2 := b.wh[cand].Loc.Dist2(b.c.Loc)
 	// cand's serve-order position: first index holding a worker served
 	// after cand. cand is not in order, so the ID tiebreak never ties.
 	k := sort.Search(len(b.order), func(j int) bool {
@@ -390,7 +470,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 		}
 	}
 
-	candRoute := serveWorker(b.in, b.c, b.cref, cand, r.pool, &res.Stats)
+	candRoute := serveWorker(b.in, b.c, b.cref, cand, r.pool, &res.Stats, &r.tids)
 	if len(candRoute.Tasks) == 0 {
 		// The candidate takes nothing, so the suffix replays identically:
 		// the trial IS the baseline plus one more unused worker.
@@ -402,14 +482,15 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 		g.Rewind()
 		res.Routes = b.routes
 		res.LeftTasks = b.leftTasks
-		res.LeftWorkers = insertSortedWorker(b.baseLeft, cand)
+		res.LeftWorkers = insertSortedWorker(&r.wids, b.baseLeft, cand)
 		recordStats(res.Stats)
 		return res
 	}
 
-	res.Routes = make([]model.Route, 0, len(b.routes)+1)
+	res.Routes = r.rts.Grab(len(b.order) + 1)
 	res.Routes = append(res.Routes, b.routes[:b.cumRoutes[k]]...)
 	res.Routes = append(res.Routes, candRoute)
+	res.LeftWorkers = r.wids.Grab(len(b.order) + 1)
 	for j := 0; j < k; j++ {
 		if b.routeAt[j] < 0 {
 			res.LeftWorkers = append(res.LeftWorkers, b.order[j])
@@ -426,7 +507,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 	r.stolen = r.stolen[:0]
 	r.freed = r.freed[:0]
 	for _, tid := range candRoute.Tasks {
-		r.stolen = append(r.stolen, diffTask{tid, b.in.Task(tid).Loc})
+		r.stolen = append(r.stolen, diffTask{tid, b.th[tid].Loc})
 	}
 	copied, replayed := 0, 0
 	absorbed := false
@@ -451,7 +532,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			// Baseline-unused worker: its single ending query must run
 			// against the real trial pool (a stolen blocker or a freed task
 			// can hand it a route).
-			rt := serveWorker(b.in, b.c, b.cref, wid, r.pool, &res.Stats)
+			rt := serveWorker(b.in, b.c, b.cref, wid, r.pool, &res.Stats, &r.tids)
 			if len(rt.Tasks) == 0 {
 				res.LeftWorkers = append(res.LeftWorkers, wid)
 			} else {
@@ -461,7 +542,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			continue
 		}
 		rt := &b.routes[ri]
-		wcap := b.in.Worker(wid).MaxT
+		wcap := int(b.wh[wid].MaxT)
 		if d := r.divergeStep(rt); d >= 0 {
 			// The prefix rt.Tasks[:d] replays verbatim (no stolen task and no
 			// freed winner before step d): consume it from the trial pool and
@@ -473,10 +554,14 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			cur, curRef := b.c.Loc, b.cref
 			if d > 0 {
 				prev := rt.Tasks[d-1]
-				cur, curRef = b.in.Task(prev).Loc, b.in.TaskRef(prev)
+				cur, curRef = b.th[prev].Loc, b.th[prev].Ref
 			}
-			rt2 := model.Route{Worker: wid, Center: b.c.ID, Tasks: rt.Tasks[:d:d]}
-			extendServe(b.in, &rt2, b.stepT[ri][d], cur, curRef, wcap, r.pool, &res.Stats)
+			// min(wcap, d + pool.len()) bounds the resumed route's final
+			// length, so the arena reservation never overflows.
+			rt2 := model.Route{Worker: wid, Center: b.c.ID,
+				Tasks: r.tids.Grab(min(wcap, d+r.pool.len()))}
+			rt2.Tasks = append(rt2.Tasks, rt.Tasks[:d]...)
+			extendServe(b.in, &rt2, b.stepsOf(ri)[d], cur, curRef, wcap, r.pool, &res.Stats)
 			if len(rt2.Tasks) == 0 {
 				res.LeftWorkers = append(res.LeftWorkers, wid)
 			} else {
@@ -496,9 +581,10 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			// route's end state instead of replaying it.
 			last := rt.Tasks[len(rt.Tasks)-1]
 			trialRt := model.Route{Worker: wid, Center: b.c.ID,
-				Tasks: rt.Tasks[:len(rt.Tasks):len(rt.Tasks)]}
-			extendServe(b.in, &trialRt, b.stepT[ri][len(rt.Tasks)], b.in.Task(last).Loc,
-				b.in.TaskRef(last), wcap, r.pool, &res.Stats)
+				Tasks: r.tids.Grab(min(wcap, len(rt.Tasks)+r.pool.len()))}
+			trialRt.Tasks = append(trialRt.Tasks, rt.Tasks...)
+			extendServe(b.in, &trialRt, b.stepsOf(ri)[len(rt.Tasks)], b.th[last].Loc,
+				b.th[last].Ref, wcap, r.pool, &res.Stats)
 			if len(trialRt.Tasks) > len(rt.Tasks) {
 				res.Routes = append(res.Routes, trialRt)
 				r.updateDiff(nil, trialRt.Tasks[len(rt.Tasks):])
@@ -518,8 +604,8 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 	} else {
 		// The drained loop's difference sets ARE the leftover delta: trial
 		// leftovers = (baseline leftovers − stolen) ∪ freed. Building from
-		// them skips a full grid-map iteration per trial.
-		lt := make([]model.TaskID, 0, len(b.leftTasks)+len(r.freed))
+		// them skips a full pool iteration per trial.
+		lt := r.tids.Grab(len(b.leftTasks) + len(r.freed))
 		for _, id := range b.leftTasks {
 			if diffIndex(r.stolen, id) < 0 {
 				lt = append(lt, id)
@@ -528,23 +614,23 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 		for _, e := range r.freed {
 			lt = append(lt, e.id)
 		}
-		sort.Slice(lt, func(i, j int) bool { return lt[i] < lt[j] })
+		slices.Sort(lt)
 		res.LeftTasks = lt
 	}
 	if n := g.JournalLen(); n > r.peakOps {
 		r.peakOps = n
 	}
 	g.Rewind()
-	sort.Slice(res.LeftWorkers, func(i, j int) bool { return res.LeftWorkers[i] < res.LeftWorkers[j] })
+	slices.Sort(res.LeftWorkers)
 	recordStats(res.Stats)
 	return res
 }
 
-// insertSortedWorker returns a fresh copy of sorted (ascending IDs) with w
-// inserted in order.
-func insertSortedWorker(sorted []model.WorkerID, w model.WorkerID) []model.WorkerID {
+// insertSortedWorker returns a copy of sorted (ascending IDs) with w
+// inserted in order, carved from the given arena.
+func insertSortedWorker(a *slab.Arena[model.WorkerID], sorted []model.WorkerID, w model.WorkerID) []model.WorkerID {
 	i := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= w })
-	out := make([]model.WorkerID, 0, len(sorted)+1)
+	out := a.Grab(len(sorted) + 1)
 	out = append(out, sorted[:i]...)
 	out = append(out, w)
 	return append(out, sorted[i:]...)

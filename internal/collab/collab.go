@@ -23,14 +23,20 @@
 // candidates that provably cannot take a task, the resumable trial engine of
 // the assign package replays only the serve-order suffix each trial
 // perturbs, and the game bookkeeping (ρ vector, assigned counts, candidate
-// pool) is maintained incrementally. RunReference (frozen.go) is the
-// preserved pre-engine loop; both produce bit-identical solutions and
+// pool) is maintained incrementally. The engine is exposed as a stepwise
+// Game (NewGame/Step/Finish) so harnesses can observe or meter individual
+// iterations; Run is the canonical loop over it. In the warmed-up steady
+// state one accepted Step performs zero heap allocations (DESIGN.md §13):
+// every per-iteration slice comes from recycled scratch, slab arenas or the
+// double-buffered per-center promotion buffers. RunReference (frozen.go) is
+// the preserved pre-engine loop; both produce bit-identical solutions and
 // traces (modulo the trial/memo/prune counters and Duration).
 package collab
 
 import (
 	"math/rand"
 	"reflect"
+	"slices"
 	"sort"
 	"time"
 
@@ -38,6 +44,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/slab"
 )
 
 // Game-progress counters, aggregated across every collaboration run of the
@@ -272,375 +279,601 @@ func NoCollaboration(in *model.Instance, phase1 []assign.Result) *model.Solution
 	return sol
 }
 
+// promoBuf is one half of a center's double-buffered result promotion: a
+// flat task slab backing every route of one accepted assignment plus its
+// leftover tasks, a route header array pointing into it, and the unused
+// worker list. Promoting an accepted trial deep-copies it out of the trial
+// runner's arenas (which recycle next iteration) without allocating once the
+// buffers reach their high-water capacity.
+type promoBuf struct {
+	routes []model.Route
+	tasks  []model.TaskID // all route tasks, then the leftover tasks
+	left   []model.TaskID // the leftover view into tasks' tail
+	lws    []model.WorkerID
+}
+
+// promote deep-copies r into the buffer. The copy is laid out
+// structure-of-arrays style: one contiguous task slab with capacity-clamped
+// route views, so the next trial base walks one cache-friendly array.
+func (pb *promoBuf) promote(r *assign.Result) {
+	total := 0
+	for i := range r.Routes {
+		total += len(r.Routes[i].Tasks)
+	}
+	// The buffers regrow with geometric headroom: an accepted dispatch
+	// typically adds one route and one task, so exact sizing would realloc
+	// on every single accept instead of amortising to zero.
+	need := total + len(r.LeftTasks)
+	if cap(pb.tasks) < need {
+		pb.tasks = make([]model.TaskID, need, growCap(cap(pb.tasks), need))
+	} else {
+		pb.tasks = pb.tasks[:need]
+	}
+	if cap(pb.routes) < len(r.Routes) {
+		pb.routes = make([]model.Route, len(r.Routes), growCap(cap(pb.routes), len(r.Routes)))
+	} else {
+		pb.routes = pb.routes[:len(r.Routes)]
+	}
+	if cap(pb.lws) < len(r.LeftWorkers) {
+		pb.lws = make([]model.WorkerID, len(r.LeftWorkers), growCap(cap(pb.lws), len(r.LeftWorkers)))
+	} else {
+		pb.lws = pb.lws[:len(r.LeftWorkers)]
+	}
+	off := 0
+	for i := range r.Routes {
+		rt := &r.Routes[i]
+		n := len(rt.Tasks)
+		copy(pb.tasks[off:off+n], rt.Tasks)
+		pb.routes[i] = model.Route{Worker: rt.Worker, Center: rt.Center,
+			Tasks: pb.tasks[off : off+n : off+n]}
+		off += n
+	}
+	copy(pb.tasks[off:], r.LeftTasks)
+	pb.left = pb.tasks[off:len(pb.tasks):len(pb.tasks)]
+	copy(pb.lws, r.LeftWorkers)
+}
+
+// centerState is one center's mutable game state. The former per-field maps
+// (own-worker set, trial memo keys) are ID-sorted slices maintained
+// incrementally, and accepted assignments live in the double-buffered
+// promotion slabs — one buffer holds the live state the current iteration's
+// trials alias, the other receives the accepted result, then they flip.
+type centerState struct {
+	routes    []model.Route
+	leftTasks []model.TaskID
+	// own is the ID-sorted set of workers homed here and not lent out.
+	own []model.WorkerID
+	// borrowed workers received from other centers, in arrival order.
+	borrowed []model.WorkerID
+	// workers is own ∪ borrowed in ascending ID order, maintained
+	// incrementally (the legacy loop rebuilt and sorted it per iteration).
+	workers []model.WorkerID
+	// assigned is countTasks(routes), maintained incrementally.
+	assigned int
+	rho      float64
+	// slack caches assign.AdmissionSlack for the pruning scope; valid
+	// until slackOK is cleared (LeftoverOnly invalidates on accept —
+	// its slack covers the mutable leftover set; FullReassign's covers
+	// the static center.Tasks).
+	slack   float64
+	slackOK bool
+	// baseline caches the assigner result the prefix-resume engine replays
+	// against — the trial base. An accepted trial IS the new baseline
+	// (promoted), so steady-state iterations never run the assigner for it;
+	// lending a worker out clears baselineOK (the worker set changed).
+	baseline   assign.Result
+	baselineOK bool
+	// promo double-buffers result promotion: promo[flip] backs the live
+	// routes/leftTasks/baseline, promo[1-flip] receives the next accepted
+	// result (whose trial slices alias promo[flip] — a single buffer would
+	// overwrite its own source).
+	promo [2]promoBuf
+	flip  int
+}
+
+// Game is the stepwise optimized collaboration engine. NewGame captures the
+// phase-1 state, each Step executes one iteration of Algorithm 3's
+// best-response dynamics (returning false once the game is over), and Finish
+// assembles the Result and releases pooled scratch. Run wraps the three for
+// the common case; harnesses that meter individual iterations (the
+// allocation benchmarks) drive Step directly.
+//
+// A Game is single-use and not safe for concurrent use; within one Step,
+// trial evaluation fans out per Config.Parallelism.
+type Game struct {
+	in        *model.Instance
+	cfg       Config
+	seqEngine bool
+	pruneOn   bool
+
+	states        []centerState
+	pool          *workerPool
+	totalAssigned int
+	rhoVec        []float64
+	recipients    []model.CenterID
+	memo          []map[model.WorkerID]assign.Result
+
+	// base is the per-iteration trial-base snapshot, reset in place;
+	// runners are the long-lived trial evaluators rebound to it (slot 0
+	// serves the serial path, slots 0..P-1 the parallel path).
+	base    assign.TrialBase
+	runners []*assign.TrialRunner
+	// seqScratch serves the Sequential engine's re-baseline runs (a
+	// recipient that lent a worker since its last visit) from recycled
+	// buffers; the result is promoted into the center's buffers like an
+	// accepted trial.
+	seqScratch assign.SequentialScratch
+	// trials/missIdx are the per-iteration evaluation scratch.
+	trials  []assign.Result
+	missIdx []int
+	// rhos carves the per-step ρ-vector snapshots (TraceStep.Rhos) from one
+	// growing slab instead of one allocation per iteration. Never reset:
+	// the snapshots are part of the returned trace.
+	rhos slab.Arena[float64]
+
+	maxIter   int
+	iter      int
+	res       Result
+	transfers []model.Transfer
+	done      bool
+}
+
 // Run executes the multi-center collaboration game (paper Algorithm 3) on
 // top of the phase-1 per-center results and returns the final solution with
 // its iteration trace. The instance is not mutated.
 //
 // This is the optimized engine: bit-identical to RunReference in solution,
 // transfers and trace (Trials/MemoHits/Pruned/Resumed and Duration aside),
-// but with admissibility pruning, prefix-resume trials and incremental
-// bookkeeping — see DESIGN.md §11 for the architecture and the exactness
-// arguments.
+// but with admissibility pruning, prefix-resume trials, incremental
+// bookkeeping and recycled per-iteration memory — see DESIGN.md §11 and §13
+// for the architecture and the exactness arguments.
 func Run(in *model.Instance, phase1 []assign.Result, cfg Config) Result {
-	seqEngine := isSequentialAssigner(cfg.Assigner)
-	if cfg.Assigner == nil {
-		cfg.Assigner = assign.Sequential
+	g := NewGame(in, phase1, cfg)
+	for g.Step() {
+	}
+	return g.Finish()
+}
+
+// NewGame captures the phase-1 state and prepares the stepwise engine. The
+// instance is treated as immutable for the game's lifetime.
+func NewGame(in *model.Instance, phase1 []assign.Result, cfg Config) *Game {
+	g := &Game{in: in, cfg: cfg}
+	g.seqEngine = isSequentialAssigner(cfg.Assigner)
+	if g.cfg.Assigner == nil {
+		g.cfg.Assigner = assign.Sequential
 	}
 	// Idempotent: a no-op when core.Run already prepared the instance, and
 	// a safety net for direct callers so the trial re-assignments below hit
 	// the memoized snap path of a node metric.
 	in.PrepareMetric()
+	in.EnsureHot()
 	n := len(in.Centers)
 
-	pruneOn := cfg.Prune == PruneOn || (cfg.Prune == PruneAuto && seqEngine)
+	g.pruneOn = cfg.Prune == PruneOn || (cfg.Prune == PruneAuto && g.seqEngine)
 	if cfg.Candidate == NearestWorker {
 		// NearestWorker picks its single candidate over the FULL pool;
 		// pre-filtering would change which worker is chosen, so pruning is
 		// disabled rather than applied unsoundly.
-		pruneOn = false
+		g.pruneOn = false
 	}
 
-	// Per-center mutable state.
-	type centerState struct {
-		routes    []model.Route
-		leftTasks []model.TaskID
-		// own is the set of workers homed here and not lent out.
-		own map[model.WorkerID]bool
-		// borrowed workers received from other centers, in arrival order.
-		borrowed []model.WorkerID
-		// workers is own ∪ borrowed in ascending ID order, maintained
-		// incrementally (the legacy loop rebuilt and sorted it per
-		// iteration).
-		workers []model.WorkerID
-		// assigned is countTasks(routes), maintained incrementally.
-		assigned int
-		rho      float64
-		// slack caches assign.AdmissionSlack for the pruning scope; valid
-		// until slackOK is cleared (LeftoverOnly invalidates on accept —
-		// its slack covers the mutable leftover set; FullReassign's covers
-		// the static center.Tasks).
-		slack   float64
-		slackOK bool
-	}
-	states := make([]centerState, n)
-	pool := newWorkerPool(in, pruneOn)
-	totalAssigned := 0
-	rhoVec := make([]float64, n)
+	g.states = make([]centerState, n)
+	g.pool = newWorkerPool(in, g.pruneOn)
+	g.rhoVec = make([]float64, n)
 	for ci := range in.Centers {
-		st := &states[ci]
-		st.routes = cloneRoutes(phase1[ci].Routes)
-		st.leftTasks = append([]model.TaskID(nil), phase1[ci].LeftTasks...)
-		st.own = make(map[model.WorkerID]bool, len(in.Centers[ci].Workers))
-		for _, w := range in.Centers[ci].Workers {
-			st.own[w] = true
-		}
-		st.workers = append([]model.WorkerID(nil), in.Centers[ci].Workers...)
-		sort.Slice(st.workers, func(i, j int) bool { return st.workers[i] < st.workers[j] })
+		st := &g.states[ci]
+		st.promo[0].promote(&phase1[ci])
+		st.routes = st.promo[0].routes
+		st.leftTasks = st.promo[0].left
+		st.own = append([]model.WorkerID(nil), in.Centers[ci].Workers...)
+		slices.Sort(st.own)
+		st.workers = append(make([]model.WorkerID, 0, len(st.own)+8), st.own...)
 		st.assigned = countTasks(st.routes)
-		totalAssigned += st.assigned
+		g.totalAssigned += st.assigned
 		st.rho = metrics.Ratio(st.assigned, len(in.Centers[ci].Tasks))
-		rhoVec[ci] = st.rho
+		g.rhoVec[ci] = st.rho
 		for _, w := range phase1[ci].LeftWorkers {
-			pool.add(w, model.CenterID(ci))
+			g.pool.add(w, model.CenterID(ci))
 		}
 	}
 
 	// Line 3–10: recipient set C' = centers with ρ < 1.
-	var recipients []model.CenterID
 	for ci := range in.Centers {
-		if states[ci].rho < 1 {
-			recipients = append(recipients, model.CenterID(ci))
+		if g.states[ci].rho < 1 {
+			g.recipients = append(g.recipients, model.CenterID(ci))
 		}
 	}
 
-	maxIter := cfg.MaxIterations
-	if maxIter <= 0 {
+	g.maxIter = cfg.MaxIterations
+	if g.maxIter <= 0 {
 		// Every accepted iteration raises the recipient's assigned count by
 		// at least one task and every rejection permanently removes a
 		// center, so |S| + |C| bounds the game length.
-		maxIter = len(in.Tasks) + n + 1
+		g.maxIter = len(in.Tasks) + n + 1
 	}
-
-	res := Result{}
-	var transfers []model.Transfer
 
 	// memo caches trial re-assignment results per (recipient, worker). A
 	// trial depends only on the recipient's state (worker set, routes,
 	// leftover tasks) and the candidate, so an entry stays valid until the
-	// recipient's state changes: the whole per-center map is dropped when the
-	// center accepts a dispatch (its routes/borrowed/leftTasks change) or
-	// lends one of its own workers out (its worker set shrinks). Workers that
-	// leave the pool simply stop being looked up.
-	//
-	// In the paper-exact dynamics every turn ends by either mutating the
-	// recipient (accept) or removing it from the game (reject), so the cache
-	// cannot re-hit during Run itself with the built-in policies; it exists
-	// to carry each center's final-state trials out of the game, where
-	// Result.VerifyEquilibrium reuses them instead of re-running the
-	// assigner over the whole pool, and to keep future recipient policies
-	// that revisit centers incremental for free.
-	memo := make([]map[model.WorkerID]assign.Result, n)
+	// recipient's state changes: entries are stored only when a center
+	// leaves the game (its state is final from then on) and the per-center
+	// map is dropped when the center later lends one of its own workers out
+	// (its worker set shrinks). In the paper-exact dynamics every turn ends
+	// by either mutating the recipient (accept — nothing worth caching) or
+	// removing it from the game (reject — its final-state trials), so the
+	// cache cannot re-hit during Run itself with the built-in policies; it
+	// exists to carry each center's final-state trials out of the game,
+	// where Result.VerifyEquilibrium reuses them instead of re-running the
+	// assigner over the whole pool.
+	g.memo = make([]map[model.WorkerID]assign.Result, n)
+	return g
+}
 
-	// baselines caches Sequential(workers, center.Tasks) per center for the
-	// prefix-resume engine — the trial base every resumed trial replays a
-	// suffix of. Invalidated exactly like memo (the base depends on the same
-	// state); an accepted trial IS the new baseline, so steady-state
-	// iterations never run the assigner for it.
-	baselines := make([]*assign.Result, n)
+// Iterations returns the number of iterations executed so far.
+func (g *Game) Iterations() int { return g.iter }
 
-	for iter := 1; iter <= maxIter && len(recipients) > 0 && pool.len() > 0; iter++ {
-		iterStart := time.Now()
-		res.Iterations = iter
-		mIterations.Inc()
-		var iterTS obs.TraceSpan
-		if cfg.Tracer != nil {
-			iterTS = cfg.Tracer.Start(cfg.TraceParent, "game_iter", obs.F("iter", iter))
+// Over reports whether the game has terminated (a subsequent Step would
+// return false).
+func (g *Game) Over() bool {
+	return g.done || g.iter >= g.maxIter || len(g.recipients) == 0 || g.pool.len() == 0
+}
+
+// Reserve pre-grows the per-iteration output buffers — the trace, the
+// transfer log and the ρ-snapshot slab — for n further iterations. Purely a
+// performance hint: a reserved steady-state Step appends its outputs without
+// growing anything, which the zero-allocation gates rely on.
+func (g *Game) Reserve(n int) {
+	if cap(g.res.Trace)-len(g.res.Trace) < n {
+		t := make([]TraceStep, len(g.res.Trace), len(g.res.Trace)+n)
+		copy(t, g.res.Trace)
+		g.res.Trace = t
+	}
+	if cap(g.transfers)-len(g.transfers) < n {
+		t := make([]model.Transfer, len(g.transfers), len(g.transfers)+n)
+		copy(t, g.transfers)
+		g.transfers = t
+	}
+	g.rhos.Reserve(n * len(g.rhoVec))
+}
+
+// Step executes one game iteration (Algorithm 3 lines 13–21) and reports
+// whether it ran; false means the game was already over and no state
+// changed. After the first false, Finish assembles the Result.
+func (g *Game) Step() bool {
+	if g.Over() {
+		return false
+	}
+	g.iter++
+	iter := g.iter
+	iterStart := time.Now()
+	cfg := &g.cfg
+	in := g.in
+	g.res.Iterations = iter
+	mIterations.Inc()
+	var iterTS obs.TraceSpan
+	if cfg.Tracer != nil {
+		iterTS = cfg.Tracer.Start(cfg.TraceParent, "game_iter", obs.F("iter", iter))
+	}
+	// Line 13: recipient selection — served from the maintained ρ vector
+	// instead of a per-iteration rebuild.
+	var ci model.CenterID
+	switch cfg.Recipient {
+	case RandomRecipient:
+		ci = g.recipients[cfg.Rng.Intn(len(g.recipients))]
+	case MaxLeftover:
+		ci = g.recipients[0]
+		for _, c := range g.recipients[1:] {
+			if len(g.states[c].leftTasks) > len(g.states[ci].leftTasks) ||
+				(len(g.states[c].leftTasks) == len(g.states[ci].leftTasks) && c < ci) {
+				ci = c
+			}
 		}
-		// Line 13: recipient selection — served from the maintained ρ
-		// vector instead of a per-iteration rebuild.
-		var ci model.CenterID
-		switch cfg.Recipient {
-		case RandomRecipient:
-			ci = recipients[cfg.Rng.Intn(len(recipients))]
-		case MaxLeftover:
-			ci = recipients[0]
-			for _, c := range recipients[1:] {
-				if len(states[c].leftTasks) > len(states[ci].leftTasks) ||
-					(len(states[c].leftTasks) == len(states[ci].leftTasks) && c < ci) {
-					ci = c
+	default:
+		ci = metrics.MinRatioCenter(g.rhoVec, g.recipients)
+	}
+	st := &g.states[ci]
+	center := in.Center(ci)
+
+	// Candidate workers: available pool minus the recipient's own (its own
+	// unused workers are already in its worker set). With pruning,
+	// candidates that cannot feasibly deliver any first task are dropped
+	// here — their trials provably return the baseline and can never win
+	// the strict-improvement scan below. The candidate list is pool
+	// scratch, valid for this iteration only.
+	var cands []model.WorkerID
+	pruned := 0
+	var prunedList []model.WorkerID
+	switch {
+	case cfg.Candidate == NearestWorker:
+		cands = g.pool.candidates(ci)
+		if len(cands) > 1 {
+			// Heuristic ablation: only evaluate the nearest available
+			// worker. Ties break by ID via the pre-sorted order.
+			best := cands[0]
+			bd := in.Worker(best).Loc.Dist2(center.Loc)
+			for _, w := range cands[1:] {
+				if d := in.Worker(w).Loc.Dist2(center.Loc); d < bd {
+					best, bd = w, d
 				}
 			}
-		default:
-			ci = metrics.MinRatioCenter(rhoVec, recipients)
+			cands[0] = best
+			cands = cands[:1]
 		}
-		st := &states[ci]
-		center := in.Center(ci)
-
-		// Candidate workers: available pool minus the recipient's own
-		// (its own unused workers are already in its worker set). With
-		// pruning, candidates that cannot feasibly deliver any first task
-		// are dropped here — their trials provably return the baseline and
-		// can never win the strict-improvement scan below.
-		var cands []model.WorkerID
-		pruned := 0
-		var prunedList []model.WorkerID
-		switch {
-		case cfg.Candidate == NearestWorker:
-			cands = pool.candidates(ci)
-			if len(cands) > 1 {
-				// Heuristic ablation: only evaluate the nearest available
-				// worker. Ties break by ID via the pre-sorted order.
-				best := cands[0]
-				bd := in.Worker(best).Loc.Dist2(center.Loc)
-				for _, w := range cands[1:] {
-					if d := in.Worker(w).Loc.Dist2(center.Loc); d < bd {
-						best, bd = w, d
-					}
-				}
-				cands = []model.WorkerID{best}
-			}
-		case pruneOn:
-			if !st.slackOK {
-				if cfg.Scope == LeftoverOnly {
-					st.slack = assign.AdmissionSlack(in, center, st.leftTasks)
-				} else {
-					st.slack = assign.AdmissionSlack(in, center, center.Tasks)
-				}
-				st.slackOK = true
-			}
-			var onPruned func(model.WorkerID)
-			if cfg.prunedHook != nil {
-				onPruned = func(w model.WorkerID) { prunedList = append(prunedList, w) }
-			}
-			cands, pruned = pool.admissible(center, ci, st.slack, onPruned)
-		default:
-			cands = pool.candidates(ci)
-		}
-		mPruned.Add(int64(pruned))
-
-		// Line 14: best response — the candidate maximising the
-		// post-reassignment ratio. Line 15: evaluated via re-assignment.
-		// Trials are independent of each other, so cache misses are
-		// evaluated concurrently into fixed slots; the winner is then picked
-		// by the same serial scan as the reference loop, keeping the output
-		// bit-identical.
-		var baseWS []model.WorkerID
-		if cfg.Scope != LeftoverOnly {
-			baseWS = st.workers
-		}
-		for _, w := range prunedList {
-			cfg.prunedHook(ci, w, baseWS, st.leftTasks, st.assigned)
-		}
-
-		// The prefix-resume trial base: for the Sequential engine, trials
-		// resume from the candidate's serve-order position against the
-		// center's baseline assignment instead of re-running every worker.
-		var base *assign.TrialBase
-		if seqEngine && len(cands) > 0 {
+	case g.pruneOn:
+		if !st.slackOK {
 			if cfg.Scope == LeftoverOnly {
-				// DC trials serve one worker over the leftover tasks: the
-				// baseline is the empty assignment over those tasks.
-				base, _ = assign.NewTrialBase(in, center, nil, nil, st.leftTasks)
+				st.slack = assign.AdmissionSlack(in, center, st.leftTasks)
 			} else {
-				if baselines[ci] == nil {
-					r := cfg.Assigner(in, center, baseWS, center.Tasks)
-					baselines[ci] = &r
-				}
-				b, ok := assign.NewTrialBase(in, center, baseWS, baselines[ci].Routes, baselines[ci].LeftTasks)
-				if ok {
-					base = b
-				}
+				st.slack = assign.AdmissionSlack(in, center, center.Tasks)
 			}
-			if base != nil {
-				mSnapshotBytes.Set(float64(base.FootprintBytes()))
+			st.slackOK = true
+		}
+		var onPruned func(model.WorkerID)
+		if cfg.prunedHook != nil {
+			onPruned = func(w model.WorkerID) { prunedList = append(prunedList, w) }
+		}
+		cands, pruned = g.pool.admissible(center, ci, st.slack, onPruned)
+	default:
+		cands = g.pool.candidates(ci)
+	}
+	mPruned.Add(int64(pruned))
+
+	// Line 14: best response — the candidate maximising the
+	// post-reassignment ratio. Line 15: evaluated via re-assignment.
+	// Trials are independent of each other, so cache misses are evaluated
+	// concurrently into fixed slots; the winner is then picked by the same
+	// serial scan as the reference loop, keeping the output bit-identical.
+	var baseWS []model.WorkerID
+	if cfg.Scope != LeftoverOnly {
+		baseWS = st.workers
+	}
+	for _, w := range prunedList {
+		cfg.prunedHook(ci, w, baseWS, st.leftTasks, st.assigned)
+	}
+
+	// The prefix-resume trial base: for the Sequential engine, trials
+	// resume from the candidate's serve-order position against the center's
+	// baseline assignment instead of re-running every worker. The base and
+	// its runners are long-lived — Reset/Rebind recycle their arrays.
+	var base *assign.TrialBase
+	if g.seqEngine && len(cands) > 0 {
+		if cfg.Scope == LeftoverOnly {
+			// DC trials serve one worker over the leftover tasks: the
+			// baseline is the empty assignment over those tasks.
+			if g.base.Reset(in, center, nil, nil, st.leftTasks) {
+				base = &g.base
+			}
+		} else {
+			if !st.baselineOK {
+				// seqEngine holds here, so the scratch run IS the configured
+				// assigner; its result lives in recycled buffers, so promote
+				// it into the center's spare buffer and flip, exactly like an
+				// accepted trial. The flip matters: trial results alias the
+				// baseline's route storage (the preserved-suffix fast path),
+				// so the baseline must occupy the buffer the next accepted
+				// promotion does NOT write. st.routes/st.leftTasks keep the
+				// center's current assignment — the baseline is a trial-
+				// resume aid, not the state (they coincide only when phase 1
+				// used the same assigner).
+				fresh := g.seqScratch.Run(in, center, baseWS, center.Tasks)
+				pb := &st.promo[1-st.flip]
+				pb.promote(&fresh)
+				st.flip = 1 - st.flip
+				st.baseline = assign.Result{Routes: pb.routes,
+					LeftTasks: pb.left, LeftWorkers: pb.lws, Stats: fresh.Stats}
+				st.baselineOK = true
+			}
+			if g.base.Reset(in, center, baseWS, st.baseline.Routes, st.baseline.LeftTasks) {
+				base = &g.base
 			}
 		}
-		trials, evaluated := evalTrials(in, center, cands, baseWS, st.leftTasks, cfg, memo[ci], base, iterTS.ID())
-		resumed := 0
 		if base != nil {
-			resumed = evaluated
+			mSnapshotBytes.Set(float64(base.FootprintBytes()))
 		}
-		hits := len(cands) - evaluated
-		mTrials.Add(int64(evaluated))
-		mResumed.Add(int64(resumed))
+	}
+	trials, evaluated := g.evalTrials(center, cands, baseWS, st.leftTasks, g.memo[ci], base, iterTS.ID())
+	resumed := 0
+	if base != nil {
+		resumed = evaluated
+	}
+	hits := len(cands) - evaluated
+	mTrials.Add(int64(evaluated))
+	mResumed.Add(int64(resumed))
+	if !cfg.noMemo {
+		mMemoMisses.Add(int64(evaluated))
+		mMemoHits.Add(int64(hits))
+	}
+
+	bestRho := st.rho
+	bestIdx := -1
+	bestAssigned := st.assigned
+	for i := range cands {
+		newAssigned := trials[i].AssignedCount()
+		if cfg.Scope == LeftoverOnly {
+			newAssigned += st.assigned
+		}
+		newRho := metrics.Ratio(newAssigned, len(center.Tasks))
+		if newRho > bestRho+rhoEps {
+			bestRho = newRho
+			bestIdx = i
+			bestAssigned = newAssigned
+		}
+	}
+
+	step := TraceStep{
+		Iteration: iter, Recipient: ci, RhoBefore: st.rho,
+		Trials: evaluated, MemoHits: hits, Pruned: pruned, Resumed: resumed,
+	}
+	if bestIdx < 0 {
+		// Lines 20–21: no improving dispatch — the center leaves C'. Its
+		// state is final, so its trials are promoted into the
+		// cross-iteration cache here (the only point an entry can outlive
+		// the iteration — trial slices live in recycled arenas otherwise).
 		if !cfg.noMemo {
-			mMemoMisses.Add(int64(evaluated))
-			mMemoHits.Add(int64(hits))
-			if memo[ci] == nil {
-				memo[ci] = make(map[model.WorkerID]assign.Result, len(cands))
+			if g.memo[ci] == nil {
+				g.memo[ci] = make(map[model.WorkerID]assign.Result, len(cands))
 			}
 			for i, w := range cands {
-				memo[ci][w] = trials[i]
+				g.memo[ci][w] = cloneResult(&trials[i])
+			}
+		}
+		step.Accepted = false
+		step.RhoAfter = st.rho
+		g.recipients = removeCenter(g.recipients, ci)
+		mRejections.Inc()
+	} else {
+		// Lines 16–19: accept the dispatch and update the assignment.
+		bestRes := &trials[bestIdx]
+		w := cands[bestIdx]
+		src := g.pool.homeOf(w)
+		g.pool.remove(w)
+		step.Worker = w
+		step.Source = src
+		step.Accepted = true
+		step.RhoAfter = bestRho
+
+		// The lender loses the worker from its own set.
+		g.states[src].own = removeSortedID(g.states[src].own, w)
+		g.states[src].workers = removeSortedID(g.states[src].workers, w)
+		st.borrowed = appendGrown(st.borrowed, w)
+		st.workers = insertSortedID(st.workers, w)
+		g.transfers = append(g.transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
+		mTransfers.Inc()
+		// Both centers' states changed: the recipient's routes, borrowed
+		// set and leftover tasks, and the lender's own-worker set. The
+		// lender's cached trials are stale; every other center's remain
+		// valid. (The recipient has no cached trials — only rejected
+		// centers do, and they never return as recipients.)
+		g.memo[src] = nil
+		// The lender's trial baseline usually survives the lend: a worker
+		// with an empty route consumes nothing from the task pool, so
+		// Sequential over the set minus that worker serves every other
+		// worker identically — the new baseline is the old one with w
+		// dropped from LeftWorkers. The pool tracks the CURRENT state's
+		// unused workers, not the baseline's, so membership is checked
+		// against the baseline itself; a miss means w was used there and
+		// the baseline is truly stale (possible only while the lender
+		// still carries a non-Sequential phase-1 assignment).
+		if srcSt := &g.states[src]; srcSt.baselineOK {
+			n := len(srcSt.baseline.LeftWorkers)
+			srcSt.baseline.LeftWorkers = removeSortedID(srcSt.baseline.LeftWorkers, w)
+			if len(srcSt.baseline.LeftWorkers) == n {
+				srcSt.baselineOK = false
 			}
 		}
 
-		bestRho := st.rho
-		bestIdx := -1
-		var bestRes assign.Result
-		bestAssigned := st.assigned
-		for i := range cands {
-			trial := trials[i]
-			newAssigned := trial.AssignedCount()
-			if cfg.Scope == LeftoverOnly {
-				newAssigned += st.assigned
-			}
-			newRho := metrics.Ratio(newAssigned, len(center.Tasks))
-			if newRho > bestRho+rhoEps {
-				bestRho = newRho
-				bestIdx = i
-				bestRes = trial
-				bestAssigned = newAssigned
-			}
-		}
-
-		step := TraceStep{
-			Iteration: iter, Recipient: ci, RhoBefore: st.rho,
-			Trials: evaluated, MemoHits: hits, Pruned: pruned, Resumed: resumed,
-		}
-		if bestIdx < 0 {
-			// Lines 20–21: no improving dispatch — the center leaves C'.
-			step.Accepted = false
-			step.RhoAfter = st.rho
-			recipients = removeCenter(recipients, ci)
-			mRejections.Inc()
+		if cfg.Scope == LeftoverOnly {
+			st.routes = append(st.routes, cloneRoutes(bestRes.Routes)...)
+			st.leftTasks = append(st.leftTasks[:0:0], bestRes.LeftTasks...)
+			// The leftover set shrank, so the cached admission slack
+			// (computed over it) is stale.
+			st.slackOK = false
 		} else {
-			// Lines 16–19: accept the dispatch and update the assignment.
-			w := cands[bestIdx]
-			src := pool.homeOf(w)
-			pool.remove(w)
-			step.Worker = w
-			step.Source = src
-			step.Accepted = true
-			step.RhoAfter = bestRho
-
-			// The lender loses the worker from its own set.
-			delete(states[src].own, w)
-			states[src].workers = removeSortedID(states[src].workers, w)
-			st.borrowed = append(st.borrowed, w)
-			st.workers = insertSortedID(st.workers, w)
-			transfers = append(transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
-			mTransfers.Inc()
-			// Both centers' states changed: the recipient's routes, borrowed
-			// set and leftover tasks, and the lender's own-worker set. Their
-			// cached trials (and trial bases) are stale; every other
-			// center's remain valid.
-			memo[ci] = nil
-			memo[src] = nil
-			baselines[src] = nil
-
-			if cfg.Scope == LeftoverOnly {
-				st.routes = append(st.routes, cloneRoutes(bestRes.Routes)...)
-				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
-				// The leftover set shrank, so the cached admission slack
-				// (computed over it) is stale.
-				st.slackOK = false
+			// Promote the accepted result out of the trial arenas into the
+			// center's spare promotion buffer — the live buffer may back
+			// the very slices bestRes aliases — then flip. The promoted
+			// copy is both the new current state and (for the Sequential
+			// engine) the next trial base: the accepted trial IS Sequential
+			// over the new worker set.
+			pb := &st.promo[1-st.flip]
+			pb.promote(bestRes)
+			st.flip = 1 - st.flip
+			st.routes = pb.routes
+			st.leftTasks = pb.left
+			if g.seqEngine {
+				st.baseline = assign.Result{Routes: pb.routes,
+					LeftTasks: pb.left, LeftWorkers: pb.lws, Stats: bestRes.Stats}
+				st.baselineOK = true
 			} else {
-				st.routes = cloneRoutes(bestRes.Routes)
-				st.leftTasks = append([]model.TaskID(nil), bestRes.LeftTasks...)
-				// The accepted trial IS Sequential over the new worker set:
-				// it becomes the next trial base without another run.
-				if seqEngine {
-					stored := bestRes
-					baselines[ci] = &stored
-				} else {
-					baselines[ci] = nil
+				st.baselineOK = false
+			}
+			// Bi-directional update: sync the pool with the recipient's own
+			// workers' new usage. Own workers used by the new plan leave
+			// the pool; own workers now unused become available. Both sides
+			// are ID-sorted for the built-in assigners, so a merge walk
+			// replaces the former membership map; an unsorted LeftWorkers
+			// (custom assigner) falls back to the map.
+			lws := bestRes.LeftWorkers
+			if slices.IsSorted(lws) {
+				li := 0
+				for _, ow := range st.own {
+					for li < len(lws) && lws[li] < ow {
+						li++
+					}
+					if li < len(lws) && lws[li] == ow {
+						g.pool.add(ow, ci)
+					} else {
+						g.pool.remove(ow)
+					}
 				}
-				// Bi-directional update: sync the pool with the recipient's
-				// own workers' new usage. Own workers used by the new plan
-				// leave the pool; own workers now unused become available.
-				leftSet := make(map[model.WorkerID]bool, len(bestRes.LeftWorkers))
-				for _, lw := range bestRes.LeftWorkers {
+			} else {
+				leftSet := make(map[model.WorkerID]bool, len(lws))
+				for _, lw := range lws {
 					leftSet[lw] = true
 				}
-				for ow := range st.own {
+				for _, ow := range st.own {
 					if leftSet[ow] {
-						pool.add(ow, ci)
+						g.pool.add(ow, ci)
 					} else {
-						pool.remove(ow)
+						g.pool.remove(ow)
 					}
 				}
 			}
-			totalAssigned += bestAssigned - st.assigned
-			st.assigned = bestAssigned
-			st.rho = bestRho
-			rhoVec[ci] = bestRho
-			if st.rho >= 1-rhoEps {
-				recipients = removeCenter(recipients, ci)
+		}
+		g.totalAssigned += bestAssigned - st.assigned
+		st.assigned = bestAssigned
+		st.rho = bestRho
+		g.rhoVec[ci] = bestRho
+		if st.rho >= 1-rhoEps {
+			g.recipients = removeCenter(g.recipients, ci)
+		}
+	}
+	// Unfairness and Φ are recomputed from the maintained ρ vector each
+	// step: incremental float updates would drift from the reference bit
+	// pattern, while the vector itself is maintained exactly.
+	rv := g.rhos.Copy(g.rhoVec)
+	step.Assigned = g.totalAssigned
+	step.Unfairness = metrics.Unfairness(rv)
+	step.Phi = metrics.Phi(rv)
+	step.Rhos = rv
+	step.Duration = time.Since(iterStart)
+	g.res.Trace = append(g.res.Trace, step)
+	emitGameIter(cfg.Obs, &step)
+	if cfg.Tracer != nil {
+		iterTS.End(
+			obs.F("recipient", int(ci)),
+			obs.F("accepted", step.Accepted),
+			obs.F("trials", evaluated),
+			obs.F("memo_hits", hits),
+			obs.F("pruned", pruned),
+			obs.F("resumed", resumed),
+			obs.F("rho_after", step.RhoAfter))
+	}
+	return true
+}
+
+// Finish releases the engine's pooled scratch and assembles the final
+// Result. Idempotent; Step returns false afterwards.
+func (g *Game) Finish() Result {
+	if !g.done {
+		g.done = true
+		for _, r := range g.runners {
+			if r != nil {
+				r.Release()
 			}
 		}
-		// Unfairness and Φ are recomputed from the maintained ρ vector each
-		// step: incremental float updates would drift from the reference
-		// bit pattern, while the vector itself is maintained exactly.
-		rv := append([]float64(nil), rhoVec...)
-		step.Assigned = totalAssigned
-		step.Unfairness = metrics.Unfairness(rv)
-		step.Phi = metrics.Phi(rv)
-		step.Rhos = rv
-		step.Duration = time.Since(iterStart)
-		res.Trace = append(res.Trace, step)
-		emitGameIter(cfg.Obs, &step)
-		if cfg.Tracer != nil {
-			iterTS.End(
-				obs.F("recipient", int(ci)),
-				obs.F("accepted", step.Accepted),
-				obs.F("trials", evaluated),
-				obs.F("memo_hits", hits),
-				obs.F("pruned", pruned),
-				obs.F("resumed", resumed),
-				obs.F("rho_after", step.RhoAfter))
+		g.runners = nil
+		sol := model.NewSolution(g.in)
+		for ci := range g.states {
+			sol.PerCenter[ci].Routes = cloneRoutes(g.states[ci].routes)
+		}
+		sol.Transfers = g.transfers
+		g.res.Solution = sol
+		if g.cfg.Scope != LeftoverOnly && !g.cfg.noMemo {
+			g.res.trialMemo = g.memo
 		}
 	}
-
-	sol := model.NewSolution(in)
-	for ci := range states {
-		sol.PerCenter[ci].Routes = cloneRoutes(states[ci].routes)
-	}
-	sol.Transfers = transfers
-	res.Solution = sol
-	if cfg.Scope != LeftoverOnly && !cfg.noMemo {
-		res.trialMemo = memo
-	}
-	return res
+	return g.res
 }
 
 // emitGameIter publishes one game_iter telemetry event for a completed
@@ -677,6 +910,16 @@ func emitGameIter(o obs.Observer, step *TraceStep) {
 
 const rhoEps = 1e-12
 
+// growCap picks a reallocation capacity: at least double the old buffer,
+// with a floor of the immediate need plus slack.
+func growCap(oldCap, need int) int {
+	c := 2 * oldCap
+	if c < need+need/4+16 {
+		c = need + need/4 + 16
+	}
+	return c
+}
+
 func countTasks(routes []model.Route) int {
 	n := 0
 	for _, r := range routes {
@@ -693,6 +936,17 @@ func cloneRoutes(rs []model.Route) []model.Route {
 	return out
 }
 
+// cloneResult deep-copies a trial result out of its runner's arenas so it
+// can outlive the iteration (the memo promotion on reject).
+func cloneResult(r *assign.Result) assign.Result {
+	return assign.Result{
+		Routes:      cloneRoutes(r.Routes),
+		LeftTasks:   append([]model.TaskID(nil), r.LeftTasks...),
+		LeftWorkers: append([]model.WorkerID(nil), r.LeftWorkers...),
+		Stats:       r.Stats,
+	}
+}
+
 func removeCenter(cs []model.CenterID, c model.CenterID) []model.CenterID {
 	for i, x := range cs {
 		if x == c {
@@ -705,10 +959,22 @@ func removeCenter(cs []model.CenterID, c model.CenterID) []model.CenterID {
 // insertSortedID returns ids (ascending) with w inserted in order.
 func insertSortedID(ids []model.WorkerID, w model.WorkerID) []model.WorkerID {
 	i := sort.Search(len(ids), func(j int) bool { return ids[j] >= w })
-	ids = append(ids, 0)
+	ids = appendGrown(ids, 0)
 	copy(ids[i+1:], ids[i:])
 	ids[i] = w
 	return ids
+}
+
+// appendGrown is append with growCap headroom: the borrowed/worker sets grow
+// by one element per accepted iteration for hundreds of iterations, so the
+// built-in small-slice doubling would re-allocate on a majority of steps.
+func appendGrown[T any](s []T, v T) []T {
+	if len(s) == cap(s) {
+		grown := make([]T, len(s), growCap(cap(s), len(s)+1))
+		copy(grown, s)
+		s = grown
+	}
+	return append(s, v)
 }
 
 // removeSortedID returns ids (ascending) with w removed, preserving order.

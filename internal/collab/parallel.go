@@ -34,21 +34,81 @@ func parallelism(n int) int {
 	return n
 }
 
+// runner returns the long-lived trial evaluator for the given slot, rebound
+// to base (recycling its arenas and rebuilding its pooled grid). Slot 0
+// serves the serial path; the parallel path binds one slot per goroutine.
+// Runners survive across iterations — the per-iteration Rebind is what lets
+// every trial slice come from recycled arena memory instead of the heap.
+func (g *Game) runner(slot int, base *assign.TrialBase) *assign.TrialRunner {
+	for len(g.runners) <= slot {
+		g.runners = append(g.runners, nil)
+	}
+	if g.runners[slot] == nil {
+		g.runners[slot] = base.NewRunner()
+	} else {
+		g.runners[slot].Rebind(base)
+	}
+	return g.runners[slot]
+}
+
+// fullTrial evaluates one candidate by a complete assigner run — the
+// fallback when no prefix-resume base is available (custom assigners, or a
+// baseline that does not line up with the serve order).
+func (g *Game) fullTrial(center *model.Center, cand model.WorkerID,
+	baseWS []model.WorkerID, leftTasks []model.TaskID) assign.Result {
+	if g.cfg.Scope == LeftoverOnly {
+		return g.cfg.Assigner(g.in, center, []model.WorkerID{cand}, leftTasks)
+	}
+	ws := make([]model.WorkerID, len(baseWS)+1)
+	copy(ws, baseWS)
+	ws[len(baseWS)] = cand
+	return g.cfg.Assigner(g.in, center, ws, center.Tasks)
+}
+
+// tracedTrial wraps one miss evaluation in a "trial" span carrying the
+// candidate, the evaluation outcome, and — on the resume path — the replay
+// profile of the differential engine.
+func (g *Game) tracedTrial(runner *assign.TrialRunner, center *model.Center,
+	cand model.WorkerID, baseWS []model.WorkerID, leftTasks []model.TaskID,
+	traceParent obs.SpanID) assign.Result {
+	outcome := "full"
+	if runner != nil {
+		outcome = "resumed"
+	}
+	ts := g.cfg.Tracer.Start(traceParent, "trial",
+		obs.F("worker", int(cand)), obs.F("outcome", outcome))
+	var r assign.Result
+	if runner != nil {
+		r = runner.Trial(cand)
+		copied, replayed := runner.LastReplay()
+		ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned),
+			obs.F("routes_copied", copied), obs.F("routes_replayed", replayed))
+	} else {
+		r = g.fullTrial(center, cand, baseWS, leftTasks)
+		ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned))
+	}
+	return r
+}
+
 // evalTrials returns one trial re-assignment result per candidate worker,
 // in candidate order, plus the number of trials actually evaluated (cache
 // hits excluded). Results already present in cache are reused verbatim; the
 // misses are evaluated — concurrently when cfg.Parallelism != 1 — each
-// goroutine writing its result to a fixed slot so the output is independent
-// of scheduling order.
+// writing its result to a fixed slot so the output is independent of
+// scheduling order.
 //
 // When base is non-nil, misses are served by the prefix-resume engine: each
 // evaluation replays only the serve-order suffix the candidate perturbs
-// against base's snapshot (assign.TrialBase), with one pooled journaled grid
-// per goroutine. A nil base falls back to one full assigner run per miss.
+// against base's snapshot (assign.TrialBase), through the game's persistent
+// per-slot runners (rebound here, so their arenas recycle instead of
+// allocating). A nil base falls back to one full assigner run per miss.
 //
-// baseWS is the recipient's current worker set (ignored for LeftoverOnly);
-// each full-run trial appends its candidate to a private copy, so the shared
-// slice is never mutated. leftTasks is read-only for the assigners.
+// The returned slice is the game's per-iteration scratch: every result in
+// it — and every slice those results carry — is valid only until the next
+// evalTrials call. baseWS is the recipient's current worker set (ignored
+// for LeftoverOnly); each full-run trial appends its candidate to a private
+// copy, so the shared slice is never mutated. leftTasks is read-only for
+// the assigners.
 //
 // With a tracer configured, every evaluated miss is wrapped in a "trial"
 // span parented to traceParent (the iteration span) carrying the candidate
@@ -56,13 +116,16 @@ func parallelism(n int) int {
 // engine served it, "full" for a complete assigner run. Memo hits record no
 // span (they cost no wall-clock worth a timeline row); their count rides on
 // the iteration span instead.
-func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID,
-	baseWS []model.WorkerID, leftTasks []model.TaskID, cfg Config,
+func (g *Game) evalTrials(center *model.Center, cands []model.WorkerID,
+	baseWS []model.WorkerID, leftTasks []model.TaskID,
 	cache map[model.WorkerID]assign.Result, base *assign.TrialBase,
 	traceParent obs.SpanID) ([]assign.Result, int) {
 
-	trials := make([]assign.Result, len(cands))
-	misses := make([]int, 0, len(cands))
+	if cap(g.trials) < len(cands) {
+		g.trials = make([]assign.Result, len(cands))
+	}
+	trials := g.trials[:len(cands)]
+	misses := g.missIdx[:0]
 	for i, w := range cands {
 		if r, ok := cache[w]; ok {
 			trials[i] = r
@@ -70,85 +133,75 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 			misses = append(misses, i)
 		}
 	}
+	g.missIdx = misses
 	if len(misses) == 0 {
 		return trials, 0
 	}
+	tr := g.cfg.Tracer
 
-	tr := cfg.Tracer
-	outcome := "full"
-	if base != nil {
-		outcome = "resumed"
-	}
-
-	// newEval builds one evaluator (plus its cleanup) per executing
-	// goroutine: a TrialRunner owns mutable scratch (the journaled grid), so
-	// it cannot be shared across goroutines. The runner is also returned so
-	// trial spans can read its per-trial replay profile; nil on the
-	// full-run path.
-	newEval := func() (eval func(int) assign.Result, done func(), runner *assign.TrialRunner) {
-		if base != nil {
-			r := base.NewRunner()
-			return func(i int) assign.Result { return r.Trial(cands[i]) }, r.Release, r
-		}
-		return func(i int) assign.Result {
-			w := cands[i]
-			if cfg.Scope == LeftoverOnly {
-				return cfg.Assigner(in, center, []model.WorkerID{w}, leftTasks)
-			}
-			ws := make([]model.WorkerID, len(baseWS)+1)
-			copy(ws, baseWS)
-			ws[len(baseWS)] = w
-			return cfg.Assigner(in, center, ws, center.Tasks)
-		}, func() {}, nil
-	}
-
-	// tracedEval wraps one miss evaluation in a "trial" span carrying the
-	// candidate, the evaluation outcome, and — on the resume path — the
-	// replay profile of the differential engine.
-	tracedEval := func(eval func(int) assign.Result, runner *assign.TrialRunner, i int) assign.Result {
-		ts := tr.Start(traceParent, "trial",
-			obs.F("worker", int(cands[i])), obs.F("outcome", outcome))
-		r := eval(i)
-		if runner != nil {
-			copied, replayed := runner.LastReplay()
-			ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned),
-				obs.F("routes_copied", copied), obs.F("routes_replayed", replayed))
-		} else {
-			ts.End(obs.F("assigned", r.AssignedCount()), obs.F("scanned", r.Stats.TasksScanned))
-		}
-		return r
-	}
-
-	workers := parallelism(cfg.Parallelism)
+	workers := parallelism(g.cfg.Parallelism)
 	if workers > len(misses) {
 		workers = len(misses)
 	}
 	if workers <= 1 {
-		eval, done, runner := newEval()
+		var runner *assign.TrialRunner
+		if base != nil {
+			runner = g.runner(0, base)
+		}
 		for _, i := range misses {
-			if tr == nil {
-				trials[i] = eval(i)
-			} else {
-				trials[i] = tracedEval(eval, runner, i)
+			switch {
+			case tr != nil:
+				trials[i] = g.tracedTrial(runner, center, cands[i], baseWS, leftTasks, traceParent)
+			case runner != nil:
+				trials[i] = runner.Trial(cands[i])
+			default:
+				trials[i] = g.fullTrial(center, cands[i], baseWS, leftTasks)
 			}
 		}
-		done()
 		return trials, len(misses)
 	}
 
+	g.evalParallel(center, cands, baseWS, leftTasks, cache, base, traceParent,
+		trials, misses, workers)
+	return trials, len(misses)
+}
+
+// evalParallel runs the concurrent miss-evaluation pool. It lives in its own
+// frame so the goroutine closure does not capture evalTrials' locals — a
+// captured-and-reassigned variable is forced onto the heap at declaration,
+// which would charge the serial path one allocation per iteration for a
+// branch it never takes.
+//
+// One persistent runner per slot; goroutines pull miss indices from a shared
+// atomic queue and write to fixed slots. The goroutine spawns themselves
+// allocate — parallel games trade a little per-iteration garbage for
+// wall-clock; the zero-allocation guarantee targets the serial engine.
+func (g *Game) evalParallel(center *model.Center, cands []model.WorkerID,
+	baseWS []model.WorkerID, leftTasks []model.TaskID,
+	cache map[model.WorkerID]assign.Result, base *assign.TrialBase,
+	traceParent obs.SpanID, trials []assign.Result, misses []int, workers int) {
+
+	tr := g.cfg.Tracer
+	if base != nil {
+		for s := 0; s < workers; s++ {
+			g.runner(s, base)
+		}
+	}
 	mPoolDispatched.Add(int64(len(misses)))
 	dispatched := time.Now()
 	timed := obs.TimingOn()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
+	for s := 0; s < workers; s++ {
+		go func(slot int) {
 			defer wg.Done()
 			mPoolWorkers.Add(1)
 			defer mPoolWorkers.Add(-1)
-			eval, done, runner := newEval()
-			defer done()
+			var runner *assign.TrialRunner
+			if base != nil {
+				runner = g.runners[slot]
+			}
 			for {
 				k := next.Add(1) - 1
 				if int(k) >= len(misses) {
@@ -158,14 +211,16 @@ func evalTrials(in *model.Instance, center *model.Center, cands []model.WorkerID
 					mPoolQueueWait.Observe(time.Since(dispatched).Seconds())
 				}
 				i := misses[k]
-				if tr == nil {
-					trials[i] = eval(i)
-				} else {
-					trials[i] = tracedEval(eval, runner, i)
+				switch {
+				case tr != nil:
+					trials[i] = g.tracedTrial(runner, center, cands[i], baseWS, leftTasks, traceParent)
+				case runner != nil:
+					trials[i] = runner.Trial(cands[i])
+				default:
+					trials[i] = g.fullTrial(center, cands[i], baseWS, leftTasks)
 				}
 			}
-		}()
+		}(s)
 	}
 	wg.Wait()
-	return trials, len(misses)
 }

@@ -148,8 +148,8 @@ func TestEvalTrialsSlots(t *testing.T) {
 	}
 	base := center.Workers
 	for _, par := range []int{1, 2, 8} {
-		cfg := Config{Assigner: assign.Sequential, Parallelism: par}
-		got, evaluated := evalTrials(in, center, cands, base, nil, cfg, nil, nil, 0)
+		g := &Game{in: in, cfg: Config{Assigner: assign.Sequential, Parallelism: par}}
+		got, evaluated := g.evalTrials(center, cands, base, nil, nil, nil, 0)
 		if len(got) != len(cands) {
 			t.Fatalf("par=%d: %d results for %d candidates", par, len(got), len(cands))
 		}
@@ -174,8 +174,8 @@ func TestEvalTrialsSlots(t *testing.T) {
 		ws := append(append([]model.WorkerID(nil), base...), w)
 		cache[w] = assign.Sequential(in, center, ws, center.Tasks)
 	}
-	cfg := Config{Assigner: poisoned, Parallelism: 4}
-	got, evaluated := evalTrials(in, center, cands, base, nil, cfg, cache, nil, 0)
+	g := &Game{in: in, cfg: Config{Assigner: poisoned, Parallelism: 4}}
+	got, evaluated := g.evalTrials(center, cands, base, nil, cache, nil, 0)
 	if evaluated != 0 {
 		t.Fatalf("full cache but %d trials evaluated", evaluated)
 	}

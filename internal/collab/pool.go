@@ -1,6 +1,7 @@
 package collab
 
 import (
+	"slices"
 	"sort"
 
 	"imtao/internal/assign"
@@ -14,9 +15,17 @@ import (
 // map every iteration), the home center of each member, a per-center member
 // count (to price pruning without scans), and an optional spatial index over
 // member locations for the admissibility prefilter.
+//
+// Membership lives in a dense home array indexed by worker ID instead of a
+// map, and the candidate lists are carved from reusable scratch buffers, so
+// the steady-state game iteration touches the pool without allocating
+// (DESIGN.md §13). The scratch returned by candidates/admissible is valid
+// until the next candidates/admissible call.
 type workerPool struct {
-	in     *model.Instance
-	home   map[model.WorkerID]model.CenterID
+	in *model.Instance
+	// home[w] is w's home center while w is in the pool, -1 otherwise.
+	home   []int32
+	size   int
 	sorted []model.WorkerID // members in ascending ID order
 	counts []int            // members homed at each center
 	// grid indexes member locations when the travel metric declares a speed
@@ -25,6 +34,9 @@ type workerPool struct {
 	// linear travel-time scan.
 	grid *index.Grid
 	vmax float64
+	// items/cands are the recycled range-query and candidate-list scratch.
+	items []index.Item
+	cands []model.WorkerID
 }
 
 // poolSpeedBound resolves the instance's admission-prefilter speed bound:
@@ -43,8 +55,12 @@ func poolSpeedBound(in *model.Instance) float64 {
 func newWorkerPool(in *model.Instance, spatial bool) *workerPool {
 	p := &workerPool{
 		in:     in,
-		home:   make(map[model.WorkerID]model.CenterID),
+		home:   make([]int32, len(in.Workers)),
+		sorted: make([]model.WorkerID, 0, len(in.Workers)),
 		counts: make([]int, len(in.Centers)),
+	}
+	for i := range p.home {
+		p.home[i] = -1
 	}
 	if spatial {
 		if v := poolSpeedBound(in); v > 0 {
@@ -55,17 +71,22 @@ func newWorkerPool(in *model.Instance, spatial bool) *workerPool {
 	return p
 }
 
-func (p *workerPool) len() int { return len(p.home) }
+func (p *workerPool) len() int { return p.size }
 
-func (p *workerPool) homeOf(w model.WorkerID) model.CenterID { return p.home[w] }
+func (p *workerPool) has(w model.WorkerID) bool { return p.home[w] >= 0 }
+
+func (p *workerPool) homeOf(w model.WorkerID) model.CenterID {
+	return model.CenterID(p.home[w])
+}
 
 // add inserts w (homed at home) into the pool; present members are left
 // untouched.
 func (p *workerPool) add(w model.WorkerID, home model.CenterID) {
-	if _, ok := p.home[w]; ok {
+	if p.home[w] >= 0 {
 		return
 	}
-	p.home[w] = home
+	p.home[w] = int32(home)
+	p.size++
 	i := sort.Search(len(p.sorted), func(j int) bool { return p.sorted[j] >= w })
 	p.sorted = append(p.sorted, 0)
 	copy(p.sorted[i+1:], p.sorted[i:])
@@ -78,11 +99,12 @@ func (p *workerPool) add(w model.WorkerID, home model.CenterID) {
 
 // remove deletes w from the pool; absent members are a no-op.
 func (p *workerPool) remove(w model.WorkerID) {
-	home, ok := p.home[w]
-	if !ok {
+	home := p.home[w]
+	if home < 0 {
 		return
 	}
-	delete(p.home, w)
+	p.home[w] = -1
+	p.size--
 	i := sort.Search(len(p.sorted), func(j int) bool { return p.sorted[j] >= w })
 	copy(p.sorted[i:], p.sorted[i+1:])
 	p.sorted = p.sorted[:len(p.sorted)-1]
@@ -93,14 +115,17 @@ func (p *workerPool) remove(w model.WorkerID) {
 }
 
 // candidates returns the members not homed at ci, in ascending ID order —
-// the legacy candidate list, served from the maintained sorted view.
+// the legacy candidate list, served from the maintained sorted view. The
+// returned slice is pool scratch, valid until the next candidates/admissible
+// call.
 func (p *workerPool) candidates(ci model.CenterID) []model.WorkerID {
-	out := make([]model.WorkerID, 0, len(p.sorted)-p.counts[ci])
+	out := p.cands[:0]
 	for _, w := range p.sorted {
-		if p.home[w] != ci {
+		if model.CenterID(p.home[w]) != ci {
 			out = append(out, w)
 		}
 	}
+	p.cands = out
 	return out
 }
 
@@ -111,6 +136,8 @@ func (p *workerPool) candidates(ci model.CenterID) []model.WorkerID {
 // over-admit — with an exact travel-time re-check per hit; otherwise every
 // candidate gets the exact check. When onPruned is non-nil the exact linear
 // path is forced and the hook observes every pruned candidate (test hook).
+// The returned slice is pool scratch, valid until the next
+// candidates/admissible call.
 func (p *workerPool) admissible(c *model.Center, ci model.CenterID, slack float64,
 	onPruned func(model.WorkerID)) ([]model.WorkerID, int) {
 
@@ -120,25 +147,26 @@ func (p *workerPool) admissible(c *model.Center, ci model.CenterID, slack float6
 		if r > 0 {
 			r += r*1e-9 + 1e-12
 		}
-		items := p.grid.InRange(c.Loc, r)
-		cands := make([]model.WorkerID, 0, len(items))
-		for _, it := range items {
+		p.items = p.grid.InRangeAppend(p.items[:0], c.Loc, r)
+		cands := p.cands[:0]
+		for _, it := range p.items {
 			w := model.WorkerID(it.ID)
-			if p.home[w] == ci {
+			if model.CenterID(p.home[w]) == ci {
 				continue
 			}
 			if assign.WorkerAdmissible(p.in, c, w, slack) {
 				cands = append(cands, w)
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		slices.Sort(cands)
+		p.cands = cands
 		return cands, nonOwn - len(cands)
 	}
 
-	var cands []model.WorkerID
+	cands := p.cands[:0]
 	pruned := 0
 	for _, w := range p.sorted {
-		if p.home[w] == ci {
+		if model.CenterID(p.home[w]) == ci {
 			continue
 		}
 		if assign.WorkerAdmissible(p.in, c, w, slack) {
@@ -150,5 +178,6 @@ func (p *workerPool) admissible(c *model.Center, ci model.CenterID, slack float6
 			}
 		}
 	}
+	p.cands = cands
 	return cands, pruned
 }

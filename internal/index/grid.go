@@ -11,13 +11,24 @@ import (
 // so the dynamic structure is a natural fit; the KD-tree covers the static
 // filtered-query style instead. Both are benchmarked against each other and
 // against a linear scan in the ablation benches.
+//
+// Item IDs must be non-negative: presence is tracked in dense epoch-stamped
+// slot arrays indexed by ID, which turns the former map lookups in the
+// phase-2 trial loop into two array reads and makes Reset O(1).
 type Grid struct {
 	bounds geo.Rect
 	cell   float64
 	nx, ny int
 	cells  [][]Item
-	byID   map[int]geo.Point
 	count  int
+
+	// slotPt/slotEpoch replace a byID map: id is present iff
+	// slotEpoch[id] == epoch, and slotPt[id] then holds its point.
+	// Reset bumps epoch instead of clearing, so a pooled Grid restarts
+	// without touching the (potentially large) slot arrays.
+	slotPt    []geo.Point
+	slotEpoch []uint32
+	epoch     uint32
 
 	// journal records every mutation applied between Mark and Rewind so the
 	// grid can be restored to the marked state — the copy-on-write snapshot
@@ -82,14 +93,37 @@ func (g *Grid) Reset(bounds geo.Rect, n, targetPerCell int) {
 	} else {
 		g.cells = make([][]Item, nx*ny)
 	}
-	if g.byID == nil {
-		g.byID = make(map[int]geo.Point, n)
-	} else {
-		clear(g.byID)
+	g.epoch++
+	if g.epoch == 0 {
+		// Epoch wrapped: stale stamps from 2^32 resets ago could alias, so
+		// pay for one full clear and restart at 1 (0 stays "never present").
+		clear(g.slotEpoch)
+		g.epoch = 1
 	}
 	g.count = 0
 	g.journal = g.journal[:0]
 	g.journaling = false
+}
+
+// ensureSlot grows the slot arrays to cover id.
+func (g *Grid) ensureSlot(id int) {
+	if id < len(g.slotEpoch) {
+		return
+	}
+	n := len(g.slotEpoch) * 2
+	if n <= id {
+		n = id + 1
+	}
+	pt := make([]geo.Point, n)
+	copy(pt, g.slotPt)
+	ep := make([]uint32, n)
+	copy(ep, g.slotEpoch)
+	g.slotPt, g.slotEpoch = pt, ep
+}
+
+// has reports whether id is currently stored.
+func (g *Grid) has(id int) bool {
+	return id >= 0 && id < len(g.slotEpoch) && g.slotEpoch[id] == g.epoch
 }
 
 // Mark starts (or restarts) journaling: every Insert/Remove from here on is
@@ -141,9 +175,11 @@ func (g *Grid) cellIndex(p geo.Point) (int, int) {
 }
 
 // Insert adds an item. Inserting an ID that is already present replaces its
-// location.
+// location. IDs must be non-negative.
 func (g *Grid) Insert(it Item) {
-	if old, ok := g.byID[it.ID]; ok {
+	g.ensureSlot(it.ID)
+	if g.slotEpoch[it.ID] == g.epoch {
+		old := g.slotPt[it.ID]
 		g.removeAt(it.ID, old)
 		g.count--
 		if g.journaling {
@@ -153,7 +189,8 @@ func (g *Grid) Insert(it Item) {
 	cx, cy := g.cellIndex(it.Point)
 	i := cy*g.nx + cx
 	g.cells[i] = append(g.cells[i], it)
-	g.byID[it.ID] = it.Point
+	g.slotPt[it.ID] = it.Point
+	g.slotEpoch[it.ID] = g.epoch
 	g.count++
 	if g.journaling {
 		g.journal = append(g.journal, journalOp{insert: true, it: it})
@@ -162,12 +199,12 @@ func (g *Grid) Insert(it Item) {
 
 // Remove deletes the item with the given id, reporting whether it was present.
 func (g *Grid) Remove(id int) bool {
-	p, ok := g.byID[id]
-	if !ok {
+	if !g.has(id) {
 		return false
 	}
+	p := g.slotPt[id]
 	g.removeAt(id, p)
-	delete(g.byID, id)
+	g.slotEpoch[id] = 0
 	g.count--
 	if g.journaling {
 		g.journal = append(g.journal, journalOp{insert: false, it: Item{ID: id, Point: p}})
@@ -189,10 +226,7 @@ func (g *Grid) removeAt(id int, p geo.Point) {
 }
 
 // Contains reports whether an item with the given id is stored.
-func (g *Grid) Contains(id int) bool {
-	_, ok := g.byID[id]
-	return ok
-}
+func (g *Grid) Contains(id int) bool { return g.has(id) }
 
 // Nearest returns the stored item closest to q. ok is false when the grid is
 // empty. Ties break toward the smaller ID.
@@ -254,15 +288,22 @@ func (g *Grid) scanCell(cx, cy int, visit func(Item)) {
 
 // InRange returns all items within radius r of q.
 func (g *Grid) InRange(q geo.Point, r float64) []Item {
+	return g.InRangeAppend(nil, q, r)
+}
+
+// InRangeAppend appends all items within radius r of q to out and returns
+// the extended slice. Passing a recycled out[:0] makes repeated range
+// queries allocation-free once the buffer has grown — the admissibility
+// prefilter in the phase-2 game calls this once per iteration.
+func (g *Grid) InRangeAppend(out []Item, q geo.Point, r float64) []Item {
 	if r < 0 || g.count == 0 {
-		return nil
+		return out
 	}
 	r2 := r * r
 	lo := geo.Pt(q.X-r, q.Y-r)
 	hi := geo.Pt(q.X+r, q.Y+r)
 	x0, y0 := g.cellIndex(lo)
 	x1, y1 := g.cellIndex(hi)
-	var out []Item
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
 			for _, it := range g.cells[cy*g.nx+cx] {
@@ -277,9 +318,14 @@ func (g *Grid) InRange(q geo.Point, r float64) []Item {
 
 // Items returns a snapshot of all stored items in unspecified order.
 func (g *Grid) Items() []Item {
-	out := make([]Item, 0, g.count)
-	for id, p := range g.byID {
-		out = append(out, Item{ID: id, Point: p})
+	return g.ItemsAppend(make([]Item, 0, g.count))
+}
+
+// ItemsAppend appends every stored item to out and returns the extended
+// slice — the allocation-free variant of Items for recycled buffers.
+func (g *Grid) ItemsAppend(out []Item) []Item {
+	for _, cell := range g.cells {
+		out = append(out, cell...)
 	}
 	return out
 }

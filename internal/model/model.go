@@ -111,6 +111,41 @@ type metricPrep struct {
 	centers []NodeRef
 }
 
+// TaskHot packs the task fields read by the assignment hot loops — location,
+// deadline and the memoized metric snap — into one contiguous 40-byte record.
+// The cold fields (Reward, Center, ID) stay in Task; the inner trial-replay
+// loop walks []TaskHot instead of striding through the wider Task structs and
+// the separate snap memo, so each candidate costs one cache line.
+type TaskHot struct {
+	Loc    geo.Point
+	Expiry float64
+	Ref    NodeRef
+}
+
+// WorkerHot is the worker counterpart of TaskHot: location, snap and
+// capacity, everything the serve loop reads per worker.
+type WorkerHot struct {
+	Loc  geo.Point
+	Ref  NodeRef
+	MaxT int32
+}
+
+// CenterHot is the center counterpart: pick-up location and snap.
+type CenterHot struct {
+	Loc geo.Point
+	Ref NodeRef
+}
+
+// hotSlab is the structure-of-arrays view of an instance, built by EnsureHot
+// and immutable afterwards, so Clone shares it exactly like the snap memo.
+type hotSlab struct {
+	metric  TravelMetric
+	prep    *metricPrep
+	tasks   []TaskHot
+	workers []WorkerHot
+	centers []CenterHot
+}
+
 // Instance is a complete CMCTA problem instance: the platform's centers,
 // tasks and workers plus the shared travel-speed parameter.
 // All tasks and workers are indexed by their IDs: Tasks[i].ID == TaskID(i).
@@ -131,6 +166,10 @@ type Instance struct {
 	// prep is the entity→node snap memo for NodeMetric metrics, built by
 	// PrepareMetric and shared (immutably) across Clones.
 	prep *metricPrep
+
+	// hot is the SoA slab built by EnsureHot and shared (immutably) across
+	// Clones; nil until an engine entry point asks for it.
+	hot *hotSlab
 }
 
 // Errors returned by Validate.
@@ -270,6 +309,65 @@ func (in *Instance) TravelTimeRef(a geo.Point, ar NodeRef, b geo.Point, br NodeR
 	return in.TravelTime(a, b)
 }
 
+// EnsureHot (re)builds the SoA slab: parallel []TaskHot / []WorkerHot /
+// []CenterHot arrays packing the hot-loop fields of every entity, including
+// the PrepareMetric snaps when present. O(1) when the slab is already fresh
+// (same metric, same snap memo, same entity counts), so engine entry points
+// call it unconditionally. Call PrepareMetric first when using a node metric,
+// or the slab memoizes the unprepared (fallback) refs. Not safe concurrently
+// with itself; the built slab is immutable and shared by Clone, so prepared
+// instances are safe for the parallel engine.
+func (in *Instance) EnsureHot() {
+	if h := in.hot; h != nil && h.metric == in.Metric && h.prep == in.prep &&
+		len(h.tasks) == len(in.Tasks) && len(h.workers) == len(in.Workers) && len(h.centers) == len(in.Centers) {
+		return
+	}
+	h := &hotSlab{
+		metric:  in.Metric,
+		prep:    in.prep,
+		tasks:   make([]TaskHot, len(in.Tasks)),
+		workers: make([]WorkerHot, len(in.Workers)),
+		centers: make([]CenterHot, len(in.Centers)),
+	}
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		h.tasks[i] = TaskHot{Loc: t.Loc, Expiry: t.Expiry, Ref: in.TaskRef(t.ID)}
+	}
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		h.workers[i] = WorkerHot{Loc: w.Loc, Ref: in.WorkerRef(w.ID), MaxT: int32(w.MaxT)}
+	}
+	for i := range in.Centers {
+		c := &in.Centers[i]
+		h.centers[i] = CenterHot{Loc: c.Loc, Ref: in.CenterRef(c.ID)}
+	}
+	in.hot = h
+}
+
+// HotTasks returns the task slab (nil before EnsureHot). Index by TaskID.
+func (in *Instance) HotTasks() []TaskHot {
+	if in.hot == nil {
+		return nil
+	}
+	return in.hot.tasks
+}
+
+// HotWorkers returns the worker slab (nil before EnsureHot). Index by WorkerID.
+func (in *Instance) HotWorkers() []WorkerHot {
+	if in.hot == nil {
+		return nil
+	}
+	return in.hot.workers
+}
+
+// HotCenters returns the center slab (nil before EnsureHot). Index by CenterID.
+func (in *Instance) HotCenters() []CenterHot {
+	if in.hot == nil {
+		return nil
+	}
+	return in.hot.centers
+}
+
 // Task returns the task with the given ID.
 func (in *Instance) Task(id TaskID) *Task { return &in.Tasks[id] }
 
@@ -290,6 +388,7 @@ func (in *Instance) Clone() *Instance {
 		Bounds:  in.Bounds,
 		Metric:  in.Metric, // metrics are immutable; sharing is safe
 		prep:    in.prep,   // snap memo is immutable once built
+		hot:     in.hot,    // SoA slab is immutable once built
 	}
 	for i, c := range in.Centers {
 		out.Centers[i] = Center{

@@ -1,0 +1,53 @@
+package roadnet
+
+import (
+	"testing"
+
+	"imtao/internal/geo"
+	"imtao/internal/model"
+)
+
+// TestTravelTimeRefHitZeroAlloc pins the oracle query that dominates every
+// assigner inner loop: model.Instance.TravelTimeRef with memoized snaps
+// against a resident distance table. After the first query warms the table,
+// the hit path is an addition plus one table read — it must never touch the
+// heap (DESIGN.md §13).
+func TestTravelTimeRefHitZeroAlloc(t *testing.T) {
+	n, err := New(benchBounds(), 16, 16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Instance{
+		Speed:  1,
+		Bounds: benchBounds(),
+		Metric: n,
+		Centers: []model.Center{
+			{ID: 0, Loc: geo.Pt(123, 456)},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Center: 0, Loc: geo.Pt(1830, 1711), Expiry: 1e6},
+		},
+		Workers: []model.Worker{
+			{ID: 0, Home: 0, Loc: geo.Pt(900, 300), MaxT: 4},
+		},
+	}
+	in.PrepareMetric()
+	cref, tref, wref := in.CenterRef(0), in.TaskRef(0), in.WorkerRef(0)
+	if cref.Node < 0 || tref.Node < 0 || wref.Node < 0 {
+		t.Fatal("PrepareMetric did not snap the entities")
+	}
+	c, task, w := in.Centers[0].Loc, in.Tasks[0].Loc, in.Workers[0].Loc
+	// Warm the distance tables (the first query per source runs the search).
+	in.TravelTimeRef(c, cref, task, tref)
+	in.TravelTimeRef(w, wref, c, cref)
+	in.TravelTimeRef(task, tref, w, wref)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		benchSink = in.TravelTimeRef(c, cref, task, tref)
+		benchSink += in.TravelTimeRef(w, wref, c, cref)
+		benchSink += in.TravelTimeRef(task, tref, w, wref)
+	})
+	if allocs != 0 {
+		t.Fatalf("TravelTimeRef hit path allocates: %.2f allocs/query batch (want 0)", allocs)
+	}
+}

@@ -1,0 +1,73 @@
+// Package slab provides the bump-pointer arenas behind the engine's
+// zero-allocation steady state (DESIGN.md §13). An Arena hands out
+// capacity-bounded sub-slices of one reusable backing buffer; resetting it
+// recycles every grabbed slice at once. The phase-2 game grabs all of its
+// per-trial and per-iteration slices — route task lists, leftover sets,
+// unused-worker lists, ρ-vector copies — from arenas instead of make(),
+// so a warmed-up game iteration performs zero heap allocations.
+package slab
+
+// Arena hands out capacity-bounded sub-slices of one reusable backing
+// buffer.
+//
+// Ownership contract: a grabbed slice is valid until the arena's next
+// Reset. All grabs between two resets coexist; anything that must outlive
+// the reset has to be promoted — deep-copied — into longer-lived storage
+// first.
+//
+// Grab(n) returns a len-0, cap-n slice: n must be an upper bound on the
+// final length, or the first append past cap quietly escapes to a fresh
+// heap allocation (correct, but no longer allocation-free). When the buffer
+// runs out, Grab allocates a larger one and abandons the old — outstanding
+// slices keep the old buffer alive, so nothing dangles; the steady state
+// reaches a high-water capacity and stops allocating.
+type Arena[T any] struct {
+	buf []T
+	off int
+}
+
+// Grab returns a zero-length slice with capacity n carved from the arena.
+// The three-index slice keeps appends inside the reservation from touching
+// the next grab's region.
+func (a *Arena[T]) Grab(n int) []T {
+	if a.off+n > len(a.buf) {
+		size := 2 * len(a.buf)
+		if size < n {
+			size = n
+		}
+		if size < 64 {
+			size = 64
+		}
+		a.buf = make([]T, size)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off : a.off+n]
+	a.off += n
+	return s
+}
+
+// Copy grabs a slice of len(v) and copies v into it — the recycled
+// counterpart of append([]T(nil), v...).
+func (a *Arena[T]) Copy(v []T) []T {
+	s := a.Grab(len(v))
+	return append(s, v...)
+}
+
+// Reserve ensures the next n elements' worth of grabs will not allocate.
+// Like an exhausted Grab it may abandon the current buffer for a larger one;
+// previously grabbed slices stay valid on the old buffer.
+func (a *Arena[T]) Reserve(n int) {
+	if a.off+n <= len(a.buf) {
+		return
+	}
+	size := 2 * len(a.buf)
+	if size < n {
+		size = n
+	}
+	a.buf = make([]T, size)
+	a.off = 0
+}
+
+// Reset recycles the whole arena. Every slice grabbed since the previous
+// reset is invalidated (its contents may be overwritten by future grabs).
+func (a *Arena[T]) Reset() { a.off = 0 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"imtao/internal/assign"
@@ -16,6 +15,7 @@ import (
 	"imtao/internal/model"
 	"imtao/internal/obs"
 	"imtao/internal/roadnet"
+	"imtao/internal/stats"
 	"imtao/internal/workload"
 )
 
@@ -59,10 +59,26 @@ type gamePreset struct {
 	Unfairness  float64 `json:"unfairness"`
 	Fingerprint string  `json:"fingerprint"`
 
-	IterP50Ms float64 `json:"iter_p50_ms"`
-	IterP90Ms float64 `json:"iter_p90_ms"`
-	IterP99Ms float64 `json:"iter_p99_ms"`
-	IterMaxMs float64 `json:"iter_max_ms"`
+	// Iteration latency, read from an obs.Quantile recorder fed with every
+	// step of the trace — the same recorder kind /metrics scrapes, so bench
+	// and live numbers share one definition (bounded-relative-error log
+	// buckets; max is exact).
+	IterP50Ms  float64 `json:"iter_p50_ms"`
+	IterP90Ms  float64 `json:"iter_p90_ms"`
+	IterP99Ms  float64 `json:"iter_p99_ms"`
+	IterP999Ms float64 `json:"iter_p999_ms"`
+	IterMaxMs  float64 `json:"iter_max_ms"`
+
+	// Runtime health over the timed engine run: GC stop-the-world pause
+	// quantiles from the delta of the runtime's cumulative pause histogram,
+	// GC cycle count, and the cost of the vitals sampler that ran
+	// concurrently at 100ms — the perf gate holds the sampler's own p99
+	// tight so the watchdog can never silently become the workload.
+	GCPauseP50Ms       float64 `json:"gc_pause_p50_ms"`
+	GCPauseP99Ms       float64 `json:"gc_pause_p99_ms"`
+	GCCycles           int64   `json:"gc_cycles"`
+	SamplerSamples     int64   `json:"sampler_samples"`
+	SamplerSampleP99Ms float64 `json:"sampler_sample_p99_ms"`
 
 	// Engine work profile, summed over the trace. PruneRate is the fraction
 	// of candidate lookups eliminated before evaluation; ResumeRate the
@@ -181,9 +197,24 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 			net.SetTrace(tr, rootTS.ID())
 		}
 
+		// Runtime health instrumentation around the timed run: the vitals
+		// sampler runs concurrently (its cost is part of what this bench
+		// measures and gates), and the GC pause distribution of exactly this
+		// window comes from differencing the runtime's cumulative histogram.
+		pauseBefore, _ := obs.ReadRuntimeHistogram(gcPauseMetric)
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+		sampler := obs.NewRuntimeSampler(100*time.Millisecond, obs.NewRegistry(), nil)
+		sampler.Start()
+
 		t0 = time.Now()
 		res := collab.Run(in, p1, ccfg)
 		engineWall := time.Since(t0)
+
+		sampler.Stop()
+		pauseAfter, _ := obs.ReadRuntimeHistogram(gcPauseMetric)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
 
 		if tr != nil {
 			rootTS.End(obs.F("iterations", res.Iterations),
@@ -208,13 +239,13 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 
 			SnapshotBytes: int64(snapshotGauge.Value()),
 		}
-		var durs []time.Duration
+		iterQ := obs.NewQuantile()
 		for _, step := range res.Trace {
 			pr.CandidatesPruned += int64(step.Pruned)
 			pr.TrialsEvaluated += int64(step.Trials)
 			pr.TrialsResumed += int64(step.Resumed)
 			pr.MemoHits += int64(step.MemoHits)
-			durs = append(durs, step.Duration)
+			iterQ.ObserveDuration(step.Duration)
 		}
 		lookups := pr.CandidatesPruned + pr.TrialsEvaluated + pr.MemoHits
 		if lookups > 0 {
@@ -223,13 +254,21 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		if pr.TrialsEvaluated > 0 {
 			pr.ResumeRate = float64(pr.TrialsResumed) / float64(pr.TrialsEvaluated)
 		}
-		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		pr.IterP50Ms = ms(percentileDur(durs, 0.50))
-		pr.IterP90Ms = ms(percentileDur(durs, 0.90))
-		pr.IterP99Ms = ms(percentileDur(durs, 0.99))
-		if len(durs) > 0 {
-			pr.IterMaxMs = ms(durs[len(durs)-1])
+		iterSnap := iterQ.Snapshot()
+		pr.IterP50Ms = iterSnap.Quantile(0.50) * 1e3
+		pr.IterP90Ms = iterSnap.Quantile(0.90) * 1e3
+		pr.IterP99Ms = iterSnap.Quantile(0.99) * 1e3
+		pr.IterP999Ms = iterSnap.Quantile(0.999) * 1e3
+		if iterSnap.Count > 0 {
+			pr.IterMaxMs = iterSnap.Max * 1e3
 		}
+
+		pauseWindow := pauseAfter.Sub(pauseBefore)
+		pr.GCPauseP50Ms = pauseWindow.Quantile(0.50) * 1e3
+		pr.GCPauseP99Ms = pauseWindow.Quantile(0.99) * 1e3
+		pr.GCCycles = int64(memAfter.NumGC - memBefore.NumGC)
+		pr.SamplerSamples = sampler.Samples()
+		pr.SamplerSampleP99Ms = sampler.SampleCost().Quantile(0.99) * 1e3
 
 		pr.AllocsPerIter, pr.AllocsPerIterMean, pr.BytesPerIter,
 			pr.HeapInuseBytes, pr.MemWindowIters = meterGameMemory(in, p1, ccfg, res.Iterations)
@@ -259,8 +298,12 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 			pr.Name, pr.Tasks, pr.Workers, pr.Centers, cfg.grid)
 		fmt.Printf("  engine: ph2 %.0f ms, %d iters (%d transfers), assigned %d, U_ρ %.4f\n",
 			pr.Phase2Ms, pr.Iterations, pr.Transfers, pr.Assigned, pr.Unfairness)
-		fmt.Printf("  iter latency ms: p50 %.3f p90 %.3f p99 %.3f max %.3f\n",
-			pr.IterP50Ms, pr.IterP90Ms, pr.IterP99Ms, pr.IterMaxMs)
+		fmt.Printf("  iter latency ms: p50 %.3f p90 %.3f p99 %.3f p999 %.3f max %.3f\n",
+			pr.IterP50Ms, pr.IterP90Ms, pr.IterP99Ms, pr.IterP999Ms, pr.IterMaxMs)
+		fmt.Printf("  runtime: GC pause ms p50 %.3f p99 %.3f over %d cycles; "+
+			"sampler %d samples, p99 cost %.3f ms\n",
+			pr.GCPauseP50Ms, pr.GCPauseP99Ms, pr.GCCycles,
+			pr.SamplerSamples, pr.SamplerSampleP99Ms)
 		fmt.Printf("  pruned %d (rate %.4f), trials %d (resume rate %.4f), snapshot %d B\n",
 			pr.CandidatesPruned, pr.PruneRate, pr.TrialsEvaluated, pr.ResumeRate, pr.SnapshotBytes)
 		fmt.Printf("  memory/iter over %d steady iters: allocs p50 %.0f (mean %.2f), %.0f B, heap in use %d B\n",
@@ -359,8 +402,7 @@ func meterGameMemory(in *model.Instance, p1 []assign.Result, ccfg collab.Config,
 		return 0, 0, 0, 0, 0
 	}
 	heapInuse = int64(m1.HeapInuse)
-	sort.Float64s(allocs)
-	allocsMedian = allocs[len(allocs)/2]
+	allocsMedian = stats.Quantile(allocs, 0.5)
 	var sumA, sumB float64
 	for i := range allocs {
 		sumA += allocs[i]
@@ -370,18 +412,6 @@ func meterGameMemory(in *model.Instance, p1 []assign.Result, ccfg collab.Config,
 	return allocsMedian, sumA / n, sumB / n, heapInuse, len(allocs)
 }
 
-// percentileDur returns the q-quantile of an ascending duration slice by the
-// nearest-rank method.
-func percentileDur(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
+// gcPauseMetric is the runtime/metrics name of the cumulative GC
+// stop-the-world pause histogram the per-preset window stats difference.
+const gcPauseMetric = "/sched/pauses/total/gc:seconds"

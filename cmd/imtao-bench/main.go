@@ -64,8 +64,9 @@ func main() {
 		gameGrid    = flag.Int("game-grid", 64, "road-network grid side for -game (grid² nodes)")
 		gameTrace   = flag.String("game-trace", "", "record a Chrome/Perfetto span timeline of the optimized engine runs (iterations, trials, Dijkstra searches) to this file; adds per-trial overhead, so leave off for baselines")
 
-		tracePath  = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
-		metricsOut = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
+		tracePath     = flag.String("trace", "", "stream run telemetry (game_iter events with phi and the rho vector) to this JSONL file; honored by fig11")
+		metricsOut    = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file on exit")
+		runtimeSample = flag.Duration("runtime-sample", 0, "runtime-vitals sampling period (GC pauses, heap, goroutines); 0 enables the default period when -metrics-out is set, negative disables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit; pair with -cpuprofile when hunting allocation sites (docs/MEMPROFILE.md)")
 	)
@@ -117,6 +118,22 @@ func main() {
 	}
 	if *metricsOut != "" {
 		defer writeMetricsSnapshot(*metricsOut)
+	}
+	// Runtime vitals: on by default whenever a metrics snapshot is requested,
+	// so the exported exposition carries imtao_runtime_* gauges alongside the
+	// workload counters. Stop runs before writeMetricsSnapshot (LIFO defers),
+	// with one final Sample so the snapshot reflects end-of-run state.
+	if *runtimeSample > 0 || (*runtimeSample == 0 && *metricsOut != "") {
+		period := *runtimeSample
+		if period == 0 {
+			period = obs.DefaultSampleInterval
+		}
+		sampler := obs.NewRuntimeSampler(period, obs.Default, benchObs)
+		sampler.Start()
+		defer func() {
+			sampler.Stop()
+			sampler.Sample()
+		}()
 	}
 
 	if *parallelism != "" {

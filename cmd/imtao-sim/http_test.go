@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"imtao"
 )
@@ -18,7 +19,7 @@ func TestObsMux(t *testing.T) {
 	if _, err := imtao.Solve(imtao.DefaultParams(imtao.SYN), imtao.SeqBDC); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(obsMux(nil))
+	srv := httptest.NewServer(obsMux(nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -68,6 +69,66 @@ func TestObsMux(t *testing.T) {
 	}
 }
 
+// TestHealthzEndpoint pins the liveness contract: 200 with valid JSON and
+// the run state while healthy (no sampler, or a running one), 503 when a
+// requested sampler has died, always Content-Type application/json.
+func TestHealthzEndpoint(t *testing.T) {
+	get := func(mux http.Handler) (int, string, map[string]any) {
+		t.Helper()
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			t.Fatalf("/healthz is not JSON: %v (%q)", err, body)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), parsed
+	}
+
+	setSimState("serving")
+
+	// No sampler requested: healthy, sampler reported false.
+	code, ct, parsed := get(obsMux(nil, nil))
+	if code != http.StatusOK {
+		t.Errorf("no sampler: status %d, want 200", code)
+	}
+	if ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	if parsed["status"] != "serving" || parsed["sampler"] != false {
+		t.Errorf("no sampler: body %v", parsed)
+	}
+
+	// Running sampler: healthy, sampler true.
+	sampler := imtao.NewRuntimeSampler(time.Hour, nil)
+	sampler.Start()
+	code, _, parsed = get(obsMux(nil, sampler))
+	if code != http.StatusOK || parsed["sampler"] != true {
+		t.Errorf("live sampler: status %d, body %v", code, parsed)
+	}
+
+	// Stopped sampler: the watchdog died, so the probe must fail.
+	sampler.Stop()
+	code, ct, parsed = get(obsMux(nil, sampler))
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("dead sampler: status %d, want 503", code)
+	}
+	if ct != "application/json; charset=utf-8" {
+		t.Errorf("dead sampler: Content-Type %q", ct)
+	}
+	if parsed["sampler"] != false {
+		t.Errorf("dead sampler: body %v", parsed)
+	}
+}
+
 // TestFlightRecorderEndpoint wires a live recorder into the mux and checks
 // the on-demand dump: NDJSON, one valid object per line, newest event last.
 func TestFlightRecorderEndpoint(t *testing.T) {
@@ -75,7 +136,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		rec.Event("game_iter", imtao.Field{Key: "iter", Value: i})
 	}
-	srv := httptest.NewServer(obsMux(rec))
+	srv := httptest.NewServer(obsMux(rec, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/flightrecorder")

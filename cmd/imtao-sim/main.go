@@ -43,30 +43,80 @@ func main() {
 		svg     = flag.String("svg", "", "render the solution (cells, routes, transfers) to an SVG file")
 		trace   = flag.Bool("trace", false, "print every collaboration game iteration")
 
-		listen     = flag.String("listen", "", "serve /metrics and /debug/pprof on this address (e.g. :8080) and keep running after the report")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080) and keep running after the report")
 		traceOut   = flag.String("trace-out", "", "record run telemetry to this file: a .jsonl path streams events as JSON Lines, any other path writes a Chrome/Perfetto span timeline after the run")
 		flight     = flag.Int("flight", 0, "retain the last N telemetry events in a flight recorder (0 disables); dumped on panic, on SIGQUIT, and at /debug/flightrecorder under -listen")
 		flightDump = flag.String("flight-dump", "", "also dump the flight recorder to this file at exit (default: stderr, and only on panic or SIGQUIT)")
+
+		sampleEvery  = flag.Duration("runtime-sample", 0, "sample Go runtime vitals (GC pause, heap, goroutines) at this interval into /metrics and the event stream; 0 uses the default under -listen, negative disables")
+		profileDir   = flag.String("profile-dir", "", "continuously capture CPU+heap pprof profiles into this directory (a bounded ring; see -profile-keep)")
+		profileEvery = flag.Duration("profile-interval", time.Minute, "continuous-profile capture period under -profile-dir")
+		profileKeep  = flag.Int("profile-keep", 0, "profiles of each kind retained under -profile-dir (0 selects the default)")
 	)
 	flag.Parse()
+	setSimState("starting")
 
 	var recorder *imtao.FlightRecorder
 	if *flight > 0 {
 		recorder = imtao.NewFlightRecorder(*flight)
-		watchSIGQUIT(recorder, *flightDump)
+	}
+
+	var profiles *imtao.ProfileRing
+	if *profileDir != "" {
+		var err error
+		profiles, err = imtao.NewProfileRing(*profileDir, *profileEvery, *profileKeep)
+		if err != nil {
+			fatal(err)
+		}
+		profiles.Start()
+		defer profiles.Stop()
+		fmt.Printf("continuous profiling: CPU+heap ring in %s every %s\n", *profileDir, *profileEvery)
+	}
+
+	if recorder != nil || profiles != nil {
+		watchSIGQUIT(recorder, *flightDump, profiles)
 		defer func() {
 			if r := recover(); r != nil {
 				dumpFlight(recorder, *flightDump, "panic")
+				dumpProfiles(profiles, "panic")
 				panic(r)
 			}
-			if *flightDump != "" {
+			if recorder != nil && *flightDump != "" {
 				dumpFlight(recorder, *flightDump, "exit")
 			}
 		}()
 	}
 
+	// The JSONL event stream opens before the sampler so runtime_sample
+	// events interleave with the run's own telemetry in one file.
+	var jsonl imtao.Observer
+	if *traceOut != "" && strings.HasSuffix(*traceOut, ".jsonl") {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonl = imtao.NewJSONLObserver(f)
+	}
+
+	// Runtime vitals: on by default while serving diagnostics (that is what
+	// -listen opts into), opt-in otherwise, -runtime-sample <0 disables.
+	var sampler *imtao.RuntimeSampler
+	if *sampleEvery > 0 || (*sampleEvery == 0 && *listen != "") {
+		var vitalsOut []imtao.Observer
+		if recorder != nil {
+			vitalsOut = append(vitalsOut, recorder)
+		}
+		if jsonl != nil {
+			vitalsOut = append(vitalsOut, jsonl)
+		}
+		sampler = imtao.NewRuntimeSampler(*sampleEvery, imtao.MultiObserver(vitalsOut...))
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
 	if *listen != "" {
-		addr, err := serveObs(*listen, recorder)
+		addr, err := serveObs(*listen, recorder, sampler)
 		if err != nil {
 			fatal(err)
 		}
@@ -120,27 +170,23 @@ func main() {
 	if recorder != nil {
 		observers = append(observers, recorder)
 	}
+	if jsonl != nil {
+		observers = append(observers, jsonl)
+	}
 	var tracer *imtao.Tracer
-	if *traceOut != "" {
-		if strings.HasSuffix(*traceOut, ".jsonl") {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			observers = append(observers, imtao.NewJSONLObserver(f))
-		} else {
-			tracer = imtao.NewTracer(0)
-			opts = append(opts, imtao.WithTracer(tracer))
-		}
+	if *traceOut != "" && !strings.HasSuffix(*traceOut, ".jsonl") {
+		tracer = imtao.NewTracer(0)
+		opts = append(opts, imtao.WithTracer(tracer))
 	}
 	if len(observers) > 0 {
 		opts = append(opts, imtao.WithObserver(imtao.MultiObserver(observers...)))
 	}
+	setSimState("running")
 	rep, err := imtao.Run(in, m, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	setSimState("serving")
 	if tracer != nil {
 		if err := writeChromeTrace(*traceOut, tracer); err != nil {
 			fatal(err)
@@ -239,17 +285,33 @@ func writeChromeTrace(path string, tr *imtao.Tracer) error {
 	return f.Close()
 }
 
-// watchSIGQUIT dumps the flight recorder whenever the process receives
-// SIGQUIT (^\) — the conventional "what are you doing right now" signal —
+// watchSIGQUIT dumps the flight recorder — and, when continuous profiling
+// is on, an out-of-cycle heap profile — whenever the process receives
+// SIGQUIT (^\), the conventional "what are you doing right now" signal,
 // without exiting.
-func watchSIGQUIT(rec *imtao.FlightRecorder, path string) {
+func watchSIGQUIT(rec *imtao.FlightRecorder, path string, profiles *imtao.ProfileRing) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGQUIT)
 	go func() {
 		for range ch {
 			dumpFlight(rec, path, "SIGQUIT")
+			dumpProfiles(profiles, "sigquit")
 		}
 	}()
+}
+
+// dumpProfiles writes a crash heap profile next to the ring captures; the
+// reason-named file is exempt from pruning, so it survives however long the
+// process keeps running afterwards.
+func dumpProfiles(profiles *imtao.ProfileRing, why string) {
+	if profiles == nil {
+		return
+	}
+	if path, err := profiles.DumpNow(why); err != nil {
+		fmt.Fprintln(os.Stderr, "imtao-sim: profile dump:", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "imtao-sim: heap profile (%s) written to %s\n", why, path)
+	}
 }
 
 // dumpFlight writes the recorder's retained events as JSON Lines to path,

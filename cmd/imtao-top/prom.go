@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseMetrics reads a Prometheus text-format (0.0.4) exposition into a flat
+// map keyed by the full series identifier as written — "imtao_runs_total",
+// "imtao_collab_iter_seconds{quantile=\"0.99\"}" — which is exactly how the
+// dashboard addresses them. Comment and blank lines are skipped; NaN values
+// (the summary convention for "no samples yet") parse fine and are left for
+// the renderer to blank out. Malformed lines are skipped rather than fatal:
+// a dashboard should survive a half-written scrape.
+func parseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the series name is
+		// everything before it (labels may contain spaces inside quotes, so
+		// split from the right).
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:cut])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no metrics parsed — is this a Prometheus text exposition?")
+	}
+	return out, nil
+}
+
+// quantileKey builds the exposition key of one summary quantile line.
+func quantileKey(name string, q string) string {
+	return name + `{quantile="` + q + `"}`
+}

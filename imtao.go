@@ -104,6 +104,20 @@ type (
 	// FlightRecorder is a fixed-size ring of the most recent telemetry
 	// events, dumpable after the fact (see NewFlightRecorder).
 	FlightRecorder = obs.FlightRecorder
+	// Quantile is a lock-free exact-rank latency recorder exported as a
+	// Prometheus summary (see docs/OBSERVABILITY.md).
+	Quantile = obs.Quantile
+	// QuantileSnapshot is a point-in-time copy of a Quantile recorder.
+	QuantileSnapshot = obs.QuantileSnapshot
+	// RuntimeSampler periodically publishes Go runtime vitals (GC pauses,
+	// heap, goroutines, scheduler latency) as imtao_runtime_* gauges and
+	// runtime_sample telemetry events (see NewRuntimeSampler).
+	RuntimeSampler = obs.RuntimeSampler
+	// RuntimeVitals is one runtime health snapshot from a RuntimeSampler.
+	RuntimeVitals = obs.RuntimeVitals
+	// ProfileRing is a continuous profiler keeping a bounded on-disk ring of
+	// periodic CPU and heap pprof captures (see NewProfileRing).
+	ProfileRing = obs.ProfileRing
 )
 
 // Dataset constants.
@@ -243,6 +257,25 @@ func WriteMetrics(w io.Writer) error {
 // lock wait, trial-pool queue wait) that need a clock read on hot paths.
 // They are off by default so a no-op-observed run stays at zero overhead.
 func EnableTiming(on bool) { obs.EnableTiming(on) }
+
+// NewRuntimeSampler builds a runtime-vitals sampler publishing on the
+// process-wide metrics registry every interval (≤ 0 selects the default,
+// obs.DefaultSampleInterval). o, when non-nil, additionally receives one
+// runtime_sample event per tick — pass a FlightRecorder or JSONL observer to
+// interleave vitals with pipeline telemetry. Call Start to begin sampling
+// and Stop for a clean, goroutine-free shutdown.
+func NewRuntimeSampler(interval time.Duration, o Observer) *RuntimeSampler {
+	return obs.NewRuntimeSampler(interval, obs.Default, o)
+}
+
+// NewProfileRing builds a continuous profiler writing periodic CPU and heap
+// pprof captures into dir, retaining the most recent keep of each kind
+// (≤ 0 selects obs.DefaultProfileKeep). Start launches the periodic loop;
+// DumpNow writes an out-of-cycle heap profile (e.g. on panic) that pruning
+// never removes.
+func NewProfileRing(dir string, interval time.Duration, keep int) (*ProfileRing, error) {
+	return obs.NewProfileRing(dir, interval, 0, keep, obs.Default)
+}
 
 // Phi computes the exact potential Φ = Σρ_i of the phase-2 transfer game
 // over a ratio vector. Along the accepted moves of Algorithm 3 it is

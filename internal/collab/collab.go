@@ -75,6 +75,13 @@ var (
 	mSnapshotBytes = obs.Default.Gauge("imtao_collab_snapshot_bytes",
 		"estimated footprint of the current recipient's trial-base snapshot "+
 			"(serve order, baseline routes, leftover-task pool)")
+	mIterSeconds = obs.Default.Quantile("imtao_collab_iter_seconds",
+		"wall time of one game iteration (best-response trial sweep + "+
+			"dispatch); exact-rank p50/p90/p99/p999 over every iteration of "+
+			"the process")
+	mGamePhi = obs.Default.Gauge("imtao_game_phi",
+		"potential Φ after the most recent game iteration — falling toward "+
+			"its fixed point while the game converges")
 )
 
 // RecipientPolicy selects the recipient center each iteration.
@@ -837,6 +844,8 @@ func (g *Game) Step() bool {
 	step.Phi = metrics.Phi(rv)
 	step.Rhos = rv
 	step.Duration = time.Since(iterStart)
+	mIterSeconds.ObserveDuration(step.Duration)
+	mGamePhi.Set(step.Phi)
 	g.res.Trace = append(g.res.Trace, step)
 	emitGameIter(cfg.Obs, &step)
 	if cfg.Tracer != nil {

@@ -230,6 +230,8 @@ func RunReference(in *model.Instance, phase1 []assign.Result, cfg Config) Result
 		step.Phi = metrics.Phi(rv)
 		step.Rhos = rv
 		step.Duration = time.Since(iterStart)
+		mIterSeconds.ObserveDuration(step.Duration)
+		mGamePhi.Set(step.Phi)
 		res.Trace = append(res.Trace, step)
 		emitGameIter(cfg.Obs, &step)
 	}

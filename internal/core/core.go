@@ -40,6 +40,9 @@ var (
 		"wall-clock latency of phase 1 (center-independent assignment)", obs.TimeBuckets)
 	mPhase2Seconds = obs.Default.Histogram("imtao_phase2_seconds",
 		"wall-clock latency of phase 2 (collaboration game)", obs.TimeBuckets)
+	mCenterSeconds = obs.Default.Quantile("imtao_phase1_center_seconds",
+		"wall time of one center's phase-1 assignment; the p99/p50 spread "+
+			"exposes straggler centers that cap phase-1 parallel speedup")
 )
 
 // AssignerKind selects the per-center assignment algorithm.
@@ -342,12 +345,15 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	// parent link is captured here, so the tree survives the fan-out.
 	runCenter := func(ci int) {
 		c := in.Center(model.CenterID(ci))
+		ct0 := time.Now()
 		if tr == nil {
 			phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+			mCenterSeconds.ObserveDuration(time.Since(ct0))
 			return
 		}
 		cs := tr.Start(p1TS.ID(), "phase1_center", obs.F("center", ci))
 		r := assigner(in, c, c.Workers, c.Tasks)
+		mCenterSeconds.ObserveDuration(time.Since(ct0))
 		cs.End(
 			obs.F("assigned", r.AssignedCount()),
 			obs.F("left_workers", len(r.LeftWorkers)),

@@ -73,8 +73,14 @@ var TimeBuckets = []float64{
 	1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10,
 }
 
-// Observe records one sample.
+// Observe records one sample. Non-finite samples are rejected: NaN compares
+// false against every bound, so sort.SearchFloat64s would land it in the
+// +Inf bucket while poisoning _sum forever (NaN + x = NaN) — one bad sample
+// would corrupt every scrape after it.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	h.mu.RLock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) = +Inf
 	h.counts[i].Add(1)
@@ -114,6 +120,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindInfo
+	kindQuantile
 )
 
 type metric struct {
@@ -122,6 +129,7 @@ type metric struct {
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
+	quant      *Quantile
 	labels     string // pre-rendered {k="v",...} for info metrics
 }
 
@@ -191,6 +199,17 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return m.hist
 }
 
+// Quantile returns the quantile recorder registered under name, creating it
+// if needed. It is exported as a Prometheus summary: one line per quantile in
+// summaryQuantiles plus _sum and _count.
+func (r *Registry) Quantile(name, help string) *Quantile {
+	m := r.lookup(name, help, kindQuantile)
+	if m.quant == nil {
+		m.quant = NewQuantile()
+	}
+	return m.quant
+}
+
 // Info registers (or updates) a constant info metric: a gauge fixed at 1
 // whose labels carry the payload, e.g.
 //
@@ -240,6 +259,28 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			r.mu.Unlock()
 			_, err = fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s%s 1\n",
 				m.name, m.help, m.name, m.name, labels)
+		case kindQuantile:
+			q := m.quant
+			if _, err = fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s summary\n",
+				m.name, m.help, m.name); err != nil {
+				break
+			}
+			snap := q.Snapshot()
+			for _, p := range summaryQuantiles {
+				v := math.NaN() // the Prometheus "no samples yet" convention
+				if snap.Count > 0 {
+					v = snap.Quantile(p)
+				}
+				if _, err = fmt.Fprintf(cw, "%s{quantile=%q} %s\n",
+					m.name, formatFloat(p), formatFloat(v)); err != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+			_, err = fmt.Fprintf(cw, "%s_sum %s\n%s_count %d\n",
+				m.name, formatFloat(snap.Sum), m.name, snap.Count)
 		case kindHistogram:
 			h := m.hist
 			if _, err = fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s histogram\n",

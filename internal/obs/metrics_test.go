@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +28,41 @@ func TestCounterAddRejectsNegative(t *testing.T) {
 		}
 	}()
 	c.Add(-1)
+}
+
+// TestHistogramRejectsNonFinite is the regression test for the NaN
+// corruption bug: sort.SearchFloat64s places NaN in the +Inf bucket (every
+// comparison is false) and NaN + sum poisons _sum for every scrape after —
+// so Observe must drop non-finite samples entirely.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("poison_seconds", "t", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(2)
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2 (finite samples only)", h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("NaN sample poisoned the histogram sum")
+	}
+	if h.Sum() != 2.5 {
+		t.Errorf("Sum = %g, want 2.5", h.Sum())
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`poison_seconds_bucket{le="+Inf"} 2`,
+		"poison_seconds_sum 2.5",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition lacks %q:\n%s", want, buf.String())
+		}
+	}
 }
 
 // TestHistogramSnapshotConsistent exercises the torn-read fix in

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// TestProfileRingCaptureAndPrune drives capture cycles synchronously and
+// checks the ring invariant: at most keep files per kind, newest retained,
+// every retained file a valid non-empty pprof payload.
+func TestProfileRingCaptureAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(dir, time.Hour, time.Millisecond, 2, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, heap, err := p.CaptureNow(nil); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		} else if heap == "" {
+			t.Fatalf("capture %d wrote no heap profile", i)
+		}
+	}
+	heaps, _ := filepath.Glob(filepath.Join(dir, "heap-*.pprof"))
+	if len(heaps) != 2 {
+		t.Errorf("retained %d heap profiles, want 2: %v", len(heaps), heaps)
+	}
+	for _, h := range heaps {
+		fi, err := os.Stat(h)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("heap profile %s is empty or unreadable (%v)", h, err)
+		}
+	}
+	// Newest survive: capture 3 and 4.
+	if _, err := os.Stat(filepath.Join(dir, "heap-000004.pprof")); err != nil {
+		t.Errorf("newest heap profile pruned: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "heap-000001.pprof")); err == nil {
+		t.Error("oldest heap profile not pruned")
+	}
+	if p.cCaptures.Value() != 4 {
+		t.Errorf("captures counter = %d, want 4", p.cCaptures.Value())
+	}
+}
+
+// TestProfileRingCPUUnavailable: when another CPU profile is active the
+// cycle skips CPU (counted), keeps the heap capture, and reports no error.
+func TestProfileRingCPUUnavailable(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(dir, time.Hour, time.Millisecond, 4, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the process-wide CPU profiler.
+	hold, err := os.Create(filepath.Join(t.TempDir(), "hold.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if err := pprof.StartCPUProfile(hold); err != nil {
+		t.Skipf("CPU profiler already held by the test harness: %v", err)
+	}
+	defer pprof.StopCPUProfile()
+
+	cpu, heap, err := p.CaptureNow(nil)
+	if err != nil {
+		t.Fatalf("CaptureNow: %v", err)
+	}
+	if cpu != "" {
+		t.Errorf("got CPU profile %q while profiler was busy", cpu)
+	}
+	if heap == "" {
+		t.Error("heap capture should survive a busy CPU profiler")
+	}
+	if p.cCPUMiss.Value() != 1 {
+		t.Errorf("cpu-miss counter = %d, want 1", p.cCPUMiss.Value())
+	}
+}
+
+// TestProfileRingDumpNow: reason-named dumps land outside the ring and
+// survive pruning; reasons are sanitized into safe filenames.
+func TestProfileRingDumpNow(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileRing(dir, time.Hour, time.Millisecond, 1, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := p.DumpNow("panic: sim/phase 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "heap-panic--sim-phase-2.pprof" {
+		t.Errorf("sanitized dump name = %s", filepath.Base(path))
+	}
+	for i := 0; i < 3; i++ {
+		p.CaptureNow(nil)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("ring pruning removed the crash dump: %v", err)
+	}
+}
+
+// TestProfileRingStopIsClean: Stop terminates the loop goroutine promptly
+// (cutting the CPU window short) and is idempotent.
+func TestProfileRingStopIsClean(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, err := NewProfileRing(t.TempDir(), time.Hour, time.Hour, 2, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	if !p.Running() {
+		t.Fatal("Running() = false after Start")
+	}
+	p.Start() // no-op
+	p.Stop()
+	if p.Running() {
+		t.Error("Running() = true after Stop")
+	}
+	p.Stop() // idempotent
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after Stop settle — ring leaked",
+		before, runtime.NumGoroutine())
+}

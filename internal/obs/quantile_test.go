@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactNearestRank is the reference quantile: rank ⌈p·n⌉ of the ascending
+// sample — the same definition QuantileSnapshot.Quantile approximates per
+// bucket (and the one internal/stats.Quantile implements for the bench).
+func exactNearestRank(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// TestQuantileAccuracy pins the recorder's relative-error bound against the
+// exact order statistics on several sample shapes: uniform, exponential
+// (long-tailed, like latencies), and a bimodal fast-path/slow-path mix.
+func TestQuantileAccuracy(t *testing.T) {
+	const relTol = 0.04 // bucket mid-point error bound is ~1.6%; allow slack
+	shapes := map[string]func(*rand.Rand) float64{
+		"uniform":     func(r *rand.Rand) float64 { return 1e-4 + r.Float64() },
+		"exponential": func(r *rand.Rand) float64 { return 1e-3 * r.ExpFloat64() },
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Intn(100) < 95 {
+				return 50e-6 + 10e-6*r.Float64()
+			}
+			return 20e-3 + 5e-3*r.Float64()
+		},
+	}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			q := NewQuantile()
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := gen(rng)
+				samples = append(samples, v)
+				q.Observe(v)
+			}
+			sort.Float64s(samples)
+			snap := q.Snapshot()
+			if snap.Count != int64(len(samples)) {
+				t.Fatalf("Count = %d, want %d", snap.Count, len(samples))
+			}
+			for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+				exact := exactNearestRank(samples, p)
+				got := snap.Quantile(p)
+				if rel := math.Abs(got-exact) / exact; rel > relTol {
+					t.Errorf("p%g: recorder %.6g vs exact %.6g (rel err %.3f > %.3f)",
+						p*100, got, exact, rel, relTol)
+				}
+			}
+			if snap.Max != samples[len(samples)-1] {
+				t.Errorf("Max = %g, want exact %g", snap.Max, samples[len(samples)-1])
+			}
+			if snap.Min != samples[0] {
+				t.Errorf("Min = %g, want exact %g", snap.Min, samples[0])
+			}
+			if math.Abs(snap.Quantile(1)-samples[len(samples)-1]) != 0 {
+				t.Errorf("Quantile(1) = %g, want exact max", snap.Quantile(1))
+			}
+		})
+	}
+}
+
+// TestQuantileRejectsNonFinite: NaN and ±Inf must not enter the distribution
+// or the sum — they are counted in Rejected instead.
+func TestQuantileRejectsNonFinite(t *testing.T) {
+	q := NewQuantile()
+	q.Observe(0.5)
+	q.Observe(math.NaN())
+	q.Observe(math.Inf(1))
+	q.Observe(math.Inf(-1))
+	if q.Count() != 1 {
+		t.Errorf("Count = %d, want 1", q.Count())
+	}
+	if q.Rejected() != 3 {
+		t.Errorf("Rejected = %d, want 3", q.Rejected())
+	}
+	if math.IsNaN(q.Sum()) || q.Sum() != 0.5 {
+		t.Errorf("Sum = %g, want 0.5", q.Sum())
+	}
+	if got := q.Quantile(0.5); math.Abs(got-0.5)/0.5 > 0.02 {
+		t.Errorf("median %g drifted after non-finite rejections", got)
+	}
+}
+
+// TestQuantileClampsOutOfRange: zero/negative samples land in the smallest
+// bucket (not dropped), astronomically large ones in the largest.
+func TestQuantileClampsOutOfRange(t *testing.T) {
+	q := NewQuantile()
+	q.Observe(0)
+	q.Observe(-3)
+	q.Observe(1e300)
+	if q.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (clamped, not dropped)", q.Count())
+	}
+	snap := q.Snapshot()
+	if v := snap.Quantile(0.01); v > 2e-9 {
+		t.Errorf("clamped-low sample reconstructs as %g, want ≈1ns bucket", v)
+	}
+	if v := snap.Quantile(0.99); v < 1e10 {
+		t.Errorf("clamped-high sample reconstructs as %g, want top bucket", v)
+	}
+}
+
+// TestQuantileObserveZeroAlloc pins the hot-path contract: Observe (and the
+// ObserveDuration wrapper the engines call per iteration) must not touch the
+// heap, or the PR 6 zero-allocation steady state would regress the moment a
+// quantile recorder is wired in.
+func TestQuantileObserveZeroAlloc(t *testing.T) {
+	q := NewQuantile()
+	d := 1237 * time.Microsecond
+	if allocs := testing.AllocsPerRun(100, func() {
+		q.ObserveDuration(d)
+		q.Observe(0.25)
+	}); allocs != 0 {
+		t.Fatalf("Quantile.Observe allocates: %.2f allocs/op (want 0)", allocs)
+	}
+}
+
+// TestQuantileConcurrent hammers one recorder from several goroutines (run
+// under -race in CI) and checks nothing is lost.
+func TestQuantileConcurrent(t *testing.T) {
+	q := NewQuantile()
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				q.Observe(1e-4 * (1 + rng.Float64()))
+			}
+		}(g)
+	}
+	// Concurrent snapshots must stay internally consistent: the quantile
+	// walk can never run past its own bucket copy.
+	for i := 0; i < 50; i++ {
+		snap := q.Snapshot()
+		if snap.Count > 0 {
+			if v := snap.Quantile(0.999); v <= 0 {
+				t.Fatalf("mid-run snapshot returned %g for p999", v)
+			}
+		}
+	}
+	wg.Wait()
+	if got := q.Count(); got != writers*per {
+		t.Fatalf("Count = %d, want %d", got, writers*per)
+	}
+}
+
+// TestRegistryQuantileExposition checks the Prometheus summary rendering:
+// quantile lines, _sum/_count, idempotent registration, and the NaN
+// convention for an empty recorder.
+func TestRegistryQuantileExposition(t *testing.T) {
+	r := NewRegistry()
+	q := r.Quantile("imtao_iter_seconds", "game iteration latency")
+	if r.Quantile("imtao_iter_seconds", "game iteration latency") != q {
+		t.Fatal("re-registration returned a different instance")
+	}
+
+	var empty bytes.Buffer
+	if _, err := r.WriteTo(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), `imtao_iter_seconds{quantile="0.5"} NaN`) {
+		t.Errorf("empty summary should expose NaN quantiles:\n%s", empty.String())
+	}
+	if !strings.Contains(empty.String(), "imtao_iter_seconds_count 0") {
+		t.Errorf("empty summary should expose _count 0:\n%s", empty.String())
+	}
+
+	for i := 1; i <= 1000; i++ {
+		q.Observe(float64(i) / 1000) // 1ms … 1s
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE imtao_iter_seconds summary",
+		`imtao_iter_seconds{quantile="0.5"} `,
+		`imtao_iter_seconds{quantile="0.9"} `,
+		`imtao_iter_seconds{quantile="0.99"} `,
+		`imtao_iter_seconds{quantile="0.999"} `,
+		"imtao_iter_seconds_count 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}

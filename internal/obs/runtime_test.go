@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRuntimeSamplerSample checks one synchronous sample publishes sane
+// vitals: a live process has goroutines, a heap goal, and a GOMAXPROCS.
+func TestRuntimeSamplerSample(t *testing.T) {
+	r := NewRegistry()
+	s := NewRuntimeSampler(time.Hour, r, nil)
+	v := s.Sample()
+	if v.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want ≥ 1", v.Goroutines)
+	}
+	if v.GoMaxProcs < 1 {
+		t.Errorf("GoMaxProcs = %d, want ≥ 1", v.GoMaxProcs)
+	}
+	if v.HeapGoalBytes <= 0 {
+		t.Errorf("HeapGoalBytes = %d, want > 0", v.HeapGoalBytes)
+	}
+	if v.MemTotalBytes <= 0 {
+		t.Errorf("MemTotalBytes = %d, want > 0", v.MemTotalBytes)
+	}
+	if last, ok := s.Last(); !ok || last != v {
+		t.Errorf("Last() = %+v, %v; want the vitals just sampled", last, ok)
+	}
+	if s.Samples() != 1 {
+		t.Errorf("Samples = %d, want 1", s.Samples())
+	}
+	if cost := s.SampleCost(); cost.Count != 1 {
+		t.Errorf("SampleCost count = %d, want 1", cost.Count)
+	}
+}
+
+// captureObserver records events for assertions.
+type captureObserver struct {
+	mu     sync.Mutex
+	names  []string
+	fields [][]Field
+}
+
+func (c *captureObserver) Event(name string, fields ...Field) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.names = append(c.names, name)
+	c.fields = append(c.fields, append([]Field(nil), fields...))
+}
+
+// TestRuntimeSamplerEmitsEvent: an enabled observer receives one
+// "runtime_sample" event per sample with the headline vitals fields.
+func TestRuntimeSamplerEmitsEvent(t *testing.T) {
+	cap := &captureObserver{}
+	s := NewRuntimeSampler(time.Hour, NewRegistry(), cap)
+	s.Sample()
+	if len(cap.names) != 1 || cap.names[0] != "runtime_sample" {
+		t.Fatalf("observer saw %v, want one runtime_sample event", cap.names)
+	}
+	found := false
+	for _, f := range cap.fields[0] {
+		if f.Key == "goroutines" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("runtime_sample event lacks goroutines field: %+v", cap.fields[0])
+	}
+}
+
+// TestRuntimeSamplerStopIsClean pins the shutdown contract from three sides:
+// the background goroutine exits (no leak), the sample counter freezes (no
+// sample after Stop), and Stop is idempotent — all verified under -race by
+// the race CI lane.
+func TestRuntimeSamplerStopIsClean(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := NewRuntimeSampler(time.Millisecond, NewRegistry(), nil)
+	s.Start()
+	if !s.Running() {
+		t.Fatal("Running() = false after Start")
+	}
+	s.Start() // second Start must be a no-op, not a second goroutine
+
+	// Let the ticker fire at least once beyond the initial sample.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Samples() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Samples() < 2 {
+		t.Fatalf("sampler took %d samples in 2s at 1ms interval", s.Samples())
+	}
+
+	s.Stop()
+	if s.Running() {
+		t.Error("Running() = true after Stop")
+	}
+	frozen := s.Samples()
+	time.Sleep(20 * time.Millisecond)
+	if got := s.Samples(); got != frozen {
+		t.Errorf("sampler took %d samples after Stop", got-frozen)
+	}
+	s.Stop() // idempotent
+	s.Stop() // and again, on an already-stopped sampler
+
+	// Settle loop: GC/test goroutines need a moment to wind down; fail only
+	// if the count stays elevated.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after Stop settle — sampler leaked",
+		before, runtime.NumGoroutine())
+}
+
+// TestRuntimeSamplerRestart: a stopped sampler can Start again.
+func TestRuntimeSamplerRestart(t *testing.T) {
+	s := NewRuntimeSampler(time.Hour, NewRegistry(), nil)
+	s.Start()
+	s.Stop()
+	n := s.Samples()
+	s.Start()
+	defer s.Stop()
+	if s.Samples() <= n {
+		t.Errorf("restarted sampler took no immediate sample (%d ≤ %d)", s.Samples(), n)
+	}
+}
+
+// TestRuntimeHistogramSubQuantile covers the windowed-delta helpers the
+// bench uses to turn the runtime's cumulative GC-pause histogram into
+// per-preset stats.
+func TestRuntimeHistogramSubQuantile(t *testing.T) {
+	prev := RuntimeHistogram{
+		Buckets: []float64{math.Inf(-1), 1, 2, 4, math.Inf(1)},
+		Counts:  []uint64{1, 2, 3, 0},
+	}
+	cur := RuntimeHistogram{
+		Buckets: prev.Buckets,
+		Counts:  []uint64{1, 6, 3, 2},
+	}
+	d := cur.Sub(prev)
+	if got := d.Count(); got != 6 {
+		t.Fatalf("delta Count = %d, want 6", got)
+	}
+	// Delta counts: [0, 4, 0, 2] → ranks 1-4 in (1,2], ranks 5-6 in (4,+Inf).
+	if got := d.Quantile(0.5); got != 1.5 {
+		t.Errorf("delta p50 = %g, want 1.5 (mid of (1,2])", got)
+	}
+	if got := d.Quantile(0.99); got != 4 {
+		t.Errorf("delta p99 = %g, want 4 (finite edge of +Inf bucket)", got)
+	}
+	// -Inf-bottomed bucket reports its finite upper edge.
+	lowOnly := RuntimeHistogram{Buckets: prev.Buckets, Counts: []uint64{3, 0, 0, 0}}
+	if got := lowOnly.Quantile(0.5); got != 1 {
+		t.Errorf("p50 of -Inf bucket = %g, want finite edge 1", got)
+	}
+	// Shape mismatch returns the current histogram unchanged.
+	if got := cur.Sub(RuntimeHistogram{}); got.Count() != cur.Count() {
+		t.Errorf("Sub with empty prev mutated the histogram")
+	}
+	if (RuntimeHistogram{}).Count() != 0 || (RuntimeHistogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram should count 0 and report quantile 0")
+	}
+}
+
+// TestReadRuntimeHistogram: the GC-pause metric must be readable as a
+// histogram on this toolchain (the bench depends on it).
+func TestReadRuntimeHistogram(t *testing.T) {
+	h, ok := ReadRuntimeHistogram("/sched/pauses/total/gc:seconds")
+	if !ok {
+		t.Fatal("GC pause histogram unavailable")
+	}
+	if len(h.Buckets) != len(h.Counts)+1 {
+		t.Fatalf("bucket/count shape: %d boundaries, %d counts",
+			len(h.Buckets), len(h.Counts))
+	}
+	if _, ok := ReadRuntimeHistogram("/sched/goroutines:goroutines"); ok {
+		t.Error("non-histogram metric should report ok=false")
+	}
+}

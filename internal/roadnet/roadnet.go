@@ -62,6 +62,10 @@ var (
 		"queries that waited on another goroutine's in-flight search instead of duplicating it")
 	mPinnedSources = obs.Default.Gauge("imtao_roadnet_pinned_sources",
 		"sources pinned by PrecomputeSources (eviction-exempt distance tables)")
+	mDijkstraSeconds = obs.Default.Quantile("imtao_roadnet_dijkstra_seconds",
+		"wall time of one full shortest-path search — the oracle's miss "+
+			"path; a rising p99 means the cache is thrashing or congestion "+
+			"reshapes are forcing rebuilds")
 )
 
 // Network is an immutable-after-build grid road network with a cached

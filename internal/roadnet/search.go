@@ -2,6 +2,7 @@ package roadnet
 
 import (
 	"math"
+	"time"
 
 	"imtao/internal/obs"
 )
@@ -25,8 +26,10 @@ type searchScratch struct {
 // settled nodes are never relaxed again.
 func (n *Network) runSearch(src int32) []float64 {
 	// A full search is the oracle's expensive path (a cache miss or a
-	// pinned-table build), so a span per search is cheap relative to the
-	// work it times.
+	// pinned-table build), so a span per search — and a quantile sample —
+	// is cheap relative to the work it times.
+	t0 := time.Now()
+	defer func() { mDijkstraSeconds.ObserveDuration(time.Since(t0)) }()
 	if h := n.trace.Load(); h != nil {
 		ts := h.tr.Start(h.parent, "dijkstra", obs.F("src", int(src)))
 		defer func() {

@@ -1,0 +1,56 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs of a sparkline, lowest to highest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line unicode sparkline scaled to the series'
+// own [min, max] range, keeping the last width points when the series is
+// longer (the natural view for a live dashboard feeding newest-last).
+// Non-finite values render as a space. A flat series renders at the lowest
+// level; an empty one returns "".
+func Spark(values []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(values) > width {
+		values = values[len(values)-width:]
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // nothing finite
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(sparkLevels) {
+				level = len(sparkLevels) - 1
+			}
+		}
+		b.WriteRune(sparkLevels[level])
+	}
+	return b.String()
+}

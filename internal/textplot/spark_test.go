@@ -1,0 +1,39 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil, 10); got != "" {
+		t.Errorf("empty series: %q, want \"\"", got)
+	}
+	// Monotone ramp touches both extremes, in order.
+	got := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+	// Flat series renders at the lowest level, not blank.
+	if got := Spark([]float64{5, 5, 5}, 10); got != "▁▁▁" {
+		t.Errorf("flat = %q", got)
+	}
+	// Longer than width keeps the newest points.
+	got = Spark([]float64{9, 9, 9, 0, 8}, 2)
+	if utf8.RuneCountInString(got) != 2 {
+		t.Fatalf("width clamp: %q has %d runes", got, utf8.RuneCountInString(got))
+	}
+	if []rune(got)[0] != '▁' || []rune(got)[1] != '█' {
+		t.Errorf("tail window = %q, want low-high", got)
+	}
+	// Non-finite values render as spaces without poisoning the scale.
+	got = Spark([]float64{1, math.NaN(), 2}, 10)
+	if !strings.Contains(got, " ") || utf8.RuneCountInString(got) != 3 {
+		t.Errorf("NaN handling: %q", got)
+	}
+	if got := Spark([]float64{math.NaN(), math.Inf(1)}, 10); got != "  " {
+		t.Errorf("all non-finite: %q, want two spaces", got)
+	}
+}

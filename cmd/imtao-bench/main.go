@@ -58,6 +58,13 @@ func main() {
 		scaleGrid    = flag.Int("scale-grid", 64, "road-network grid side for -scale (grid² nodes)")
 		scaleGame    = flag.Int("scale-game-iters", 20, "phase-2 game iteration cap for -scale (0 = uncapped)")
 
+		shard        = flag.String("shard", "", `sharded game-engine sweep over shard counts, e.g. "1,2,4,8": per -shard-scale size, run the collaboration game uncapped to equilibrium through the region-sharded engine at each count (1 = the unsharded baseline), verify the global Nash equilibrium, and write a JSON record`)
+		shardScale   = flag.String("shard-scale", "10k,100k", "comma-separated task sizes for -shard")
+		shardOut     = flag.String("shard-json", "BENCH_shard.json", "output path of the -shard record")
+		shardDataset = flag.String("shard-dataset", "syn", "dataset generator for -shard: gm or syn")
+		shardGrid    = flag.Int("shard-grid", 64, "road-network grid side for -shard (grid² nodes)")
+		shardSeed    = flag.Int64("shard-seed", 1, "k-means shard-partition seed for -shard")
+
 		game        = flag.String("game", "", `phase-2 game-engine sweep, e.g. "10k,50k,100k": run the collaboration game uncapped to equilibrium per task count, cross-check the optimized engine against the frozen reference, and write a JSON record`)
 		gameOut     = flag.String("game-json", "BENCH_game.json", "output path of the -game record")
 		gameDataset = flag.String("game-dataset", "syn", "dataset generator for -game: gm or syn")
@@ -161,6 +168,30 @@ func main() {
 			grid:     *scaleGrid,
 			gameCap:  *scaleGame,
 			jsonPath: *scaleOut,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *shard != "" {
+		counts, err := parseParallelism(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		sizes, err := parseScaleSizes(*shardScale)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := workload.ParseDataset(*shardDataset)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runShardSweep(sizes, counts, shardConfig{
+			dataset:  d,
+			grid:     *shardGrid,
+			seed:     *shardSeed,
+			jsonPath: *shardOut,
 		}); err != nil {
 			fatal(err)
 		}

@@ -26,7 +26,7 @@ func main() {
 		expiry  = flag.Float64("expiry", 1.0, "task expiration time e in hours")
 		maxT    = flag.Int("maxt", 4, "worker capacity maxT")
 		seed    = flag.Int64("seed", 1, "generator seed")
-		preset  = flag.String("preset", "", "preset instead of explicit counts: corridor, twincities, ringroad, or a scale point like scale10k / scale100k")
+		preset  = flag.String("preset", "", "preset instead of explicit counts: corridor, twincities, ringroad, or a scale point like scale10k / scale100k / scale1m")
 		format  = flag.String("format", "json", "output format: json or csv")
 		out     = flag.String("out", "", "output file (default stdout)")
 	)
@@ -42,9 +42,12 @@ func main() {
 	var in *imtao.Instance
 	switch {
 	case strings.HasPrefix(*preset, "scale"):
-		// Scale presets (scale10k, scale50k, scale100k, or any scale<N>[k])
+		// Scale presets (scale10k, scale100k, scale1m, or any scale<N>[k|m])
 		// override the entity counts with the benchmark's density ratios;
-		// dataset, expiry, capacity and seed flags still apply.
+		// dataset, expiry, capacity and seed flags still apply. scale1m is
+		// 1M tasks / 250k workers / 5000 centers: expect ~0.7 GB peak
+		// resident while generating and ~134 MB of JSON output (README
+		// "Scaling up" documents the full footprint).
 		n, serr := workload.ParseScaleSize(strings.TrimPrefix(*preset, "scale"))
 		if serr != nil {
 			fatal(serr)

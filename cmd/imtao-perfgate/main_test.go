@@ -15,6 +15,7 @@ var committed = []string{
 	"../../BENCH_parallel.json",
 	"../../BENCH_oracle.json",
 	"../../BENCH_game.json",
+	"../../BENCH_shard.json",
 }
 
 // TestGatePassesOnCommittedBaselines is the self-consistency acceptance
@@ -35,7 +36,7 @@ func TestGatePassesOnCommittedBaselines(t *testing.T) {
 	if !strings.Contains(out.String(), "PASS") {
 		t.Errorf("no PASS line:\n%s", out.String())
 	}
-	if strings.Contains(out.String(), "0 gated") {
+	if strings.Contains(out.String(), "perfgate: 0 gated") {
 		t.Errorf("a pair gated nothing:\n%s", out.String())
 	}
 }

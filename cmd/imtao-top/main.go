@@ -87,6 +87,8 @@ var seriesRows = []struct {
 	{"imtao_game_phi", "Φ potential", "raw"},
 	{quantileKey("imtao_collab_iter_seconds", "0.5"), "iter p50", "seconds"},
 	{quantileKey("imtao_collab_iter_seconds", "0.99"), "iter p99", "seconds"},
+	{quantileKey("imtao_shard_iter_seconds", "0.99"), "shard iter p99", "seconds"},
+	{"imtao_shard_skew", "shard skew", "raw"},
 	{quantileKey("imtao_phase1_center_seconds", "0.99"), "phase1 center p99", "seconds"},
 	{quantileKey("imtao_roadnet_dijkstra_seconds", "0.99"), "dijkstra p99", "seconds"},
 	{"imtao_runtime_gc_pause_p99_seconds", "GC pause p99", "seconds"},
@@ -105,6 +107,8 @@ var counterRows = []struct {
 	{"imtao_collab_memo_hits_total", "memo hits"},
 	{"imtao_collab_candidates_pruned_total", "pruned"},
 	{"imtao_roadnet_dijkstra_runs_total", "dijkstra runs"},
+	{"imtao_shard_games_total", "shard games"},
+	{"imtao_shard_exchange_iterations_total", "exchange iters"},
 }
 
 // dashboard accumulates per-series history across polls and renders the

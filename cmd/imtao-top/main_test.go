@@ -22,6 +22,12 @@ imtao_collab_iter_seconds_sum 1.5
 imtao_collab_iter_seconds_count 1200
 imtao_runtime_heap_live_bytes 1.2582912e+07
 imtao_collab_trials_total 420
+# TYPE imtao_shard_iter_seconds summary
+imtao_shard_iter_seconds{quantile="0.5"} 0.0014
+imtao_shard_iter_seconds{quantile="0.99"} 0.0031
+imtao_shard_skew 1.8
+imtao_shard_games_total 8
+imtao_shard_exchange_iterations_total 95
 `
 
 // TestParseMetrics covers the exposition shapes the dashboard must survive:
@@ -88,6 +94,9 @@ func TestDashboardPollRender(t *testing.T) {
 		"Φ potential", "17.25",
 		"iter p50", "1.20ms",
 		"iter p99", "4.70ms",
+		"shard iter p99", "3.10ms",
+		"shard skew", "1.800",
+		"exchange iters", "95",
 		"heap live", "12.0MiB",
 		"trials",
 	} {

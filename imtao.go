@@ -194,6 +194,27 @@ func WithParallelism(n int) RunOption {
 	return func(c *core.Config) { c.Parallelism = n }
 }
 
+// WithShards routes the phase-2 collaboration game through the
+// region-sharded engine (DESIGN.md §15): centers are partitioned into n
+// geographic shards with seeded k-means, best-response dynamics run
+// concurrently per shard over disjoint home-shard worker pools, and a
+// serialized exchange game settles the boundary workers and drives the
+// merged state to a global Nash equilibrium. When the worker-overlap
+// interference cut between shards is empty, the result is bit-identical to
+// the unsharded engine; methods the sharded engine cannot prove safe for
+// (RBDC, budgeted Opt) fall back to the ordinary game. 0 or 1 (the
+// default) keeps the single-game engine.
+func WithShards(n int) RunOption {
+	return func(c *core.Config) { c.Shards = n }
+}
+
+// WithShardParallelism bounds the goroutines playing shard games
+// concurrently under WithShards: 0 (the default) means GOMAXPROCS, 1 plays
+// the shards serially. The output is bit-identical at every setting.
+func WithShardParallelism(n int) RunOption {
+	return func(c *core.Config) { c.ShardParallelism = n }
+}
+
 // WithObserver streams structured telemetry events from the run — pipeline
 // phase spans (run_start, phase1, phase2, run_end), per-center phase-1
 // summaries, and one game_iter event per phase-2 best-response iteration

@@ -208,6 +208,38 @@ type Config struct {
 	// pruning-soundness property test.
 	prunedHook func(recipient model.CenterID, w model.WorkerID,
 		baseWS []model.WorkerID, leftTasks []model.TaskID, assigned int)
+	// members restricts the game to a subset of centers — the sharded
+	// engine's phase-A games (shard.go). Only member centers are initialized,
+	// selected as recipients or allowed to lend; TraceStep.Rhos/Assigned/
+	// Unfairness/Phi switch to shard-local semantics (the member-ordered ρ
+	// vector and the members' assigned total). Nil means every center plays
+	// (the unsharded engine, global semantics).
+	members []model.CenterID
+	// poolMask/poolBit gate pool admission per worker: with a non-nil mask a
+	// worker enters the pool only when poolMask[w] == poolBit — the sharded
+	// engine passes each worker's shard-membership bitset and the shard's own
+	// bit, so exactly the shard-exclusive workers circulate in phase A while
+	// boundary workers wait for the reconcile game. The gate covers both the
+	// initial LeftWorkers admission and own workers returning to the pool
+	// after an accepted reassignment.
+	poolMask []uint64
+	poolBit  uint64
+	// resume seeds the game from a mid-dynamics state instead of a fresh
+	// phase-1 one: prior transfers are replayed into the own/borrowed sets
+	// (and appended to the transfer log), and the per-center trial memos of
+	// the prior games are carried over. The caller asserts the input results
+	// describe each center's CURRENT routes/leftovers/unused-own-workers and
+	// that every memo entry was computed against that exact center state —
+	// the sharded engine's phase-B reconcile game satisfies both by
+	// construction (shard.go).
+	resume *resumeState
+}
+
+// resumeState carries a prior game's outcome into a resumed Game — see
+// Config.resume.
+type resumeState struct {
+	transfers []model.Transfer
+	memo      []map[model.WorkerID]assign.Result
 }
 
 // sequentialPtr identifies the built-in Sequential assigner by code pointer,
@@ -399,6 +431,11 @@ type Game struct {
 	rhoVec        []float64
 	recipients    []model.CenterID
 	memo          []map[model.WorkerID]assign.Result
+	// members mirrors cfg.members (nil for the global game); memberRhos is
+	// the preallocated member-ordered ρ scratch the shard-local trace path
+	// fills each step before snapshotting it into the rhos arena.
+	members    []model.CenterID
+	memberRhos []float64
 
 	// base is the per-iteration trial-base snapshot, reset in place;
 	// runners are the long-lived trial evaluators rebound to it (slot 0
@@ -466,8 +503,13 @@ func NewGame(in *model.Instance, phase1 []assign.Result, cfg Config) *Game {
 
 	g.states = make([]centerState, n)
 	g.pool = newWorkerPool(in, g.pruneOn)
+	g.pool.mask, g.pool.maskBit = cfg.poolMask, cfg.poolBit
 	g.rhoVec = make([]float64, n)
-	for ci := range in.Centers {
+	g.members = cfg.members
+	if g.members != nil {
+		g.memberRhos = make([]float64, len(g.members))
+	}
+	initCenter := func(ci model.CenterID) {
 		st := &g.states[ci]
 		st.promo[0].promote(&phase1[ci])
 		st.routes = st.promo[0].routes
@@ -480,15 +522,32 @@ func NewGame(in *model.Instance, phase1 []assign.Result, cfg Config) *Game {
 		st.rho = metrics.Ratio(st.assigned, len(in.Centers[ci].Tasks))
 		g.rhoVec[ci] = st.rho
 		for _, w := range phase1[ci].LeftWorkers {
-			g.pool.add(w, model.CenterID(ci))
+			g.pool.add(w, ci)
 		}
 	}
-
-	// Line 3–10: recipient set C' = centers with ρ < 1.
-	for ci := range in.Centers {
-		if g.states[ci].rho < 1 {
-			g.recipients = append(g.recipients, model.CenterID(ci))
+	// Line 3–10: recipient set C' = centers with ρ < 1 (member centers only
+	// for a shard-restricted game — non-members keep zero states and never
+	// appear as recipients or lenders: the pool gate keeps their workers out,
+	// and candidate home centers are always pool members' homes).
+	if g.members == nil {
+		for ci := range in.Centers {
+			initCenter(model.CenterID(ci))
 		}
+		for ci := range in.Centers {
+			if g.states[ci].rho < 1 {
+				g.recipients = append(g.recipients, model.CenterID(ci))
+			}
+		}
+	} else {
+		for _, ci := range g.members {
+			initCenter(ci)
+		}
+		for _, ci := range g.members {
+			if g.states[ci].rho < 1 {
+				g.recipients = append(g.recipients, ci)
+			}
+		}
+		slices.Sort(g.recipients)
 	}
 
 	g.maxIter = cfg.MaxIterations
@@ -513,6 +572,35 @@ func NewGame(in *model.Instance, phase1 []assign.Result, cfg Config) *Game {
 	// where Result.VerifyEquilibrium reuses them instead of re-running the
 	// assigner over the whole pool.
 	g.memo = make([]map[model.WorkerID]assign.Result, n)
+
+	if cfg.resume != nil {
+		// Replay the prior transfers into the worker-set bookkeeping: the
+		// input results already describe each center's current routes and
+		// unused own workers, so only the own/borrowed/workers sets (built
+		// above from the static center rosters) need the lends applied. The
+		// replayed transfers seed the transfer log so the final Solution
+		// carries the full history.
+		for _, tr := range cfg.resume.transfers {
+			src, dst := &g.states[tr.Src], &g.states[tr.Dst]
+			src.own = removeSortedID(src.own, tr.Worker)
+			src.workers = removeSortedID(src.workers, tr.Worker)
+			dst.borrowed = appendGrown(dst.borrowed, tr.Worker)
+			dst.workers = insertSortedID(dst.workers, tr.Worker)
+			g.pool.remove(tr.Worker)
+			g.transfers = append(g.transfers, tr)
+		}
+		// Carry the prior games' trial memos: every entry was computed
+		// against its center's current (resumed) state, so the usual
+		// invalidation rules — drop a center's map when it lends — keep
+		// working from here.
+		if cfg.resume.memo != nil && !cfg.noMemo {
+			for ci, m := range cfg.resume.memo {
+				if m != nil {
+					g.memo[ci] = m
+				}
+			}
+		}
+	}
 	return g
 }
 
@@ -540,7 +628,11 @@ func (g *Game) Reserve(n int) {
 		copy(t, g.transfers)
 		g.transfers = t
 	}
-	g.rhos.Reserve(n * len(g.rhoVec))
+	rhoLen := len(g.rhoVec)
+	if g.members != nil {
+		rhoLen = len(g.members)
+	}
+	g.rhos.Reserve(n * rhoLen)
 }
 
 // Step executes one game iteration (Algorithm 3 lines 13–21) and reports
@@ -747,11 +839,14 @@ func (g *Game) Step() bool {
 		g.transfers = append(g.transfers, model.Transfer{Src: src, Dst: ci, Worker: w})
 		mTransfers.Inc()
 		// Both centers' states changed: the recipient's routes, borrowed
-		// set and leftover tasks, and the lender's own-worker set. The
-		// lender's cached trials are stale; every other center's remain
-		// valid. (The recipient has no cached trials — only rejected
-		// centers do, and they never return as recipients.)
+		// set and leftover tasks, and the lender's own-worker set. Both
+		// centers' cached trials are stale; every other center's remain
+		// valid. (Within one game the recipient never has cached trials —
+		// only rejected centers do, and they never return as recipients —
+		// but a resumed game carries drop-time memos for centers that play
+		// again, so the recipient's entry is cleared explicitly.)
 		g.memo[src] = nil
+		g.memo[ci] = nil
 		// The lender's trial baseline usually survives the lend: a worker
 		// with an empty route consumes nothing from the task pool, so
 		// Sequential over the set minus that worker serves every other
@@ -837,8 +932,18 @@ func (g *Game) Step() bool {
 	}
 	// Unfairness and Φ are recomputed from the maintained ρ vector each
 	// step: incremental float updates would drift from the reference bit
-	// pattern, while the vector itself is maintained exactly.
-	rv := g.rhos.Copy(g.rhoVec)
+	// pattern, while the vector itself is maintained exactly. A
+	// shard-restricted game snapshots the member-ordered vector instead —
+	// its trace carries shard-local Φ/U_ρ (DESIGN.md §15).
+	var rv []float64
+	if g.members == nil {
+		rv = g.rhos.Copy(g.rhoVec)
+	} else {
+		for i, mci := range g.members {
+			g.memberRhos[i] = g.rhoVec[mci]
+		}
+		rv = g.rhos.Copy(g.memberRhos)
+	}
 	step.Assigned = g.totalAssigned
 	step.Unfairness = metrics.Unfairness(rv)
 	step.Phi = metrics.Phi(rv)

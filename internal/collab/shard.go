@@ -1,0 +1,614 @@
+package collab
+
+// Region-sharded phase-2 engine (DESIGN.md §15). RunSharded partitions the
+// centers into geographic shards with the voronoi k-means machinery, proves
+// which workers can interact with which shards (the worker-overlap
+// interference graph), plays one best-response game per shard concurrently
+// over the home-shard workers, and reconciles the boundary workers with
+// a serialized exchange game resumed from the merged shard states. The
+// reconcile game runs the ordinary best-response dynamics to a fixed point,
+// so the final state is a global pure Nash equilibrium
+// (Result.VerifyEquilibrium); when the interference cut is empty the shard
+// games ARE the global game and RunSharded reconstructs the exact
+// reference sequence — routes, transfers and trace bit-identical to
+// Run/RunReference.
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imtao/internal/assign"
+	"imtao/internal/geo"
+	"imtao/internal/index"
+	"imtao/internal/metrics"
+	"imtao/internal/model"
+	"imtao/internal/obs"
+	"imtao/internal/slab"
+	"imtao/internal/voronoi"
+)
+
+// Shard-engine metrics, aggregated across every sharded run of the process.
+var (
+	mShardGames = obs.Default.Counter("imtao_shard_games_total",
+		"phase-A shard games played (one per shard per sharded run)")
+	mShardGameSeconds = obs.Default.Quantile("imtao_shard_game_seconds",
+		"wall time of one phase-A shard game, pool-queue wait included; the "+
+			"p99/p50 spread is the shard skew straggler view")
+	mShardIterSeconds = obs.Default.Quantile("imtao_shard_iter_seconds",
+		"wall time of one shard-game iteration across every shard of every "+
+			"sharded run — the per-shard counterpart of imtao_collab_iter_seconds")
+	mShardBoundary = obs.Default.Gauge("imtao_shard_boundary_workers",
+		"boundary workers of the most recent sharded run — workers admissible "+
+			"to recipient centers in more than one shard, settled by the "+
+			"exchange game instead of a phase-A pool")
+	mShardConflicts = obs.Default.Gauge("imtao_shard_conflict_edges",
+		"interference-graph edges of the most recent sharded run — shard "+
+			"pairs sharing at least one boundary worker")
+	mShardSkew = obs.Default.Gauge("imtao_shard_skew",
+		"max/mean phase-A shard game wall time of the most recent sharded "+
+			"run — 1.0 is perfectly balanced shards")
+	mExchangeIters = obs.Default.Counter("imtao_shard_exchange_iterations_total",
+		"serialized exchange-round iterations of the boundary reconcile game")
+	mExchangeTransfers = obs.Default.Counter("imtao_shard_exchange_transfers_total",
+		"workforce dispatches accepted during boundary reconciliation")
+)
+
+// ShardConfig configures a sharded collaboration run.
+type ShardConfig struct {
+	Config
+	// Shards is the requested geographic shard count. Values above 64 are
+	// clamped (the interference bitsets are one machine word); duplicate
+	// center locations can reduce the effective count further. ≤ 1 runs the
+	// unsharded engine.
+	Shards int
+	// Seed drives the k-means shard partition (voronoi.PartitionPoints):
+	// the same seed always produces the same shard map.
+	Seed int64
+	// ShardParallelism bounds the goroutines playing phase-A shard games
+	// concurrently. 0 means GOMAXPROCS; 1 plays the shards serially. The
+	// output is bit-identical at every setting: each shard game is
+	// deterministic and the results are merged in shard order. When shard
+	// games run concurrently their inner trial parallelism is forced to 1.
+	ShardParallelism int
+}
+
+// ShardReport describes the partition and reconciliation work of one
+// sharded run.
+type ShardReport struct {
+	// Shards is the effective shard count; ShardOf maps each center to its
+	// shard label.
+	Shards  int
+	ShardOf []int
+	// ExclusiveWorkers can only ever interact with one shard, so their
+	// phase-A placement is final; BoundaryWorkers are admissible to
+	// recipient centers of two or more shards — phase A settles them
+	// tentatively within their home shard and the exchange game re-contests
+	// them globally. ConflictEdges counts shard pairs sharing at least one
+	// boundary worker; EmptyCut reports a boundary-free partition — the
+	// case where the shard games provably reproduce the global game.
+	ExclusiveWorkers int
+	BoundaryWorkers  int
+	ConflictEdges    int
+	EmptyCut         bool
+	// ShardIterations and ShardWall are the per-shard phase-A iteration
+	// counts and wall times, in shard order. With a non-empty cut the final
+	// trace is the shard traces concatenated in this order followed by the
+	// exchange-game steps, so these lengths segment it.
+	ShardIterations []int
+	ShardWall       []time.Duration
+	// ExchangeIterations and ExchangeTransfers are the serialized boundary
+	// reconcile game's iteration and accepted-dispatch counts (zero when the
+	// cut is empty — reconciliation is skipped entirely).
+	ExchangeIterations int
+	ExchangeTransfers  int
+}
+
+// PlanShards partitions the instance's centers into at most shards
+// geographic groups with the seeded k-means partitioner and returns the
+// center→shard labels plus the effective shard count. Deterministic per
+// (instance, shards, seed).
+func PlanShards(in *model.Instance, shards int, seed int64) ([]int, int) {
+	pts := make([]geo.Point, len(in.Centers))
+	for i := range in.Centers {
+		pts[i] = in.Centers[i].Loc
+	}
+	return voronoi.PartitionPoints(seed, pts, shards)
+}
+
+// interference is the worker-overlap analysis of a shard partition.
+type interference struct {
+	// mask[w] is the bitset of shards worker w can interact with: its home
+	// shard plus every shard holding a recipient center it is admissible to.
+	// Zero means w can never enter any pool (a used worker of a
+	// non-recipient center) — it never circulates.
+	mask      []uint64
+	exclusive int
+	boundary  int
+	conflicts int
+}
+
+// shardInterference computes the interference graph: which shards each
+// potentially-poolable worker can interact with. A worker is poolable when
+// it starts in the phase-1 leftover pool or is owned by a recipient center
+// (whose own workers can be freed back into the pool by an accepted
+// reassignment); a poolable worker touches shard S when its home center is
+// in S or some recipient center of S admits it under the admission-slack
+// check — the same physics bound the pruning engine uses, evaluated over
+// the static FullReassign scope (or the initial, maximal leftover set for
+// DC, whose slack only shrinks). Two shards conflict iff some worker
+// touches both.
+func shardInterference(in *model.Instance, phase1 []assign.Result,
+	shardOf []int, scope Scope) interference {
+
+	nW := len(in.Workers)
+	inf := interference{mask: make([]uint64, nW)}
+
+	recipient := make([]bool, len(in.Centers))
+	for ci := range in.Centers {
+		assigned := countTasks(phase1[ci].Routes)
+		if metrics.Ratio(assigned, len(in.Centers[ci].Tasks)) < 1 {
+			recipient[ci] = true
+		}
+	}
+
+	// Poolable workers get their home-shard bit.
+	for ci := range in.Centers {
+		bit := uint64(1) << shardOf[ci]
+		for _, w := range phase1[ci].LeftWorkers {
+			inf.mask[w] |= bit
+		}
+		if recipient[ci] {
+			for _, w := range in.Centers[ci].Workers {
+				inf.mask[w] |= bit
+			}
+		}
+	}
+
+	// Candidate edges: recipient center → admissible poolable workers. With
+	// a speed bound the scan per center is a grid range query of the same
+	// conservatively inflated admission radius the game pool uses; otherwise
+	// every poolable worker gets the exact travel-time check.
+	var grid *index.Grid
+	vmax := poolSpeedBound(in)
+	var poolable []model.WorkerID
+	for w, m := range inf.mask {
+		if m != 0 {
+			poolable = append(poolable, model.WorkerID(w))
+		}
+	}
+	if vmax > 0 {
+		grid = index.NewGrid(in.Bounds, max(len(poolable)/4, 1), 4)
+		for _, w := range poolable {
+			grid.Insert(index.Item{ID: int(w), Point: in.Worker(w).Loc})
+		}
+	}
+	var items []index.Item
+	for ci := range in.Centers {
+		if !recipient[ci] {
+			continue
+		}
+		c := in.Center(model.CenterID(ci))
+		var slack float64
+		if scope == LeftoverOnly {
+			slack = assign.AdmissionSlack(in, c, phase1[ci].LeftTasks)
+		} else {
+			slack = assign.AdmissionSlack(in, c, c.Tasks)
+		}
+		bit := uint64(1) << shardOf[ci]
+		if grid != nil {
+			r := (slack + assign.PrunePad) * vmax
+			if r > 0 {
+				r += r*1e-9 + 1e-12
+			}
+			items = grid.InRangeAppend(items[:0], c.Loc, r)
+			for _, it := range items {
+				w := model.WorkerID(it.ID)
+				if in.Worker(w).Home != model.CenterID(ci) &&
+					assign.WorkerAdmissible(in, c, w, slack) {
+					inf.mask[w] |= bit
+				}
+			}
+		} else {
+			for _, w := range poolable {
+				if in.Worker(w).Home != model.CenterID(ci) &&
+					assign.WorkerAdmissible(in, c, w, slack) {
+					inf.mask[w] |= bit
+				}
+			}
+		}
+	}
+
+	// Boundary/conflict accounting: a worker whose bitset spans >1 shard is
+	// a boundary worker and adds its shard pairs to the conflict graph.
+	var adj [64]uint64
+	for _, m := range inf.mask {
+		switch bits.OnesCount64(m) {
+		case 0:
+		case 1:
+			inf.exclusive++
+		default:
+			inf.boundary++
+			for mm := m; mm != 0; {
+				s := bits.TrailingZeros64(mm)
+				mm &= mm - 1
+				adj[s] |= m
+			}
+		}
+	}
+	for s := range adj {
+		inf.conflicts += bits.OnesCount64(adj[s] &^ (uint64(1)<<(s+1) - 1))
+	}
+	return inf
+}
+
+// RunSharded executes the collaboration game through the region-sharded
+// engine: concurrent per-shard best-response dynamics over the
+// shard-exclusive workers, then a serialized exchange game that settles the
+// boundary workers and drives the merged state to a global Nash equilibrium.
+// The instance is not mutated.
+//
+// Determinism: the outcome is bit-identical across ShardParallelism
+// settings and repeated runs (deterministic assigners). When the
+// interference cut is empty the result — routes, transfers and trace — is
+// additionally bit-identical to Run/RunReference (diagnostics and Duration
+// aside); otherwise the result is a different, but verified, equilibrium of
+// the same game.
+//
+// The sharded path engages for MinRatio/BestResponse dynamics with an
+// assigner admitting the admissibility-pruning argument (the built-in
+// Sequential, or any assigner the caller vouches for via PruneOn — the
+// interference graph is built from the same admission-slack bound).
+// Everything else — RandomRecipient, NearestWorker, budgeted assigners
+// under PruneOff — falls back to the unsharded Run, reported as one shard.
+// Config.MaxIterations, when set, caps each shard game and the exchange
+// game individually.
+func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Result, ShardReport) {
+	k := cfg.Shards
+	if k > 64 {
+		k = 64
+	}
+	eligible := cfg.Recipient == MinRatio && cfg.Candidate == BestResponse &&
+		(isSequentialAssigner(cfg.Assigner) || cfg.Prune == PruneOn)
+	if k <= 1 || len(in.Centers) < 2 || !eligible {
+		res := Run(in, phase1, cfg.Config)
+		return res, singleShardReport(in, res)
+	}
+
+	in.PrepareMetric()
+	in.EnsureHot()
+	shardOf, nShards := PlanShards(in, k, cfg.Seed)
+	if nShards <= 1 {
+		res := Run(in, phase1, cfg.Config)
+		return res, singleShardReport(in, res)
+	}
+	inf := shardInterference(in, phase1, shardOf, cfg.Scope)
+	mShardBoundary.Set(float64(inf.boundary))
+	mShardConflicts.Set(float64(inf.conflicts))
+
+	members := make([][]model.CenterID, nShards)
+	for ci := range in.Centers {
+		s := shardOf[ci]
+		members[s] = append(members[s], model.CenterID(ci))
+	}
+	// Phase-A pools partition the poolable workers by HOME shard: every
+	// worker plays in exactly one shard's game, so the games' mutable state
+	// is disjoint and they run concurrently without coordination. When the
+	// interference cut is empty the home partition coincides with the
+	// interference masks (every poolable worker's mask is exactly its home
+	// bit), which is what makes the shard games provable restrictions of
+	// the global game; with a non-empty cut, boundary workers are settled
+	// tentatively in their home shard and re-contested by every admissible
+	// center in the exchange game.
+	homeMask := make([]uint64, len(in.Workers))
+	for w := range homeMask {
+		homeMask[w] = uint64(1) << shardOf[in.Workers[w].Home]
+	}
+
+	// Phase A: one restricted game per shard over its member centers and
+	// home-shard workers. Games are independent by construction — disjoint
+	// center sets, disjoint pools — so they run concurrently on a bounded
+	// pool, each with its own trial base, runners, scratch and arenas (the
+	// zero-alloc steady state holds per shard). Results land in fixed
+	// slots: the merge below is deterministic at every parallelism.
+	games := make([]*Game, nShards)
+	solus := make([]Result, nShards)
+	walls := make([]time.Duration, nShards)
+	innerPar := cfg.Parallelism
+	shardPar := cfg.ShardParallelism
+	if shardPar <= 0 {
+		shardPar = runtime.GOMAXPROCS(0)
+	}
+	if shardPar > nShards {
+		shardPar = nShards
+	}
+	if shardPar > 1 {
+		innerPar = 1
+	}
+	runShard := func(s int) {
+		scfg := cfg.Config
+		scfg.members = members[s]
+		scfg.poolMask = homeMask
+		scfg.poolBit = uint64(1) << s
+		scfg.Parallelism = innerPar
+		t0 := time.Now()
+		g := NewGame(in, phase1, scfg)
+		for g.Step() {
+		}
+		solus[s] = g.Finish()
+		walls[s] = time.Since(t0)
+		games[s] = g
+		mShardGames.Inc()
+		mShardGameSeconds.ObserveDuration(walls[s])
+		for i := range solus[s].Trace {
+			mShardIterSeconds.ObserveDuration(solus[s].Trace[i].Duration)
+		}
+	}
+	if shardPar <= 1 {
+		for s := 0; s < nShards; s++ {
+			runShard(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(shardPar)
+		for g := 0; g < shardPar; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1) - 1)
+					if s >= nShards {
+						return
+					}
+					runShard(s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := ShardReport{
+		Shards:           nShards,
+		ShardOf:          shardOf,
+		ExclusiveWorkers: inf.exclusive,
+		BoundaryWorkers:  inf.boundary,
+		ConflictEdges:    inf.conflicts,
+		EmptyCut:         inf.boundary == 0,
+		ShardIterations:  make([]int, nShards),
+		ShardWall:        walls,
+	}
+	var wallMax, wallSum time.Duration
+	for s := 0; s < nShards; s++ {
+		rep.ShardIterations[s] = solus[s].Iterations
+		wallSum += walls[s]
+		if walls[s] > wallMax {
+			wallMax = walls[s]
+		}
+	}
+	if wallSum > 0 {
+		mShardSkew.Set(float64(wallMax) * float64(nShards) / float64(wallSum))
+	}
+
+	if rep.EmptyCut {
+		// No worker can touch two shards: the shard games are exactly the
+		// global game's per-shard subsequences, and interleaving them by
+		// the global min-ρ rule reconstructs the reference run verbatim.
+		return mergeIndependent(in, phase1, shardOf, games, solus, cfg.noMemo), rep
+	}
+
+	// Phase B: serialized boundary reconciliation. The exchange game is the
+	// ordinary best-response dynamics resumed from the merged shard states
+	// with the full worker pool — boundary workers included for the first
+	// time — so every center (including those that dropped out of a shard
+	// game) re-probes its improving deviations against the global pool. The
+	// carried trial memos answer the shard-local candidates instantly; only
+	// cross-shard candidates cost fresh trials. The dynamics terminates at a
+	// state with no improving transfer anywhere: a global Nash equilibrium.
+	merged := make([]assign.Result, len(in.Centers))
+	var priorTransfers []model.Transfer
+	for s := 0; s < nShards; s++ {
+		priorTransfers = append(priorTransfers, solus[s].Solution.Transfers...)
+	}
+	memo := make([]map[model.WorkerID]assign.Result, len(in.Centers))
+	for ci := range in.Centers {
+		g := games[shardOf[ci]]
+		st := &g.states[ci]
+		used := make(map[model.WorkerID]bool, len(st.routes))
+		for i := range st.routes {
+			used[st.routes[i].Worker] = true
+		}
+		var lws []model.WorkerID
+		for _, w := range st.own {
+			if !used[w] {
+				lws = append(lws, w)
+			}
+		}
+		merged[ci] = assign.Result{Routes: st.routes, LeftTasks: st.leftTasks, LeftWorkers: lws}
+		memo[ci] = g.memo[ci]
+	}
+	bcfg := cfg.Config
+	bcfg.resume = &resumeState{transfers: priorTransfers, memo: memo}
+	gB := NewGame(in, merged, bcfg)
+	for gB.Step() {
+	}
+	resB := gB.Finish()
+	rep.ExchangeIterations = resB.Iterations
+	rep.ExchangeTransfers = len(resB.Solution.Transfers) - len(priorTransfers)
+	mExchangeIters.Add(int64(rep.ExchangeIterations))
+	mExchangeTransfers.Add(int64(rep.ExchangeTransfers))
+
+	// Final trace: shard traces in shard order (shard-local ρ/Φ semantics),
+	// then the exchange steps (global semantics), renumbered consecutively.
+	total := rep.ExchangeIterations
+	for s := 0; s < nShards; s++ {
+		total += solus[s].Iterations
+	}
+	trace := make([]TraceStep, 0, total)
+	for s := 0; s < nShards; s++ {
+		for i := range solus[s].Trace {
+			step := solus[s].Trace[i]
+			step.Iteration = len(trace) + 1
+			trace = append(trace, step)
+		}
+	}
+	for i := range resB.Trace {
+		step := resB.Trace[i]
+		step.Iteration = len(trace) + 1
+		trace = append(trace, step)
+	}
+	resB.Trace = trace
+	resB.Iterations = len(trace)
+	return resB, rep
+}
+
+// singleShardReport wraps an unsharded result as a one-shard report — the
+// fallback path of RunSharded.
+func singleShardReport(in *model.Instance, res Result) ShardReport {
+	return ShardReport{
+		Shards:          1,
+		ShardOf:         make([]int, len(in.Centers)),
+		EmptyCut:        true,
+		ShardIterations: []int{res.Iterations},
+		ShardWall:       []time.Duration{0},
+	}
+}
+
+// mergeIndependent reconstructs the global game from independent shard
+// games (empty interference cut). Every global iteration happens at the
+// min-ρ recipient; with an empty cut that recipient's candidates, trials
+// and state updates are exactly its shard game's next step, so a merge by
+// (ρ, center ID) — the MinRatioCenter rule — replays the global sequence
+// verbatim. Centers stranded by an exhausted shard pool (recipients whose
+// shard game ended with no step for them) reject with an empty candidate
+// list in the global game; those steps are synthesized here, and the merge
+// stops where the global game would — when the union pool is empty.
+func mergeIndependent(in *model.Instance, phase1 []assign.Result, shardOf []int,
+	games []*Game, solus []Result, noMemo bool) Result {
+
+	n := len(in.Centers)
+	nShards := len(games)
+
+	// Global state replay: the ρ vector and assigned total evolve exactly
+	// as in the reference loop, driven by the shard steps' deltas.
+	rho := make([]float64, n)
+	assignedTotal := 0
+	prevAssigned := make([]int, nShards)
+	for ci := range in.Centers {
+		a := countTasks(phase1[ci].Routes)
+		rho[ci] = metrics.Ratio(a, len(in.Centers[ci].Tasks))
+		assignedTotal += a
+		prevAssigned[shardOf[ci]] += a
+	}
+
+	// Stranded recipients: still in their shard game's recipient set at its
+	// end (the shard pool ran dry first). The global game rejects each in
+	// (ρ, ID) order interleaved with the remaining real steps — their ρ is
+	// final, so the order within a shard is fixed now.
+	stranded := make([][]model.CenterID, nShards)
+	for s := 0; s < nShards; s++ {
+		stranded[s] = append(stranded[s], games[s].recipients...)
+		sort.Slice(stranded[s], func(i, j int) bool {
+			a, b := stranded[s][i], stranded[s][j]
+			if rho[a] != rho[b] {
+				return rho[a] < rho[b]
+			}
+			return a < b
+		})
+	}
+
+	// poolLive reports whether the union pool still has a worker: some shard
+	// either has real steps pending (its pool was live at that local time)
+	// or finished with a non-empty pool. Once false, the global game is
+	// over — stranded recipients past that point never reject.
+	pos := make([]int, nShards)
+	spos := make([]int, nShards)
+	poolLive := func() bool {
+		for s := 0; s < nShards; s++ {
+			if pos[s] < len(solus[s].Trace) || games[s].pool.len() > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	totalSteps := 0
+	for s := 0; s < nShards; s++ {
+		totalSteps += len(solus[s].Trace) + len(stranded[s])
+	}
+	trace := make([]TraceStep, 0, totalSteps)
+	var transfers []model.Transfer
+	var rhos slab.Arena[float64]
+	rhos.Reserve(totalSteps * n)
+	for {
+		best, bestSynth := -1, false
+		var bestR model.CenterID
+		for s := 0; s < nShards; s++ {
+			var r model.CenterID
+			var synth bool
+			switch {
+			case pos[s] < len(solus[s].Trace):
+				r = solus[s].Trace[pos[s]].Recipient
+			case spos[s] < len(stranded[s]):
+				r, synth = stranded[s][spos[s]], true
+			default:
+				continue
+			}
+			if best < 0 || rho[r] < rho[bestR] || (rho[r] == rho[bestR] && r < bestR) {
+				best, bestR, bestSynth = s, r, synth
+			}
+		}
+		if best < 0 {
+			break
+		}
+		var step TraceStep
+		if bestSynth {
+			if !poolLive() {
+				break
+			}
+			spos[best]++
+			step = TraceStep{Recipient: bestR, Accepted: false,
+				RhoBefore: rho[bestR], RhoAfter: rho[bestR]}
+		} else {
+			step = solus[best].Trace[pos[best]]
+			pos[best]++
+			assignedTotal += step.Assigned - prevAssigned[best]
+			prevAssigned[best] = step.Assigned
+			rho[step.Recipient] = step.RhoAfter
+			if step.Accepted {
+				transfers = append(transfers,
+					model.Transfer{Src: step.Source, Dst: step.Recipient, Worker: step.Worker})
+			}
+		}
+		rv := rhos.Copy(rho)
+		step.Iteration = len(trace) + 1
+		step.Assigned = assignedTotal
+		step.Rhos = rv
+		step.Unfairness = metrics.Unfairness(rv)
+		step.Phi = metrics.Phi(rv)
+		trace = append(trace, step)
+	}
+
+	sol := model.NewSolution(in)
+	for ci := range in.Centers {
+		sol.PerCenter[ci].Routes = solus[shardOf[ci]].Solution.PerCenter[ci].Routes
+	}
+	sol.Transfers = transfers
+	res := Result{Solution: sol, Trace: trace, Iterations: len(trace)}
+	if !noMemo {
+		anyMemo := false
+		memo := make([]map[model.WorkerID]assign.Result, n)
+		for ci := range in.Centers {
+			if m := games[shardOf[ci]].memo[ci]; m != nil {
+				memo[ci] = m
+				anyMemo = true
+			}
+		}
+		if anyMemo {
+			res.trialMemo = memo
+		}
+	}
+	return res
+}

@@ -176,6 +176,19 @@ type Config struct {
 	// (obs.Tracer.WriteChromeTrace). Nil (the default) disables tracing at
 	// zero cost: no span IDs are allocated and no clock is read.
 	Tracer *obs.Tracer
+	// Shards > 1 routes phase 2 through the region-sharded game engine
+	// (collab.RunSharded, DESIGN.md §15): centers are k-means partitioned
+	// into that many geographic shards (seeded by Seed), shard-local
+	// best-response games run concurrently, and boundary workers are settled
+	// by a serialized exchange game. Methods the sharded engine cannot prove
+	// equivalent or convergent for (RBDC's random recipients, budgeted Opt)
+	// fall back to the unsharded game; Report.Shard records what actually
+	// ran. 0 or 1 is the ordinary single-game engine.
+	Shards int
+	// ShardParallelism bounds the goroutines playing shard games
+	// concurrently; 0 means GOMAXPROCS. Output is bit-identical at every
+	// setting.
+	ShardParallelism int
 }
 
 // Report is the outcome of an IMTAO run.
@@ -197,6 +210,10 @@ type Report struct {
 	Iterations   int
 	Phase1Time   time.Duration
 	Phase2Time   time.Duration
+	// Shard describes the sharded engine's partition and reconciliation work
+	// when Config.Shards > 1 engaged it (a one-shard report when the run
+	// fell back to the unsharded game); nil for ordinary runs.
+	Shard *collab.ShardReport
 }
 
 // ErrUnpartitioned is returned by Run when the instance has tasks or workers
@@ -439,10 +456,23 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		case DC:
 			ccfg.Scope = collab.LeftoverOnly
 		}
-		out := collab.Run(in, phase1, ccfg)
-		rep.Solution = out.Solution
-		rep.Trace = out.Trace
-		rep.Iterations = out.Iterations
+		if cfg.Shards > 1 {
+			out, srep := collab.RunSharded(in, phase1, collab.ShardConfig{
+				Config:           ccfg,
+				Shards:           cfg.Shards,
+				Seed:             cfg.Seed,
+				ShardParallelism: cfg.ShardParallelism,
+			})
+			rep.Solution = out.Solution
+			rep.Trace = out.Trace
+			rep.Iterations = out.Iterations
+			rep.Shard = &srep
+		} else {
+			out := collab.Run(in, phase1, ccfg)
+			rep.Solution = out.Solution
+			rep.Trace = out.Trace
+			rep.Iterations = out.Iterations
+		}
 	}
 	rep.Phase2Time = time.Since(t1)
 	mPhase2Seconds.Observe(rep.Phase2Time.Seconds())

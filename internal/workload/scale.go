@@ -27,13 +27,15 @@ func ScaleParams(d Dataset, tasks int) Params {
 	return p
 }
 
-// ParseScaleSize parses benchmark size spellings like "10k", "100K" or a
-// plain integer task count.
+// ParseScaleSize parses benchmark size spellings like "10k", "100K", "1m",
+// "1M" or a plain integer task count.
 func ParseScaleSize(s string) (int, error) {
 	s = strings.TrimSpace(s)
 	mult := 1
 	if n := strings.TrimRight(s, "kK"); n != s {
 		mult, s = 1000, n
+	} else if n := strings.TrimRight(s, "mM"); n != s {
+		mult, s = 1_000_000, n
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil || v <= 0 {

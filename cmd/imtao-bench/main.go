@@ -58,7 +58,7 @@ func main() {
 		scaleGrid    = flag.Int("scale-grid", 64, "road-network grid side for -scale (grid² nodes)")
 		scaleGame    = flag.Int("scale-game-iters", 20, "phase-2 game iteration cap for -scale (0 = uncapped)")
 
-		shard        = flag.String("shard", "", `sharded game-engine sweep over shard counts, e.g. "1,2,4,8": per -shard-scale size, run the collaboration game uncapped to equilibrium through the region-sharded engine at each count (1 = the unsharded baseline), verify the global Nash equilibrium, and write a JSON record`)
+		shard        = flag.String("shard", "", `sharded game-engine sweep over shard counts, e.g. "1,2,4,8,auto": per -shard-scale size, run the collaboration game uncapped to equilibrium through the region-sharded engine at each count (1 = the unsharded baseline, "auto" = the self-tuned ShardAuto point), verify the global Nash equilibrium, and write a JSON record`)
 		shardScale   = flag.String("shard-scale", "10k,100k", "comma-separated task sizes for -shard")
 		shardOut     = flag.String("shard-json", "BENCH_shard.json", "output path of the -shard record")
 		shardDataset = flag.String("shard-dataset", "syn", "dataset generator for -shard: gm or syn")
@@ -175,7 +175,7 @@ func main() {
 	}
 
 	if *shard != "" {
-		counts, err := parseParallelism(*shard)
+		counts, err := parseShardCounts(*shard)
 		if err != nil {
 			fatal(err)
 		}

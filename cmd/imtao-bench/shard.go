@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"imtao/internal/assign"
@@ -74,9 +76,16 @@ type shardPreset struct {
 	BoundaryWorkers    int     `json:"boundary_workers"`
 	ConflictEdges      int     `json:"conflict_edges"`
 	EmptyCut           bool    `json:"empty_cut"`
+	Components         int     `json:"components"`
+	Colors             int     `json:"colors"`
+	LoadSkew           float64 `json:"load_skew"`
 	ExchangeIterations int     `json:"exchange_iterations"`
 	ExchangeTransfers  int     `json:"exchange_transfers"`
 	ShardWallMaxMs     float64 `json:"shard_wall_max_ms"`
+
+	// Auto is the ShardAuto decision record when this point ran with
+	// "auto" in the sweep list; null for explicit counts.
+	Auto *shardAutoRecord `json:"auto,omitempty"`
 
 	// EquilibriumOK is the global Nash check on the sharded outcome;
 	// IdenticalToS1 reports the fingerprint match against the one-shard run
@@ -87,11 +96,52 @@ type shardPreset struct {
 	Speedup       float64 `json:"speedup"`
 }
 
+// shardAutoRecord mirrors collab.ShardAutotune for the JSON record.
+type shardAutoRecord struct {
+	Parallelism int              `json:"parallelism"`
+	Picked      int              `json:"picked"`
+	Ladder      []shardAutoProbe `json:"ladder"`
+}
+
+type shardAutoProbe struct {
+	Shards          int     `json:"shards"`
+	BoundaryWorkers int     `json:"boundary_workers"`
+	Components      int     `json:"components"`
+	LoadSkew        float64 `json:"load_skew"`
+	Cost            float64 `json:"cost"`
+}
+
 type shardConfig struct {
 	dataset  workload.Dataset
 	grid     int
 	seed     int64
 	jsonPath string
+}
+
+// parseShardCounts parses the -shard sweep list: comma-separated positive
+// shard counts plus the word "auto" for the self-tuned point
+// (collab.ShardAuto).
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "auto" {
+			counts = append(counts, collab.ShardAuto)
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid shard count %q", tok)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty shard count list")
+	}
+	return counts, nil
 }
 
 // runShardSweep executes the sharded-engine benchmark and writes
@@ -153,8 +203,12 @@ func runShardSweep(sizes []int, counts []int, cfg shardConfig) error {
 
 		// Untimed warm-up run: fills the travel-time cache so every timed
 		// point below — one-shard baseline included — competes on a warm
-		// oracle, keeping the speedup column honest.
-		collab.Run(in, p1, ccfg)
+		// oracle, keeping the speedup column honest. A single-point sweep
+		// (the 1M record) has no intra-sweep comparison to keep honest, so
+		// it skips the warm-up rather than double its multi-minute game.
+		if len(counts) > 1 {
+			collab.Run(in, p1, ccfg)
+		}
 
 		var s1Fingerprint uint64
 		var s1Wall time.Duration
@@ -178,8 +232,12 @@ func runShardSweep(sizes []int, counts []int, cfg shardConfig) error {
 					wallMax = d
 				}
 			}
+			name := fmt.Sprintf("%s-s%d", sizeLabel, k)
+			if k == collab.ShardAuto {
+				name = sizeLabel + "-sauto"
+			}
 			pr := shardPreset{
-				Name:    fmt.Sprintf("%s-s%d", sizeLabel, k),
+				Name:    name,
 				Tasks:   p.NumTasks,
 				Workers: p.NumWorkers,
 				Centers: p.NumCenters,
@@ -199,11 +257,30 @@ func runShardSweep(sizes []int, counts []int, cfg shardConfig) error {
 				BoundaryWorkers:    srep.BoundaryWorkers,
 				ConflictEdges:      srep.ConflictEdges,
 				EmptyCut:           srep.EmptyCut,
+				Components:         srep.Components,
+				Colors:             srep.Colors,
+				LoadSkew:           srep.LoadSkew,
 				ExchangeIterations: srep.ExchangeIterations,
 				ExchangeTransfers:  srep.ExchangeTransfers,
 				ShardWallMaxMs:     ms(wallMax),
 
 				IdenticalToS1: fp == s1Fingerprint,
+			}
+			if srep.Auto != nil {
+				ar := &shardAutoRecord{
+					Parallelism: srep.Auto.Parallelism,
+					Picked:      srep.Auto.Picked,
+				}
+				for _, probe := range srep.Auto.Ladder {
+					ar.Ladder = append(ar.Ladder, shardAutoProbe{
+						Shards:          probe.Shards,
+						BoundaryWorkers: probe.BoundaryWorkers,
+						Components:      probe.Components,
+						LoadSkew:        probe.LoadSkew,
+						Cost:            probe.Cost,
+					})
+				}
+				pr.Auto = ar
 			}
 			iterQ := obs.NewQuantile()
 			for _, step := range res.Trace {
@@ -222,11 +299,18 @@ func runShardSweep(sizes []int, counts []int, cfg shardConfig) error {
 
 			rec.Presets = append(rec.Presets, pr)
 
+			req := fmt.Sprintf("%d", pr.ShardsRequested)
+			if pr.ShardsRequested == collab.ShardAuto {
+				req = "auto"
+				if pr.Auto != nil {
+					req = fmt.Sprintf("auto→%d", pr.Auto.Picked)
+				}
+			}
 			fmt.Printf("shard %s — |S|=%d |W|=%d |C|=%d grid=%d² (uncapped)\n",
 				pr.Name, pr.Tasks, pr.Workers, pr.Centers, cfg.grid)
-			fmt.Printf("  shards %d (requested %d): exclusive %d, boundary %d, conflict edges %d, empty_cut=%v\n",
-				pr.Shards, pr.ShardsRequested, pr.ExclusiveWorkers, pr.BoundaryWorkers,
-				pr.ConflictEdges, pr.EmptyCut)
+			fmt.Printf("  shards %d (requested %s): exclusive %d, boundary %d, conflict edges %d, empty_cut=%v, components %d, colors %d, load skew %.2f\n",
+				pr.Shards, req, pr.ExclusiveWorkers, pr.BoundaryWorkers,
+				pr.ConflictEdges, pr.EmptyCut, pr.Components, pr.Colors, pr.LoadSkew)
 			fmt.Printf("  ph2 %.0f ms (slowest shard %.0f ms), %d iters (%d transfers, %d exchange iters), assigned %d, U_ρ %.4f\n",
 				pr.Phase2Ms, pr.ShardWallMaxMs, pr.Iterations, pr.Transfers,
 				pr.ExchangeIterations, pr.Assigned, pr.Unfairness)

@@ -26,7 +26,7 @@ func main() {
 		expiry  = flag.Float64("expiry", 1.0, "task expiration time e in hours")
 		maxT    = flag.Int("maxt", 4, "worker capacity maxT")
 		seed    = flag.Int64("seed", 1, "generator seed")
-		preset  = flag.String("preset", "", "preset instead of explicit counts: corridor, twincities, ringroad, or a scale point like scale10k / scale100k / scale1m")
+		preset  = flag.String("preset", "", "preset instead of explicit counts: corridor, twincities, ringroad, hotspot, or a scale point like scale10k / scale100k / scale1m")
 		format  = flag.String("format", "json", "output format: json or csv")
 		out     = flag.String("out", "", "output file (default stdout)")
 	)
@@ -64,6 +64,8 @@ func main() {
 			pr = workload.TwinCities
 		case "ringroad":
 			pr = workload.RingRoad
+		case "hotspot":
+			pr = workload.Hotspot
 		default:
 			fatal(fmt.Errorf("unknown preset %q", *preset))
 		}

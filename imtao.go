@@ -195,17 +195,27 @@ func WithParallelism(n int) RunOption {
 }
 
 // WithShards routes the phase-2 collaboration game through the
-// region-sharded engine (DESIGN.md §15): centers are partitioned into n
-// geographic shards with seeded k-means, best-response dynamics run
-// concurrently per shard over disjoint home-shard worker pools, and a
-// serialized exchange game settles the boundary workers and drives the
-// merged state to a global Nash equilibrium. When the worker-overlap
-// interference cut between shards is empty, the result is bit-identical to
-// the unsharded engine; methods the sharded engine cannot prove safe for
-// (RBDC, budgeted Opt) fall back to the ordinary game. 0 or 1 (the
-// default) keeps the single-game engine.
+// region-sharded engine (DESIGN.md §15–16): centers are partitioned into n
+// geographic shards with seeded task-weighted k-means, best-response
+// dynamics run concurrently per shard over disjoint home-shard worker
+// pools, and a component-parallel exchange game settles the boundary
+// workers and drives the merged state to a global Nash equilibrium. When
+// the worker-overlap interference cut between shards is empty, the result
+// is bit-identical to the unsharded engine; methods the sharded engine
+// cannot prove safe for (RBDC, budgeted Opt) fall back to the ordinary
+// game. WithShards(0) turns on auto-tuning: the engine probes a shard-count
+// ladder against the instance's interference profile and picks the count
+// with the smallest modeled critical path (the decision is recorded in
+// Report.Shard.Auto). 1 — and not calling WithShards at all — keeps the
+// single-game engine.
 func WithShards(n int) RunOption {
-	return func(c *core.Config) { c.Shards = n }
+	return func(c *core.Config) {
+		if n == 0 {
+			c.Shards = core.ShardAuto
+		} else {
+			c.Shards = n
+		}
+	}
 }
 
 // WithShardParallelism bounds the goroutines playing shard games

@@ -1,13 +1,16 @@
 package collab
 
-// Region-sharded phase-2 engine (DESIGN.md §15). RunSharded partitions the
-// centers into geographic shards with the voronoi k-means machinery, proves
-// which workers can interact with which shards (the worker-overlap
+// Region-sharded phase-2 engine (DESIGN.md §15–16). RunSharded partitions
+// the centers into geographic shards with the voronoi task-weighted k-means
+// machinery (or picks the count itself under ShardAuto — autotune.go),
+// proves which workers can interact with which shards (the worker-overlap
 // interference graph), plays one best-response game per shard concurrently
-// over the home-shard workers, and reconciles the boundary workers with
-// a serialized exchange game resumed from the merged shard states. The
-// reconcile game runs the ordinary best-response dynamics to a fixed point,
-// so the final state is a global pure Nash equilibrium
+// over the home-shard workers, and reconciles the boundary workers with an
+// exchange game resumed from the merged shard states — run per conflict
+// component concurrently and replayed into the serialized order when the
+// conflict graph is disconnected (reconcile.go), as one serialized game
+// otherwise. The reconcile game runs the ordinary best-response dynamics to
+// a fixed point, so the final state is a global pure Nash equilibrium
 // (Result.VerifyEquilibrium); when the interference cut is empty the shard
 // games ARE the global game and RunSharded reconstructs the exact
 // reference sequence — routes, transfers and trace bit-identical to
@@ -55,15 +58,30 @@ var (
 		"serialized exchange-round iterations of the boundary reconcile game")
 	mExchangeTransfers = obs.Default.Counter("imtao_shard_exchange_transfers_total",
 		"workforce dispatches accepted during boundary reconciliation")
+	mShardColors = obs.Default.Gauge("imtao_shard_colors",
+		"greedy chromatic number of the shard conflict graph in the most "+
+			"recent sharded run — low colors mean a sparse cut whose boundary "+
+			"reconcile parallelizes well")
+	mShardLoadSkew = obs.Default.Gauge("imtao_shard_load_skew",
+		"max/mean per-shard task load of the most recent sharded partition — "+
+			"the static counterpart of the wall-time imtao_shard_skew gauge; "+
+			"1.0 is a perfectly load-balanced partition")
+	mShardAutoShards = obs.Default.Gauge("imtao_shard_autotune_shards",
+		"shard count picked by the most recent ShardAuto probe")
+	mShardAutoProbes = obs.Default.Gauge("imtao_shard_autotune_probes",
+		"candidate ladder size of the most recent ShardAuto probe")
 )
 
 // ShardConfig configures a sharded collaboration run.
 type ShardConfig struct {
 	Config
 	// Shards is the requested geographic shard count. Values above 64 are
-	// clamped (the interference bitsets are one machine word); duplicate
-	// center locations can reduce the effective count further. ≤ 1 runs the
-	// unsharded engine.
+	// clamped (the interference bitsets are one machine word — the clamp is
+	// surfaced in ShardReport.ShardsRequested and a shard_clamp obs event);
+	// duplicate center locations can reduce the effective count further.
+	// ≤ 1 runs the unsharded engine, except ShardAuto (-1), which probes a
+	// candidate ladder and picks the count minimizing the modeled critical
+	// path (autotune.go).
 	Shards int
 	// Seed drives the k-means shard partition (voronoi.PartitionPoints):
 	// the same seed always produces the same shard map.
@@ -73,12 +91,25 @@ type ShardConfig struct {
 	// output is bit-identical at every setting: each shard game is
 	// deterministic and the results are merged in shard order. When shard
 	// games run concurrently their inner trial parallelism is forced to 1.
+	// The same bound drives the component-parallel boundary reconcile
+	// (reconcile.go).
 	ShardParallelism int
+	// serialReconcile forces the single serialized exchange game of
+	// DESIGN.md §15 instead of the component-parallel reconcile. Test hook:
+	// the reconcile_test property suite pins the two paths bit-identical.
+	// MaxIterations > 0 implies it (per-component caps would diverge from
+	// the serialized game's single global cap).
+	serialReconcile bool
 }
 
 // ShardReport describes the partition and reconciliation work of one
 // sharded run.
 type ShardReport struct {
+	// ShardsRequested is the caller's ShardConfig.Shards verbatim —
+	// ShardAuto (-1) for an autotuned run, and possibly above the effective
+	// count when the 64-shard interference-word clamp or duplicate center
+	// locations reduced it.
+	ShardsRequested int
 	// Shards is the effective shard count; ShardOf maps each center to its
 	// shard label.
 	Shards  int
@@ -94,6 +125,19 @@ type ShardReport struct {
 	BoundaryWorkers  int
 	ConflictEdges    int
 	EmptyCut         bool
+	// Components and Colors describe the shard conflict graph: its connected
+	// components (the unit of boundary-reconcile parallelism — non-adjacent
+	// shard groups reconcile concurrently) and its greedy chromatic number
+	// (the density diagnostic behind the autotune cost model; 1 when the cut
+	// is empty). LoadSkew is max/mean per-shard task load of the partition —
+	// the static skew the task-weighted partitioner minimizes.
+	Components int
+	Colors     int
+	LoadSkew   float64
+	// Auto carries the ShardAuto probe — the candidate ladder with per-count
+	// interference stats and modeled costs, and the picked count. Nil unless
+	// the run was requested with Shards: ShardAuto.
+	Auto *ShardAutotune
 	// ShardIterations and ShardWall are the per-shard phase-A iteration
 	// counts and wall times, in shard order. With a non-empty cut the final
 	// trace is the shard traces concatenated in this order followed by the
@@ -108,15 +152,42 @@ type ShardReport struct {
 }
 
 // PlanShards partitions the instance's centers into at most shards
-// geographic groups with the seeded k-means partitioner and returns the
-// center→shard labels plus the effective shard count. Deterministic per
-// (instance, shards, seed).
+// geographic groups with the seeded task-weighted k-means partitioner
+// (voronoi.PartitionWeightedPoints — weights are per-center task counts, so
+// shard mass tracks game work rather than center count; a bounded rebalance
+// pass then caps the residual load skew) and returns the center→shard
+// labels plus the effective shard count. Deterministic per (instance,
+// shards, seed).
 func PlanShards(in *model.Instance, shards int, seed int64) ([]int, int) {
 	pts := make([]geo.Point, len(in.Centers))
+	weights := make([]float64, len(in.Centers))
 	for i := range in.Centers {
 		pts[i] = in.Centers[i].Loc
+		weights[i] = float64(len(in.Centers[i].Tasks))
 	}
-	return voronoi.PartitionPoints(seed, pts, shards)
+	return voronoi.PartitionWeightedPoints(seed, pts, weights, shards)
+}
+
+// shardTaskLoads returns the per-shard task counts of a partition and their
+// max/mean skew (1.0 when perfectly balanced; 0 mean degenerates to 0).
+func shardTaskLoads(in *model.Instance, shardOf []int, nShards int) ([]float64, float64) {
+	loads := make([]float64, nShards)
+	var total float64
+	for ci := range in.Centers {
+		l := float64(len(in.Centers[ci].Tasks))
+		loads[shardOf[ci]] += l
+		total += l
+	}
+	if total == 0 {
+		return loads, 0
+	}
+	var maxL float64
+	for _, l := range loads {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	return loads, maxL * float64(nShards) / total
 }
 
 // interference is the worker-overlap analysis of a shard partition.
@@ -129,6 +200,11 @@ type interference struct {
 	exclusive int
 	boundary  int
 	conflicts int
+	// adj[s] is the conflict-graph adjacency bitset of shard s (its own bit
+	// included): the union of the masks of every boundary worker touching s.
+	// The component/coloring analysis of the parallel boundary reconcile
+	// (reconcile.go) and the autotune cost model both read it.
+	adj [64]uint64
 }
 
 // shardInterference computes the interference graph: which shards each
@@ -224,7 +300,6 @@ func shardInterference(in *model.Instance, phase1 []assign.Result,
 
 	// Boundary/conflict accounting: a worker whose bitset spans >1 shard is
 	// a boundary worker and adds its shard pairs to the conflict graph.
-	var adj [64]uint64
 	for _, m := range inf.mask {
 		switch bits.OnesCount64(m) {
 		case 0:
@@ -235,12 +310,12 @@ func shardInterference(in *model.Instance, phase1 []assign.Result,
 			for mm := m; mm != 0; {
 				s := bits.TrailingZeros64(mm)
 				mm &= mm - 1
-				adj[s] |= m
+				inf.adj[s] |= m
 			}
 		}
 	}
-	for s := range adj {
-		inf.conflicts += bits.OnesCount64(adj[s] &^ (uint64(1)<<(s+1) - 1))
+	for s := range inf.adj {
+		inf.conflicts += bits.OnesCount64(inf.adj[s] &^ (uint64(1)<<(s+1) - 1))
 	}
 	return inf
 }
@@ -267,15 +342,34 @@ func shardInterference(in *model.Instance, phase1 []assign.Result,
 // Config.MaxIterations, when set, caps each shard game and the exchange
 // game individually.
 func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Result, ShardReport) {
-	k := cfg.Shards
-	if k > 64 {
-		k = 64
-	}
+	requested := cfg.Shards
+	k := requested
 	eligible := cfg.Recipient == MinRatio && cfg.Candidate == BestResponse &&
 		(isSequentialAssigner(cfg.Assigner) || cfg.Prune == PruneOn)
+	var auto *ShardAutotune
+	if k == ShardAuto && eligible && len(in.Centers) >= 2 {
+		in.PrepareMetric()
+		in.EnsureHot()
+		auto = autotuneShards(in, phase1, cfg)
+		k = auto.Picked
+		mShardAutoShards.Set(float64(k))
+		mShardAutoProbes.Set(float64(len(auto.Ladder)))
+	}
+	if k > 64 {
+		// The interference bitsets are one machine word; surface the clamp
+		// instead of hiding it (ShardsRequested keeps the original ask).
+		if obs.Enabled(cfg.Obs) {
+			cfg.Obs.Event("shard_clamp",
+				obs.F("requested", requested), obs.F("clamped", 64))
+		}
+		k = 64
+	}
 	if k <= 1 || len(in.Centers) < 2 || !eligible {
 		res := Run(in, phase1, cfg.Config)
-		return res, singleShardReport(in, res)
+		rep := singleShardReport(in, res)
+		rep.ShardsRequested = requested
+		rep.Auto = auto
+		return res, rep
 	}
 
 	in.PrepareMetric()
@@ -283,11 +377,19 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 	shardOf, nShards := PlanShards(in, k, cfg.Seed)
 	if nShards <= 1 {
 		res := Run(in, phase1, cfg.Config)
-		return res, singleShardReport(in, res)
+		rep := singleShardReport(in, res)
+		rep.ShardsRequested = requested
+		rep.Auto = auto
+		return res, rep
 	}
 	inf := shardInterference(in, phase1, shardOf, cfg.Scope)
+	_, loadSkew := shardTaskLoads(in, shardOf, nShards)
+	compOf, nComp := shardComponents(&inf.adj, nShards)
+	_, nColors := greedyColorShards(&inf.adj, nShards)
 	mShardBoundary.Set(float64(inf.boundary))
 	mShardConflicts.Set(float64(inf.conflicts))
+	mShardLoadSkew.Set(loadSkew)
+	mShardColors.Set(float64(nColors))
 
 	members := make([][]model.CenterID, nShards)
 	for ci := range in.Centers {
@@ -371,12 +473,17 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 	}
 
 	rep := ShardReport{
+		ShardsRequested:  requested,
 		Shards:           nShards,
 		ShardOf:          shardOf,
 		ExclusiveWorkers: inf.exclusive,
 		BoundaryWorkers:  inf.boundary,
 		ConflictEdges:    inf.conflicts,
 		EmptyCut:         inf.boundary == 0,
+		Components:       nComp,
+		Colors:           nColors,
+		LoadSkew:         loadSkew,
+		Auto:             auto,
 		ShardIterations:  make([]int, nShards),
 		ShardWall:        walls,
 	}
@@ -399,14 +506,22 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 		return mergeIndependent(in, phase1, shardOf, games, solus, cfg.noMemo), rep
 	}
 
-	// Phase B: serialized boundary reconciliation. The exchange game is the
-	// ordinary best-response dynamics resumed from the merged shard states
-	// with the full worker pool — boundary workers included for the first
-	// time — so every center (including those that dropped out of a shard
-	// game) re-probes its improving deviations against the global pool. The
+	// Phase B: boundary reconciliation. The exchange game is the ordinary
+	// best-response dynamics resumed from the merged shard states with the
+	// full worker pool — boundary workers included for the first time — so
+	// every center (including those that dropped out of a shard game)
+	// re-probes its improving deviations against the global pool. The
 	// carried trial memos answer the shard-local candidates instantly; only
 	// cross-shard candidates cost fresh trials. The dynamics terminates at a
 	// state with no improving transfer anywhere: a global Nash equilibrium.
+	//
+	// When the conflict graph splits into several components, the exchange
+	// decomposes: admissibility confines every worker's exchange-time moves
+	// to one component, so the per-component games run concurrently and a
+	// min-(ρ, id) replay reconstructs the serialized sequence bit-for-bit
+	// (reconcile.go, DESIGN.md §16). One component — or a caller-set
+	// MaxIterations, whose global cap has no per-component equivalent —
+	// keeps the single serialized game below.
 	merged := make([]assign.Result, len(in.Centers))
 	var priorTransfers []model.Transfer
 	for s := 0; s < nShards; s++ {
@@ -429,12 +544,17 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 		merged[ci] = assign.Result{Routes: st.routes, LeftTasks: st.leftTasks, LeftWorkers: lws}
 		memo[ci] = g.memo[ci]
 	}
-	bcfg := cfg.Config
-	bcfg.resume = &resumeState{transfers: priorTransfers, memo: memo}
-	gB := NewGame(in, merged, bcfg)
-	for gB.Step() {
+	var resB Result
+	if nComp > 1 && !cfg.serialReconcile && cfg.MaxIterations <= 0 {
+		resB = reconcileComponents(in, cfg, shardOf, compOf, nComp, merged, memo, priorTransfers)
+	} else {
+		bcfg := cfg.Config
+		bcfg.resume = &resumeState{transfers: priorTransfers, memo: memo}
+		gB := NewGame(in, merged, bcfg)
+		for gB.Step() {
+		}
+		resB = gB.Finish()
 	}
-	resB := gB.Finish()
 	rep.ExchangeIterations = resB.Iterations
 	rep.ExchangeTransfers = len(resB.Solution.Transfers) - len(priorTransfers)
 	mExchangeIters.Add(int64(rep.ExchangeIterations))
@@ -471,6 +591,9 @@ func singleShardReport(in *model.Instance, res Result) ShardReport {
 		Shards:          1,
 		ShardOf:         make([]int, len(in.Centers)),
 		EmptyCut:        true,
+		Components:      1,
+		Colors:          1,
+		LoadSkew:        1,
 		ShardIterations: []int{res.Iterations},
 		ShardWall:       []time.Duration{0},
 	}
@@ -506,14 +629,18 @@ func mergeIndependent(in *model.Instance, phase1 []assign.Result, shardOf []int,
 	// Stranded recipients: still in their shard game's recipient set at its
 	// end (the shard pool ran dry first). The global game rejects each in
 	// (ρ, ID) order interleaved with the remaining real steps — their ρ is
-	// final, so the order within a shard is fixed now.
+	// final, so the order within a shard is fixed now. Sort by the shard
+	// game's FINAL ρ (games[s].rhoVec), not the phase-1 value: a stranded
+	// recipient that accepted dispatches before its pool died carries its
+	// raised ratio into the remaining global order.
 	stranded := make([][]model.CenterID, nShards)
 	for s := 0; s < nShards; s++ {
 		stranded[s] = append(stranded[s], games[s].recipients...)
+		fin := games[s].rhoVec
 		sort.Slice(stranded[s], func(i, j int) bool {
 			a, b := stranded[s][i], stranded[s][j]
-			if rho[a] != rho[b] {
-				return rho[a] < rho[b]
+			if fin[a] != fin[b] {
+				return fin[a] < fin[b]
 			}
 			return a < b
 		})

@@ -9,6 +9,7 @@ import (
 	"imtao/internal/geo"
 	"imtao/internal/model"
 	"imtao/internal/routing"
+	"imtao/internal/voronoi"
 )
 
 // separatedInstance builds `groups` dense metro blobs separated by far more
@@ -274,5 +275,161 @@ func TestShardMemberGameStepZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("sharded steady-state iteration allocates: %.2f allocs/iter (want 0)", allocs)
+	}
+}
+
+// TestPlanShardsEdgeCases (satellite): degenerate partition inputs — more
+// shards than centers, and all-coincident center locations — must produce
+// well-formed canonical shard maps, and the full run must survive them.
+func TestPlanShardsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+
+	// Shards ≥ centers: every center gets a shard of its own (labels are a
+	// permutation image under first-appearance canonicalization).
+	in := randomInstance(rng, 5, 20, 40)
+	p1 := phase1(in)
+	for _, k := range []int{5, 6, 12, 64} {
+		shardOf, n := PlanShards(in, k, 7)
+		if n > len(in.Centers) {
+			t.Fatalf("k=%d: %d shards from %d centers", k, n, len(in.Centers))
+		}
+		seen := 0
+		for i, s := range shardOf {
+			if s < 0 || s >= n {
+				t.Fatalf("k=%d: label %d out of range [0,%d)", k, s, n)
+			}
+			if s > seen {
+				t.Fatalf("k=%d: label %d at center %d before %d — not canonical", k, s, i, seen)
+			}
+			if s == seen {
+				seen++
+			}
+		}
+		got, rep := RunSharded(in, p1, ShardConfig{Config: seqConfig(), Shards: k, Seed: 7})
+		if err := got.VerifyEquilibrium(in, nil); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if rep.Shards != len(rep.ShardIterations) {
+			t.Fatalf("k=%d: report inconsistency: %d shards, %d segments", k, rep.Shards, len(rep.ShardIterations))
+		}
+	}
+
+	// All-coincident centers: the partition collapses to one shard and the
+	// run degrades to the unsharded engine.
+	co := randomInstance(rng, 4, 16, 30)
+	for ci := range co.Centers {
+		co.Centers[ci].Loc = geo.Pt(500, 500)
+	}
+	p1co := phase1(co)
+	if _, n := PlanShards(co, 3, 7); n != 1 {
+		t.Fatalf("coincident centers produced %d shards, want 1", n)
+	}
+	got, rep := RunSharded(co, p1co, ShardConfig{Config: seqConfig(), Shards: 3, Seed: 7})
+	if rep.Shards != 1 || !rep.EmptyCut {
+		t.Fatalf("coincident centers: %+v", rep)
+	}
+	if !reflect.DeepEqual(got.Solution, Run(co, p1co, seqConfig()).Solution) {
+		t.Fatal("coincident-center fallback diverged from the unsharded engine")
+	}
+}
+
+// TestShardMapStableAcrossParallelism (satellite): the shard map is a pure
+// function of (instance, shards, seed) — ShardParallelism must never leak
+// into the partition or the canonical labeling.
+func TestShardMapStableAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 4; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(4), 24+rng.Intn(16), 50+rng.Intn(30))
+		p1 := phase1(in)
+		var base []int
+		for _, par := range []int{0, 1, 2, 4, 8} {
+			_, rep := RunSharded(in, p1, ShardConfig{
+				Config: seqConfig(), Shards: 4, Seed: 11, ShardParallelism: par,
+			})
+			if base == nil {
+				base = rep.ShardOf
+				continue
+			}
+			if !reflect.DeepEqual(base, rep.ShardOf) {
+				t.Fatalf("trial %d: ShardOf changed under ShardParallelism=%d: %v vs %v",
+					trial, par, rep.ShardOf, base)
+			}
+		}
+	}
+}
+
+// hotspotInstance builds the heterogeneous-load geography of the Hotspot
+// workload preset at collab-test scale: uniformly spread centers, demand
+// piled onto a dense core, tasks and workers attached to their nearest
+// center. Count-balanced shard partitions skew badly here.
+func hotspotInstance(rng *rand.Rand, centers, tasks, workers int) *model.Instance {
+	in := &model.Instance{
+		Speed:  300,
+		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(10000, 10000)),
+	}
+	for i := 0; i < centers; i++ {
+		in.Centers = append(in.Centers, model.Center{
+			ID:  model.CenterID(i),
+			Loc: geo.Pt(rng.Float64()*10000, rng.Float64()*10000),
+		})
+	}
+	nearest := func(p geo.Point) model.CenterID {
+		best, bd := 0, p.Dist2(in.Centers[0].Loc)
+		for ci := 1; ci < len(in.Centers); ci++ {
+			if d := p.Dist2(in.Centers[ci].Loc); d < bd {
+				best, bd = ci, d
+			}
+		}
+		return model.CenterID(best)
+	}
+	sample := func() geo.Point {
+		if rng.Float64() < 0.7 {
+			return geo.Pt(3000+rng.NormFloat64()*500, 3000+rng.NormFloat64()*500)
+		}
+		return geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	for i := 0; i < tasks; i++ {
+		p := sample()
+		c := nearest(p)
+		id := model.TaskID(len(in.Tasks))
+		in.Tasks = append(in.Tasks, model.Task{ID: id, Center: c, Loc: p, Expiry: 1 + rng.Float64(), Reward: 1})
+		in.Centers[c].Tasks = append(in.Centers[c].Tasks, id)
+	}
+	for i := 0; i < workers; i++ {
+		p := sample()
+		c := nearest(p)
+		id := model.WorkerID(len(in.Workers))
+		in.Workers = append(in.Workers, model.Worker{ID: id, Home: c, Loc: p, MaxT: 4})
+		in.Centers[c].Workers = append(in.Centers[c].Workers, id)
+	}
+	return in
+}
+
+// TestWeightedPlanReducesHotspotSkew (acceptance): on hotspot-heterogeneous
+// geographies the task-weighted PlanShards partition carries less task-load
+// skew than the count-balanced PR 8 partitioner (plain PartitionPoints over
+// the same center locations), in aggregate across seeds.
+func TestWeightedPlanReducesHotspotSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	var sumW, sumU float64
+	for trial := 0; trial < 6; trial++ {
+		in := hotspotInstance(rng, 24, 400, 100)
+		pts := make([]geo.Point, len(in.Centers))
+		for ci := range in.Centers {
+			pts[ci] = in.Centers[ci].Loc
+		}
+
+		shardOf, n := PlanShards(in, 6, 7)
+		_, skewW := shardTaskLoads(in, shardOf, n)
+
+		labels, nu := voronoi.PartitionPoints(7, pts, 6)
+		_, skewU := shardTaskLoads(in, labels, nu)
+
+		sumW += skewW
+		sumU += skewU
+	}
+	if sumW >= sumU {
+		t.Fatalf("task-weighted partition does not reduce hotspot load skew: %.3f vs %.3f (mean over trials)",
+			sumW/6, sumU/6)
 	}
 }

@@ -177,19 +177,26 @@ type Config struct {
 	// zero cost: no span IDs are allocated and no clock is read.
 	Tracer *obs.Tracer
 	// Shards > 1 routes phase 2 through the region-sharded game engine
-	// (collab.RunSharded, DESIGN.md §15): centers are k-means partitioned
-	// into that many geographic shards (seeded by Seed), shard-local
-	// best-response games run concurrently, and boundary workers are settled
-	// by a serialized exchange game. Methods the sharded engine cannot prove
-	// equivalent or convergent for (RBDC's random recipients, budgeted Opt)
-	// fall back to the unsharded game; Report.Shard records what actually
-	// ran. 0 or 1 is the ordinary single-game engine.
+	// (collab.RunSharded, DESIGN.md §15–16): centers are partitioned into
+	// that many geographic shards by task-weighted k-means (seeded by Seed),
+	// shard-local best-response games run concurrently, and boundary workers
+	// are settled by the component-parallel exchange. ShardAuto asks the
+	// engine to pick the count itself from the instance's interference
+	// profile (the decision lands in Report.Shard.Auto). Methods the sharded
+	// engine cannot prove equivalent or convergent for (RBDC's random
+	// recipients, budgeted Opt) fall back to the unsharded game; Report.Shard
+	// records what actually ran. 0 or 1 is the ordinary single-game engine.
 	Shards int
 	// ShardParallelism bounds the goroutines playing shard games
 	// concurrently; 0 means GOMAXPROCS. Output is bit-identical at every
 	// setting.
 	ShardParallelism int
 }
+
+// ShardAuto as Config.Shards lets the sharded engine probe the instance and
+// pick the shard count itself (collab.ShardAuto; imtao.WithShards(0) at the
+// public surface).
+const ShardAuto = collab.ShardAuto
 
 // Report is the outcome of an IMTAO run.
 type Report struct {
@@ -456,7 +463,7 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		case DC:
 			ccfg.Scope = collab.LeftoverOnly
 		}
-		if cfg.Shards > 1 {
+		if cfg.Shards > 1 || cfg.Shards == ShardAuto {
 			out, srep := collab.RunSharded(in, phase1, collab.ShardConfig{
 				Config:           ccfg,
 				Shards:           cfg.Shards,

@@ -1,0 +1,218 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"imtao/internal/geo"
+)
+
+// hotspotPoints builds a heterogeneous geography: a dense downtown cluster
+// plus a sparse uniform background, with weights that pile onto the
+// downtown points. The stress case for count-balanced partitions.
+func hotspotPoints(n int, seed int64) ([]geo.Point, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	wts := make([]float64, n)
+	for i := range pts {
+		if i < n/3 {
+			pts[i] = geo.Pt(300+rng.NormFloat64()*40, 300+rng.NormFloat64()*40)
+			wts[i] = 50 + rng.Float64()*50
+		} else {
+			pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			wts[i] = 1 + rng.Float64()*4
+		}
+	}
+	return pts, wts
+}
+
+func loadSkew(labels []int, weights []float64, k int) float64 {
+	loads := make([]float64, k)
+	var total float64
+	for i, l := range labels {
+		loads[l] += weights[i]
+		total += weights[i]
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max * float64(k) / total
+}
+
+// TestPartitionWeightedDeterministic pins PartitionWeightedPoints the same
+// way PartitionPoints is pinned: labels are a pure function of
+// (seed, points, weights, k), immune to caller RNG state, and the exact
+// partition of a fixed input is fingerprint-pinned so a change to the
+// seeding, Lloyd weighting or rebalance rules fails loudly.
+func TestPartitionWeightedDeterministic(t *testing.T) {
+	pts, wts := hotspotPoints(40, 5)
+	l1, k1 := PartitionWeightedPoints(11, pts, wts, 4)
+	rand.New(rand.NewSource(99)).Float64()
+	l2, k2 := PartitionWeightedPoints(11, pts, wts, 4)
+	if k1 != k2 || !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("weighted partition not deterministic: %v (k=%d) vs %v (k=%d)", l1, k1, l2, k2)
+	}
+	const pinned = uint64(0xc9b4d0cb0983a942)
+	if got := partitionFingerprint(l1, k1); got != pinned {
+		t.Fatalf("weighted partition fingerprint %#x, pinned %#x — weighted k-means output changed", got, pinned)
+	}
+}
+
+// TestPartitionWeightedCanonicalLabels: first-appearance canonicalization
+// holds for the weighted sibling too.
+func TestPartitionWeightedCanonicalLabels(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		pts, wts := hotspotPoints(30, seed)
+		labels, k := PartitionWeightedPoints(seed*7, pts, wts, 5)
+		seen := 0
+		for i, l := range labels {
+			if l < 0 || l >= k {
+				t.Fatalf("seed %d: label %d out of range [0,%d)", seed, l, k)
+			}
+			if l > seen {
+				t.Fatalf("seed %d: label %d at index %d appears before %d", seed, l, i, seen)
+			}
+			if l == seen {
+				seen++
+			}
+		}
+		if seen != k {
+			t.Fatalf("seed %d: %d labels appear, k=%d", seed, seen, k)
+		}
+	}
+}
+
+// TestPartitionWeightedReducesSkew is the partitioner's reason to exist:
+// on a hotspot geography the task-weighted partition carries materially
+// less load skew (max shard load · k / total) than the count-balanced
+// PartitionPoints, across seeds and cluster counts.
+func TestPartitionWeightedReducesSkew(t *testing.T) {
+	betterOrEqual, worse := 0, 0
+	var sumUnw, sumW float64
+	for seed := int64(1); seed <= 10; seed++ {
+		pts, wts := hotspotPoints(60, seed)
+		for _, k := range []int{4, 8} {
+			lu, ku := PartitionPoints(seed, pts, k)
+			lw, kw := PartitionWeightedPoints(seed, pts, wts, k)
+			if ku != kw {
+				// Different effective counts make skews incomparable; the
+				// weighted one dropping a cluster on this geography would
+				// itself be a bug worth seeing.
+				t.Fatalf("seed %d k %d: effective counts diverge (%d vs %d)", seed, k, ku, kw)
+			}
+			su := loadSkew(lu, wts, ku)
+			sw := loadSkew(lw, wts, kw)
+			sumUnw += su
+			sumW += sw
+			if sw <= su {
+				betterOrEqual++
+			} else {
+				worse++
+			}
+		}
+	}
+	if sumW >= sumUnw {
+		t.Fatalf("weighted partition does not reduce mean load skew: %.3f vs %.3f (better %d, worse %d)",
+			sumW, sumUnw, betterOrEqual, worse)
+	}
+	if betterOrEqual < worse {
+		t.Fatalf("weighted partition loses more often than it wins: better %d, worse %d", betterOrEqual, worse)
+	}
+}
+
+// TestKMeansWeightedEdgeCases covers the degenerate inputs the sharded
+// engine can hand the weighted clusterer.
+func TestKMeansWeightedEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := partitionPoints(10, 3)
+
+	if _, err := KMeansWeighted(rng, pts, nil, 0, 8); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := KMeansWeighted(rng, pts, nil, len(pts)+1, 8); err == nil {
+		t.Error("k > len(points) must error")
+	}
+	if _, err := KMeansWeighted(rng, pts, []float64{1}, 2, 8); err == nil {
+		t.Error("weights length mismatch must error")
+	}
+
+	// Nil weights and all-zero weights degrade to unit weights: same
+	// centers from the same RNG stream.
+	c1, err := KMeansWeighted(rand.New(rand.NewSource(7)), pts, nil, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]float64, len(pts))
+	c2, err := KMeansWeighted(rand.New(rand.NewSource(7)), pts, zero, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("all-zero weights must match nil weights: %v vs %v", c1, c2)
+	}
+
+	// Individual zero weights are legal and contribute no centroid mass.
+	wts := make([]float64, len(pts))
+	for i := range wts {
+		wts[i] = 1
+	}
+	wts[0] = 0
+	if _, err := KMeansWeighted(rng, pts, wts, 3, 8); err != nil {
+		t.Fatalf("zero individual weight: %v", err)
+	}
+
+	// All-coincident points: clusters collapse but the call must not spin
+	// or crash, and every returned center is the common location.
+	same := make([]geo.Point, 6)
+	for i := range same {
+		same[i] = geo.Pt(42, 42)
+	}
+	centers, err := KMeansWeighted(rng, same, nil, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range centers {
+		if !c.Eq(geo.Pt(42, 42)) {
+			t.Fatalf("coincident input produced center %v", c)
+		}
+	}
+}
+
+// TestPartitionWeightedCentroidPull: with Lloyd updates weighted, a heavy
+// point drags its cluster centroid toward itself — the mechanism load
+// balancing rides on. Verified indirectly: the weighted partition assigns
+// fewer points to the heavy point's cluster than the unweighted one on a
+// two-cluster dumbbell with one massive endpoint.
+func TestPartitionWeightedCentroidPull(t *testing.T) {
+	// A dumbbell: 8 points on the left, 8 on the right, one left point
+	// carrying half the total mass.
+	var pts []geo.Point
+	var wts []float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geo.Pt(rng.Float64()*100, rng.Float64()*100))
+		wts = append(wts, 1)
+	}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geo.Pt(900+rng.Float64()*100, rng.Float64()*100))
+		wts = append(wts, 1)
+	}
+	wts[0] = 16
+
+	labels, k := PartitionWeightedPoints(5, pts, wts, 2)
+	if k != 2 {
+		t.Fatalf("dumbbell produced %d clusters", k)
+	}
+	skew := loadSkew(labels, wts, k)
+	// Perfect split is 1.0; the count-balanced split of the dumbbell is
+	// (16+8)/32·2 = 1.5. The weighted partition must land strictly closer
+	// to balance.
+	if skew >= 1.5 || math.IsNaN(skew) {
+		t.Fatalf("weighted dumbbell skew %.3f, want < 1.5", skew)
+	}
+}

@@ -26,6 +26,13 @@ const (
 	// RingRoad places demand along an annulus around an empty center —
 	// every center has exactly two natural neighbours.
 	RingRoad
+	// Hotspot is a heterogeneous-density city (arXiv 2310.12433's regime):
+	// most demand piles into one dense downtown core while the rest spreads
+	// thinly across the whole area. Centers placed uniformly end up with
+	// wildly uneven task loads — the stress case for count-balanced shard
+	// partitions, and the preset the task-weighted partitioner is measured
+	// on.
+	Hotspot
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +42,8 @@ func (p Preset) String() string {
 		return "TwinCities"
 	case RingRoad:
 		return "RingRoad"
+	case Hotspot:
+		return "Hotspot"
 	default:
 		return "Corridor"
 	}
@@ -57,6 +66,9 @@ func GeneratePreset(preset Preset, p Params) (*model.Instance, error) {
 		Bounds: geo.NewRect(geo.Pt(0, 0), geo.Pt(Side, Side)),
 	}
 	var sample func() geo.Point
+	// Centers follow the demand topology unless the preset overrides it
+	// (Hotspot spreads centers uniformly so the demand skew lands on them).
+	var centerSample func() geo.Point
 	switch preset {
 	case Corridor:
 		// A horizontal band through the middle, 15% of the height wide.
@@ -86,13 +98,33 @@ func GeneratePreset(preset Preset, p Params) (*model.Instance, error) {
 				Side/2+r*math.Sin(theta),
 			))
 		}
+	case Hotspot:
+		// 70% of demand in a tight downtown core, the rest uniform across
+		// the whole area.
+		sample = func() geo.Point {
+			if rng.Float64() < 0.7 {
+				return clampToArea(geo.Pt(
+					Side*0.3+rng.NormFloat64()*Side*0.05,
+					Side*0.3+rng.NormFloat64()*Side*0.05,
+				))
+			}
+			return geo.Pt(rng.Float64()*Side, rng.Float64()*Side)
+		}
+		// Uniform centers: the ones near the core drown in tasks, the rest
+		// starve — maximal per-center load heterogeneity.
+		centerSample = func() geo.Point {
+			return geo.Pt(rng.Float64()*Side, rng.Float64()*Side)
+		}
 	default:
 		return nil, fmt.Errorf("workload: unknown preset %v", preset)
 	}
+	if centerSample == nil {
+		centerSample = sample
+	}
 
-	// Centers follow the same topology so every region is covered.
+	// Centers cover every demand region.
 	for len(in.Centers) < p.NumCenters {
-		loc := sample()
+		loc := centerSample()
 		dup := false
 		for _, c := range in.Centers {
 			if c.Loc.Eq(loc) {

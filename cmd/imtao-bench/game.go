@@ -14,6 +14,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/roadnet"
 	"imtao/internal/stats"
 	"imtao/internal/workload"
@@ -107,6 +108,19 @@ type gamePreset struct {
 
 	// EquilibriumOK is the Nash check on the optimized engine's outcome.
 	EquilibriumOK bool `json:"equilibrium_ok"`
+
+	// Provenance-enabled leg: the same uncapped game re-run with a decision
+	// ledger attached (caches warm, so the comparison isolates the recording
+	// cost). ProvOverheadPct is the wall-clock overhead vs the bare engine in
+	// percent (perfgate holds it loosely ≤ the acceptance bound);
+	// ProvReplayOK asserts the ledger replays to the engine's exact
+	// fingerprint, ProvCertOK that the equilibrium certificate re-validates.
+	ProvPhase2Ms     float64 `json:"prov_phase2_ms"`
+	ProvOverheadPct  float64 `json:"prov_overhead_pct"`
+	ProvIterRecords  int     `json:"prov_iter_records"`
+	ProvTrialRecords int     `json:"prov_trial_records"`
+	ProvReplayOK     bool    `json:"prov_replay_ok"`
+	ProvCertOK       bool    `json:"prov_cert_ok"`
 
 	// Frozen reference engine (collab.RunReference) on the same phase-1
 	// state, and the cross-engine acceptance checks.
@@ -277,6 +291,55 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		pr.EquilibriumOK = res.VerifyEquilibrium(in, nil) == nil
 		verify := time.Since(t0)
 
+		// Provenance leg: identical game, ledger attached. Runs after the
+		// timed engine so the travel caches are warm on both sides. The
+		// overhead compares minima of alternating warm plain / ledgered
+		// runs rather than a single pair: co-tenant contention on a
+		// shared box only ever inflates a wall time, so min-of-N is the
+		// robust estimator of the ledger's true cost (single-pair
+		// measurements at 100k swing ±25% run to run).
+		rhos := make([]float64, len(in.Centers))
+		for ci := range p1 {
+			rhos[ci] = metrics.Ratio(p1[ci].AssignedCount(), len(in.Centers[ci].Tasks))
+		}
+		var led *provenance.Ledger
+		var pres collab.Result
+		plainBase, provWall := time.Duration(0), time.Duration(0)
+		for rep := 0; rep < 2; rep++ {
+			t0 = time.Now()
+			collab.Run(in, p1, ccfg)
+			if w := time.Since(t0); rep == 0 || w < plainBase {
+				plainBase = w
+			}
+
+			l := provenance.NewLedger()
+			l.Start(provenance.Meta{Method: "Seq-BDC", Engine: "game",
+				Scope: provenance.ScopeFull, Centers: len(in.Centers),
+				Workers: len(in.Workers), Tasks: len(in.Tasks)})
+			l.RecordPhase1(in, p1, rhos)
+			pcfg := ccfg
+			pcfg.Prov = l.NewGameLog(provenance.StageGame, -1)
+			t0 = time.Now()
+			r := collab.Run(in, p1, pcfg)
+			if w := time.Since(t0); rep == 0 || w < provWall {
+				provWall = w
+			}
+			led, pres = l, r
+		}
+		led.RecordFinal(in, pres.Solution, metrics.SolutionUnfairness(in, pres.Solution))
+		pr.ProvPhase2Ms = ms(provWall)
+		if plainBase > 0 {
+			pr.ProvOverheadPct = (provWall.Seconds() - plainBase.Seconds()) / plainBase.Seconds() * 100
+		}
+		pr.ProvIterRecords = led.IterCount()
+		pr.ProvTrialRecords = led.TrialCount()
+		if rr, err := provenance.Replay(led); err == nil {
+			pr.ProvReplayOK = provenance.SolutionFingerprint(rr.Solution) ==
+				solutionFingerprint(res.Solution)
+		}
+		cert := provenance.BuildCertificate(in, pres.Solution, provenance.ScopeFull)
+		pr.ProvCertOK = cert.Equilibrium && cert.Verify(in, pres.Solution) == nil
+
 		t0 = time.Now()
 		ref := collab.RunReference(in, p1, ccfg)
 		refWall := time.Since(t0)
@@ -309,6 +372,9 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		fmt.Printf("  memory/iter over %d steady iters: allocs p50 %.0f (mean %.2f), %.0f B, heap in use %d B\n",
 			pr.MemWindowIters, pr.AllocsPerIter, pr.AllocsPerIterMean, pr.BytesPerIter, pr.HeapInuseBytes)
 		fmt.Printf("  equilibrium_ok=%v (verified in %.0f ms)\n", pr.EquilibriumOK, ms(verify))
+		fmt.Printf("  provenance: ph2 %.0f ms (%+.2f%% overhead), %d iter / %d trial records, replay_ok=%v cert_ok=%v\n",
+			pr.ProvPhase2Ms, pr.ProvOverheadPct, pr.ProvIterRecords, pr.ProvTrialRecords,
+			pr.ProvReplayOK, pr.ProvCertOK)
 		fmt.Printf("  frozen: ph2 %.0f ms (%.2f ms/iter) → speedup %.1fx, identical=%v\n\n",
 			pr.RefPhase2Ms, pr.RefIterMeanMs, pr.Speedup, pr.OutputIdentical)
 
@@ -324,6 +390,12 @@ func runGameSweep(sizes []int, cfg gameConfig) error {
 		}
 		if pr.TrialsResumed == 0 {
 			return fmt.Errorf("game %s: prefix-resume never engaged", pr.Name)
+		}
+		if !pr.ProvReplayOK {
+			return fmt.Errorf("game %s: provenance ledger does not replay to the engine's fingerprint", pr.Name)
+		}
+		if !pr.ProvCertOK {
+			return fmt.Errorf("game %s: equilibrium certificate failed verification", pr.Name)
 		}
 	}
 

@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"runtime"
 	"strconv"
@@ -13,6 +12,7 @@ import (
 	"imtao/internal/core"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/workload"
 )
 
@@ -166,32 +166,11 @@ func crossCheck(ref, got *core.Report) error {
 	return nil
 }
 
-// solutionFingerprint hashes every route and transfer, in order, into one
-// FNV-1a value.
+// solutionFingerprint is the canonical route/transfer fingerprint shared
+// with the provenance ledger — one definition, so bench cross-checks and
+// ledger replay proofs pin the identical value.
 func solutionFingerprint(s *model.Solution) uint64 {
-	h := fnv.New64a()
-	word := func(vs ...int64) {
-		var b [8]byte
-		for _, v := range vs {
-			for i := range b {
-				b[i] = byte(v >> (8 * i))
-			}
-			h.Write(b[:])
-		}
-	}
-	for _, a := range s.PerCenter {
-		word(int64(a.Center), int64(len(a.Routes)))
-		for _, r := range a.Routes {
-			word(int64(r.Worker), int64(r.Center), int64(len(r.Tasks)))
-			for _, t := range r.Tasks {
-				word(int64(t))
-			}
-		}
-	}
-	for _, t := range s.Transfers {
-		word(int64(t.Src), int64(t.Dst), int64(t.Worker))
-	}
-	return h.Sum64()
+	return provenance.SolutionFingerprint(s)
 }
 
 // timeParallelPoint runs one (instance, parallelism) cell reps times and

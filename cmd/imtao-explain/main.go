@@ -1,0 +1,120 @@
+// Command imtao-explain answers "why" questions about a recorded IMTAO run
+// from its provenance ledger (imtao-sim -provenance-out, or any
+// Ledger.WriteTo stream) — no re-run needed.
+//
+// Usage:
+//
+//	imtao-explain summary run.prov.jsonl                 # run overview
+//	imtao-explain why-task 123 run.prov.jsonl            # one task's lifecycle
+//	imtao-explain why-not 45 run.prov.jsonl              # why worker 45 was(n't) dispatched
+//	imtao-explain transfers 7 run.prov.jsonl             # center 7's dispatch chain
+//	imtao-explain tasks -status unassigned -n 10 run.prov.jsonl
+//	imtao-explain verify -scene scene.json run.prov.jsonl # re-check the equilibrium certificate
+//	imtao-explain diff a.prov.jsonl b.prov.jsonl         # where two runs diverged
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"imtao/internal/model"
+	"imtao/internal/provenance"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "summary":
+		err = withLedger(rest, 0, func(l *provenance.Ledger, _ []string) error {
+			return summary(os.Stdout, l)
+		})
+	case "why-task":
+		err = withLedger(rest, 1, func(l *provenance.Ledger, a []string) error {
+			id, err := strconv.Atoi(a[0])
+			if err != nil {
+				return fmt.Errorf("task id %q: %w", a[0], err)
+			}
+			return whyTask(os.Stdout, l, model.TaskID(id))
+		})
+	case "why-not":
+		err = withLedger(rest, 1, func(l *provenance.Ledger, a []string) error {
+			id, err := strconv.Atoi(a[0])
+			if err != nil {
+				return fmt.Errorf("worker id %q: %w", a[0], err)
+			}
+			return whyNot(os.Stdout, l, model.WorkerID(id))
+		})
+	case "transfers":
+		err = withLedger(rest, 1, func(l *provenance.Ledger, a []string) error {
+			id, err := strconv.Atoi(a[0])
+			if err != nil {
+				return fmt.Errorf("center id %q: %w", a[0], err)
+			}
+			return transfers(os.Stdout, l, model.CenterID(id))
+		})
+	case "tasks":
+		err = tasksCmd(rest)
+	case "verify":
+		err = verifyCmd(rest)
+	case "diff":
+		err = diffCmd(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "imtao-explain: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imtao-explain:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: imtao-explain <command> [args] <ledger.jsonl>
+
+commands:
+  summary   <ledger>                       run overview: meta, phases, verdicts
+  why-task  <task-id> <ledger>             one task's full decision lifecycle
+  why-not   <worker-id> <ledger>           why a worker was (not) dispatched
+  transfers <center-id> <ledger>           a center's dispatch chain with its evidence
+  tasks     [-status assigned|unassigned] [-n N] <ledger>
+                                           list final task placements
+  verify    -scene <instance.json> <ledger>
+                                           re-validate the equilibrium certificate offline
+  diff      <ledger-a> <ledger-b>          first divergence and final deltas of two runs
+`)
+}
+
+// withLedger parses the trailing ledger path after want positional args.
+func withLedger(args []string, want int, fn func(*provenance.Ledger, []string) error) error {
+	if len(args) != want+1 {
+		return fmt.Errorf("expected %d argument(s) and a ledger file, got %d args", want, len(args))
+	}
+	l, err := readLedger(args[want])
+	if err != nil {
+		return err
+	}
+	return fn(l, args[:want])
+}
+
+func readLedger(path string) (*provenance.Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := provenance.ReadLedger(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}

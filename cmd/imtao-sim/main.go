@@ -11,6 +11,7 @@
 //	imtao-sim -trace-out run.jsonl               # stream telemetry events to a file
 //	imtao-sim -trace-out run.trace.json          # record a span timeline for ui.perfetto.dev
 //	imtao-sim -flight 4096 -listen :8080         # keep the last 4096 events at /debug/flightrecorder
+//	imtao-sim -provenance-out run.prov.jsonl     # record the decision ledger for imtao-explain
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		save    = flag.String("save", "", "write the final solution to a JSON file")
 		svg     = flag.String("svg", "", "render the solution (cells, routes, transfers) to an SVG file")
 		trace   = flag.Bool("trace", false, "print every collaboration game iteration")
+
+		provOut = flag.String("provenance-out", "", "record the assignment decision ledger (phase-1 scans, every game iteration with its trials, final routes, equilibrium certificate) to this JSONL file — query it with imtao-explain")
 
 		listen     = flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080) and keep running after the report")
 		traceOut   = flag.String("trace-out", "", "record run telemetry to this file: a .jsonl path streams events as JSON Lines, any other path writes a Chrome/Perfetto span timeline after the run")
@@ -181,6 +184,11 @@ func main() {
 	if len(observers) > 0 {
 		opts = append(opts, imtao.WithObserver(imtao.MultiObserver(observers...)))
 	}
+	var ledger *imtao.Ledger
+	if *provOut != "" {
+		ledger = imtao.NewLedger()
+		opts = append(opts, imtao.WithProvenance(ledger))
+	}
 	setSimState("running")
 	rep, err := imtao.Run(in, m, opts...)
 	if err != nil {
@@ -195,6 +203,21 @@ func main() {
 			tracer.Len(), *traceOut)
 	} else if *traceOut != "" {
 		fmt.Printf("telemetry trace streaming to %s\n", *traceOut)
+	}
+	if ledger != nil {
+		f, err := os.Create(*provOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := ledger.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("provenance ledger (%d game iterations, %d trials, %d bytes) written to %s — query with imtao-explain\n",
+			ledger.IterCount(), ledger.TrialCount(), n, *provOut)
 	}
 
 	fmt.Printf("\nphase 1 (center-independent %s): assigned %d/%d, U_rho %.4f, %s\n",

@@ -45,6 +45,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/roadnet"
 	"imtao/internal/workload"
 )
@@ -118,6 +119,14 @@ type (
 	// ProfileRing is a continuous profiler keeping a bounded on-disk ring of
 	// periodic CPU and heap pprof captures (see NewProfileRing).
 	ProfileRing = obs.ProfileRing
+	// Ledger is one run's assignment-provenance record: the per-task decision
+	// ledger captured by WithProvenance and returned on Report.Provenance
+	// (see docs/PROVENANCE.md).
+	Ledger = provenance.Ledger
+	// Certificate is a machine-checkable equilibrium certificate of a run's
+	// final solution (Ledger.Cert); Certificate.Verify re-validates it
+	// offline without re-running the phase-2 game.
+	Certificate = provenance.Certificate
 )
 
 // Dataset constants.
@@ -248,6 +257,22 @@ func WithTrace(w io.Writer) RunOption {
 // NewJSONLObserver returns the JSON Lines encoder WithTrace uses as a
 // standalone Observer, for composing with others via MultiObserver.
 func NewJSONLObserver(w io.Writer) Observer { return obs.NewJSONL(w) }
+
+// NewLedger returns an empty provenance ledger for WithProvenance.
+func NewLedger() *Ledger { return provenance.NewLedger() }
+
+// WithProvenance attaches a decision ledger to the run: phase-1 routes and
+// deadline-rejection scans, every phase-2 best-response iteration with its
+// candidate trials, pruning and Δρ/ΔΦ evidence, shard and boundary-exchange
+// structure, the final routes with per-task arrival times, and (for
+// Sequential collaboration runs) an equilibrium certificate. The filled
+// ledger is returned on Report.Provenance; stream it to a file with
+// Ledger.WriteTo and query it with cmd/imtao-explain. A run without
+// WithProvenance pays a single nil check per instrumented site — the hot
+// paths stay zero-allocation (see docs/PROVENANCE.md).
+func WithProvenance(l *Ledger) RunOption {
+	return func(c *core.Config) { c.Prov = l }
+}
 
 // NewTracer builds a span recorder for WithTracer. maxSpans bounds the
 // in-memory trace (≤ 0 selects the default, obs.DefaultTraceSpans); once

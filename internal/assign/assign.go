@@ -110,6 +110,18 @@ type Options struct {
 	// LinearScan disables the grid index and finds nearest tasks by linear
 	// scan — the index-choice ablation.
 	LinearScan bool
+	// Scan, when non-nil, observes per-worker scan decisions — currently the
+	// sequence-ending deadline rejection of Algorithm 2 line 11. The
+	// provenance ledger hangs its phase-1 scan events off this hook; trial
+	// replays in phase 2 never set it.
+	Scan ScanObserver
+}
+
+// ScanObserver receives the sequential assigner's per-worker scan decisions.
+type ScanObserver interface {
+	// RejectDeadline fires when worker w's greedy sequence ends because the
+	// nearest remaining task t would be reached at arrive > expiry.
+	RejectDeadline(w model.WorkerID, t model.TaskID, arrive, expiry float64)
 }
 
 // Sequential runs paper Algorithm 2 for center c over the given worker and
@@ -172,7 +184,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 
 	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
-		route := serveWorker(in, c, cref, wid, pool, &res.Stats, nil)
+		route := serveWorker(in, c, cref, wid, pool, &res.Stats, nil, opt.Scan)
 		if len(route.Tasks) == 0 {
 			// Line 19: unused worker — available for workforce transfer.
 			res.LeftWorkers = append(res.LeftWorkers, wid)
@@ -200,7 +212,7 @@ func SequentialOpt(in *model.Instance, c *model.Center, workers []model.WorkerID
 // (the trial engine's per-iteration buffers); nil falls back to a fresh
 // allocation for the one-shot phase-1 path. min(MaxT, pool.len()) bounds the
 // final route length exactly, so the grab never overflows its reservation.
-func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid model.WorkerID, pool taskPool, stats *Stats, arena *slab.Arena[model.TaskID]) model.Route {
+func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid model.WorkerID, pool taskPool, stats *Stats, arena *slab.Arena[model.TaskID], scan ScanObserver) model.Route {
 	w := &in.HotWorkers()[wid]
 	route := model.Route{Worker: wid, Center: c.ID}
 	if hint := min(int(w.MaxT), pool.len()); hint > 0 {
@@ -212,7 +224,7 @@ func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid mo
 	}
 	// Algorithm 2 lines 7–8: travel to the center first (Eq. 1).
 	t := in.TravelTimeRef(w.Loc, w.Ref, c.Loc, cref)
-	extendServe(in, &route, t, c.Loc, cref, int(w.MaxT), pool, stats)
+	extendServe(in, &route, t, c.Loc, cref, int(w.MaxT), pool, stats, scan)
 	return route
 }
 
@@ -221,7 +233,7 @@ func serveWorker(in *model.Instance, c *model.Center, cref model.NodeRef, wid mo
 // worker's current position. serveWorker starts it at the center; the trial
 // engine (trial.go) resumes it at the end of a preserved baseline route to
 // check whether the trial pool extends the sequence.
-func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Point, curRef model.NodeRef, maxT int, pool taskPool, stats *Stats) {
+func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Point, curRef model.NodeRef, maxT int, pool taskPool, stats *Stats, scan ScanObserver) {
 	th := in.HotTasks()
 	for len(route.Tasks) < maxT && pool.len() > 0 {
 		// Line 10: nearest unassigned task to the worker's position.
@@ -237,6 +249,9 @@ func extendServe(in *model.Instance, route *model.Route, t float64, cur geo.Poin
 		// the sequence ends here.
 		if arrive > task.Expiry+timeEps {
 			stats.DeadlineRejections++
+			if scan != nil {
+				scan.RejectDeadline(route.Worker, sid, arrive, task.Expiry)
+			}
 			break
 		}
 		pool.remove(sid)

@@ -69,7 +69,7 @@ func (s *SequentialScratch) Run(in *model.Instance, c *model.Center,
 	lws := s.lws[:0]
 	cref := in.CenterRef(c.ID)
 	for _, wid := range order {
-		route := serveWorker(in, c, cref, wid, pool, &res.Stats, &s.tasks)
+		route := serveWorker(in, c, cref, wid, pool, &res.Stats, &s.tasks, nil)
 		if len(route.Tasks) == 0 {
 			lws = append(lws, wid)
 		} else {

@@ -470,7 +470,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 		}
 	}
 
-	candRoute := serveWorker(b.in, b.c, b.cref, cand, r.pool, &res.Stats, &r.tids)
+	candRoute := serveWorker(b.in, b.c, b.cref, cand, r.pool, &res.Stats, &r.tids, nil)
 	if len(candRoute.Tasks) == 0 {
 		// The candidate takes nothing, so the suffix replays identically:
 		// the trial IS the baseline plus one more unused worker.
@@ -532,7 +532,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			// Baseline-unused worker: its single ending query must run
 			// against the real trial pool (a stolen blocker or a freed task
 			// can hand it a route).
-			rt := serveWorker(b.in, b.c, b.cref, wid, r.pool, &res.Stats, &r.tids)
+			rt := serveWorker(b.in, b.c, b.cref, wid, r.pool, &res.Stats, &r.tids, nil)
 			if len(rt.Tasks) == 0 {
 				res.LeftWorkers = append(res.LeftWorkers, wid)
 			} else {
@@ -561,7 +561,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 			rt2 := model.Route{Worker: wid, Center: b.c.ID,
 				Tasks: r.tids.Grab(min(wcap, d+r.pool.len()))}
 			rt2.Tasks = append(rt2.Tasks, rt.Tasks[:d]...)
-			extendServe(b.in, &rt2, b.stepsOf(ri)[d], cur, curRef, wcap, r.pool, &res.Stats)
+			extendServe(b.in, &rt2, b.stepsOf(ri)[d], cur, curRef, wcap, r.pool, &res.Stats, nil)
 			if len(rt2.Tasks) == 0 {
 				res.LeftWorkers = append(res.LeftWorkers, wid)
 			} else {
@@ -584,7 +584,7 @@ func (r *TrialRunner) Trial(cand model.WorkerID) Result {
 				Tasks: r.tids.Grab(min(wcap, len(rt.Tasks)+r.pool.len()))}
 			trialRt.Tasks = append(trialRt.Tasks, rt.Tasks...)
 			extendServe(b.in, &trialRt, b.stepsOf(ri)[len(rt.Tasks)], b.th[last].Loc,
-				b.th[last].Ref, wcap, r.pool, &res.Stats)
+				b.th[last].Ref, wcap, r.pool, &res.Stats, nil)
 			if len(trialRt.Tasks) > len(rt.Tasks) {
 				res.Routes = append(res.Routes, trialRt)
 				r.updateDiff(nil, trialRt.Tasks[len(rt.Tasks):])

@@ -7,6 +7,7 @@ import (
 	"imtao/internal/assign"
 	"imtao/internal/geo"
 	"imtao/internal/model"
+	"imtao/internal/provenance"
 )
 
 // The zero-allocation gates of DESIGN.md §13: a warmed-up serial game
@@ -134,5 +135,31 @@ func TestTrialRunnerRebindTrialZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("trial rebind+resume cycle allocates: %.2f allocs (want 0)", allocs)
+	}
+}
+
+// TestGameStepProvenanceBoundedAlloc pins the enabled-path recording cost:
+// with a decision ledger attached, a warmed steady-state iteration may only
+// touch the heap for the ledger's own amortized arena growth — a small
+// constant per iteration on average, not per trial (the per-candidate
+// TrialRec and route-task payloads land in geometrically grown slabs).
+func TestGameStepProvenanceBoundedAlloc(t *testing.T) {
+	led := provenance.NewLedger()
+	cfg := Config{Scope: FullReassign, Assigner: assign.Sequential, Parallelism: 1,
+		Prov: led.NewGameLog(provenance.StageGame, -1)}
+	g := steadyGame(t, cfg)
+	const runs = 30
+	g.Reserve(runs + 2)
+	allocs := testing.AllocsPerRun(runs, func() {
+		if !g.Step() {
+			t.Fatalf("game ended mid-measurement")
+		}
+	})
+	// The gate is deliberately loose against growth-spike timing, but tight
+	// enough that accidental per-trial boxing (one alloc per candidate would
+	// show up as tens per iteration here) fails immediately.
+	const maxAllocs = 6
+	if allocs > maxAllocs {
+		t.Fatalf("provenance-enabled iteration allocates %.2f allocs/iter (gate %d)", allocs, maxAllocs)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/slab"
 )
 
@@ -198,6 +199,13 @@ type Config struct {
 	// TraceParent is the span the iteration spans attach under — core.Run
 	// passes its phase-2 span; zero parents them at the trace root.
 	TraceParent obs.SpanID
+	// Prov, when non-nil, records every iteration of this game into the
+	// provenance ledger's game log: recipient, candidate trials with their
+	// memo/full/resumed provenance, prune counts and admission slack,
+	// Δρ/ΔΦ, and the accepted route delta. Nil (the default) keeps the
+	// disabled path at a single pointer check per iteration — the
+	// zero-allocation steady state is unchanged (alloc_test.go).
+	Prov *provenance.GameLog
 	// noMemo disables the cross-iteration trial cache. Test hook only: the
 	// cache is semantics-preserving for deterministic assigners, so there is
 	// no reason to expose it.
@@ -716,6 +724,12 @@ func (g *Game) Step() bool {
 		cands = g.pool.candidates(ci)
 	}
 	mPruned.Add(int64(pruned))
+	// Provenance captures the admission slack that did the cutting while it
+	// is still live (DC invalidates the cache on accept, below).
+	provSlack := -1.0
+	if g.pruneOn && cfg.Candidate != NearestWorker {
+		provSlack = st.slack
+	}
 
 	// Line 14: best response — the candidate maximising the
 	// post-reassignment ratio. Line 15: evaluated via re-assignment.
@@ -803,6 +817,10 @@ func (g *Game) Step() bool {
 		Iteration: iter, Recipient: ci, RhoBefore: st.rho,
 		Trials: evaluated, MemoHits: hits, Pruned: pruned, Resumed: resumed,
 	}
+	// provDelta/provReplace carry the accepted route delta to the ledger
+	// hook below; locals so the disabled path costs nothing.
+	var provDelta []model.Route
+	provReplace := false
 	if bestIdx < 0 {
 		// Lines 20–21: no improving dispatch — the center leaves C'. Its
 		// state is final, so its trials are promoted into the
@@ -870,6 +888,8 @@ func (g *Game) Step() bool {
 			// The leftover set shrank, so the cached admission slack
 			// (computed over it) is stale.
 			st.slackOK = false
+			// DC appends the trial's routes to the frozen prior ones.
+			provDelta = bestRes.Routes
 		} else {
 			// Promote the accepted result out of the trial arenas into the
 			// center's spare promotion buffer — the live buffer may back
@@ -882,6 +902,8 @@ func (g *Game) Step() bool {
 			st.flip = 1 - st.flip
 			st.routes = pb.routes
 			st.leftTasks = pb.left
+			// FullReassign replaces the recipient's complete route set.
+			provDelta, provReplace = st.routes, true
 			if g.seqEngine {
 				st.baseline = assign.Result{Routes: pb.routes,
 					LeftTasks: pb.left, LeftWorkers: pb.lws, Stats: bestRes.Stats}
@@ -952,6 +974,14 @@ func (g *Game) Step() bool {
 	mIterSeconds.ObserveDuration(step.Duration)
 	mGamePhi.Set(step.Phi)
 	g.res.Trace = append(g.res.Trace, step)
+	if cfg.Prov != nil {
+		cfg.Prov.RecordIter(provenance.IterInfo{
+			Iter: iter, Recipient: ci, Accepted: step.Accepted,
+			Worker: step.Worker, Source: step.Source,
+			RhoBefore: step.RhoBefore, RhoAfter: step.RhoAfter,
+			Phi: step.Phi, Pruned: pruned, Slack: provSlack,
+		}, cands, trials, g.missIdx, base != nil, provDelta, provReplace)
+	}
 	emitGameIter(cfg.Obs, &step)
 	if cfg.Tracer != nil {
 		iterTS.End(

@@ -35,6 +35,7 @@ import (
 	"imtao/internal/assign"
 	"imtao/internal/metrics"
 	"imtao/internal/model"
+	"imtao/internal/provenance"
 	"imtao/internal/slab"
 )
 
@@ -159,12 +160,21 @@ func reconcileComponents(in *model.Instance, cfg ShardConfig, shardOf, compOf []
 	// parallelism.
 	games := make([]*Game, nComp)
 	solus := make([]Result, nComp)
+	// Per-component provenance logs, created upfront in component order —
+	// the same determinism contract as the phase-A shard logs.
+	provLogs := make([]*provenance.GameLog, nComp)
+	if cfg.Ledger != nil {
+		for k := range provLogs {
+			provLogs[k] = cfg.Ledger.NewGameLog(provenance.StageExchange, k)
+		}
+	}
 	runComp := func(k int) {
 		bcfg := cfg.Config
 		bcfg.members = members[k]
 		bcfg.poolMask = compMask
 		bcfg.poolBit = uint64(k)
 		bcfg.Parallelism = innerPar
+		bcfg.Prov = provLogs[k]
 		bcfg.resume = &resumeState{transfers: compTransfers[k], memo: compMemo[k]}
 		g := NewGame(in, merged, bcfg)
 		for g.Step() {

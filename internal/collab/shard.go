@@ -30,6 +30,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/slab"
 	"imtao/internal/voronoi"
 )
@@ -94,6 +95,14 @@ type ShardConfig struct {
 	// The same bound drives the component-parallel boundary reconcile
 	// (reconcile.go).
 	ShardParallelism int
+	// Ledger, when non-nil, receives the sharded run's full decision record:
+	// one game log per phase-A shard (in shard order), then one exchange log
+	// per reconcile component (in component order; a single serialized one
+	// under serialReconcile or a caller iteration cap). The deterministic
+	// log-creation order is what lets provenance.Replay re-derive the merge
+	// interleave from the recorded per-step ρ values alone. The fallback
+	// paths that run the unsharded engine record one global game log.
+	Ledger *provenance.Ledger
 	// serialReconcile forces the single serialized exchange game of
 	// DESIGN.md §15 instead of the component-parallel reconcile. Test hook:
 	// the reconcile_test property suite pins the two paths bit-identical.
@@ -365,6 +374,9 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 		k = 64
 	}
 	if k <= 1 || len(in.Centers) < 2 || !eligible {
+		if cfg.Ledger != nil {
+			cfg.Config.Prov = cfg.Ledger.NewGameLog(provenance.StageGame, -1)
+		}
 		res := Run(in, phase1, cfg.Config)
 		rep := singleShardReport(in, res)
 		rep.ShardsRequested = requested
@@ -376,6 +388,9 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 	in.EnsureHot()
 	shardOf, nShards := PlanShards(in, k, cfg.Seed)
 	if nShards <= 1 {
+		if cfg.Ledger != nil {
+			cfg.Config.Prov = cfg.Ledger.NewGameLog(provenance.StageGame, -1)
+		}
 		res := Run(in, phase1, cfg.Config)
 		rep := singleShardReport(in, res)
 		rep.ShardsRequested = requested
@@ -419,6 +434,14 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 	games := make([]*Game, nShards)
 	solus := make([]Result, nShards)
 	walls := make([]time.Duration, nShards)
+	// Per-shard provenance logs, created upfront in shard order so the
+	// ledger's log sequence is deterministic at every ShardParallelism.
+	provLogs := make([]*provenance.GameLog, nShards)
+	if cfg.Ledger != nil {
+		for s := range provLogs {
+			provLogs[s] = cfg.Ledger.NewGameLog(provenance.StageGame, s)
+		}
+	}
 	innerPar := cfg.Parallelism
 	shardPar := cfg.ShardParallelism
 	if shardPar <= 0 {
@@ -436,6 +459,7 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 		scfg.poolMask = homeMask
 		scfg.poolBit = uint64(1) << s
 		scfg.Parallelism = innerPar
+		scfg.Prov = provLogs[s]
 		t0 := time.Now()
 		g := NewGame(in, phase1, scfg)
 		for g.Step() {
@@ -550,6 +574,9 @@ func RunSharded(in *model.Instance, phase1 []assign.Result, cfg ShardConfig) (Re
 	} else {
 		bcfg := cfg.Config
 		bcfg.resume = &resumeState{transfers: priorTransfers, memo: memo}
+		if cfg.Ledger != nil {
+			bcfg.Prov = cfg.Ledger.NewGameLog(provenance.StageExchange, 0)
+		}
 		gB := NewGame(in, merged, bcfg)
 		for gB.Step() {
 		}

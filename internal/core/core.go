@@ -23,6 +23,7 @@ import (
 	"imtao/internal/metrics"
 	"imtao/internal/model"
 	"imtao/internal/obs"
+	"imtao/internal/provenance"
 	"imtao/internal/voronoi"
 )
 
@@ -191,6 +192,15 @@ type Config struct {
 	// concurrently; 0 means GOMAXPROCS. Output is bit-identical at every
 	// setting.
 	ShardParallelism int
+	// Prov, when non-nil, records the run's full decision provenance into
+	// the given ledger — phase-1 routes and deadline-rejection scan events,
+	// every phase-2 iteration with its trials and prune decisions, shard and
+	// exchange structure, the final routes with cost breakdown, and (for the
+	// Sequential assigner with collaboration on) the equilibrium
+	// certificate. The same ledger is returned on Report.Provenance. Nil
+	// (the default) keeps every recording hook at a single pointer check —
+	// the engines' zero-allocation steady state is unchanged.
+	Prov *provenance.Ledger
 }
 
 // ShardAuto as Config.Shards lets the sharded engine probe the instance and
@@ -221,6 +231,11 @@ type Report struct {
 	// when Config.Shards > 1 engaged it (a one-shard report when the run
 	// fell back to the unsharded game); nil for ordinary runs.
 	Shard *collab.ShardReport
+	// Provenance is the run's decision ledger when Config.Prov requested
+	// one — Config.Prov itself, fully populated; nil otherwise. Query it in
+	// memory (provenance.Replay, the explain helpers), or stream it to JSONL
+	// with Ledger.WriteTo for cmd/imtao-explain.
+	Provenance *provenance.Ledger
 }
 
 // ErrUnpartitioned is returned by Run when the instance has tasks or workers
@@ -298,6 +313,26 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 		}
 	}
 
+	prov := cfg.Prov
+	if prov != nil {
+		engine := "game"
+		scope := provenance.ScopeFull
+		switch cfg.Method.Collab {
+		case WoC:
+			engine, scope = "none", provenance.ScopeNone
+		case DC:
+			scope = provenance.ScopeLeftover
+		}
+		if engine == "game" && (cfg.Shards > 1 || cfg.Shards == ShardAuto) {
+			engine = "sharded"
+		}
+		prov.Start(provenance.Meta{
+			Method: cfg.Method.String(), Engine: engine, Scope: scope,
+			Centers: len(in.Centers), Workers: len(in.Workers),
+			Tasks: len(in.Tasks), Seed: cfg.Seed,
+		})
+	}
+
 	o := cfg.Observer
 	if o == nil {
 		o = obs.Nop
@@ -369,14 +404,24 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	// parent link is captured here, so the tree survives the fan-out.
 	runCenter := func(ci int) {
 		c := in.Center(model.CenterID(ci))
+		// With a ledger attached, the Sequential path routes through the
+		// scan-observer hook so phase-1 deadline rejections are recorded per
+		// center (recorders write disjoint slots — safe under the fan-out).
+		assignC := func() assign.Result {
+			if prov != nil && cfg.Method.Assigner == Seq {
+				return assign.SequentialOpt(in, c, c.Workers, c.Tasks,
+					assign.Options{Scan: prov.ScanRecorder(model.CenterID(ci))})
+			}
+			return assigner(in, c, c.Workers, c.Tasks)
+		}
 		ct0 := time.Now()
 		if tr == nil {
-			phase1[ci] = assigner(in, c, c.Workers, c.Tasks)
+			phase1[ci] = assignC()
 			mCenterSeconds.ObserveDuration(time.Since(ct0))
 			return
 		}
 		cs := tr.Start(p1TS.ID(), "phase1_center", obs.F("center", ci))
-		r := assigner(in, c, c.Workers, c.Tasks)
+		r := assignC()
 		mCenterSeconds.ObserveDuration(time.Since(ct0))
 		cs.End(
 			obs.F("assigned", r.AssignedCount()),
@@ -417,6 +462,9 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	rep.Phase1Assigned = p1sol.AssignedCount()
 	rep.Phase1Ratios = metrics.Ratios(in, p1sol)
 	rep.Phase1Unfairness = metrics.Unfairness(rep.Phase1Ratios)
+	if prov != nil {
+		prov.RecordPhase1(in, phase1, rep.Phase1Ratios)
+	}
 	if obs.Enabled(o) {
 		for ci := range phase1 {
 			r := &phase1[ci]
@@ -469,12 +517,16 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 				Shards:           cfg.Shards,
 				Seed:             cfg.Seed,
 				ShardParallelism: cfg.ShardParallelism,
+				Ledger:           prov,
 			})
 			rep.Solution = out.Solution
 			rep.Trace = out.Trace
 			rep.Iterations = out.Iterations
 			rep.Shard = &srep
 		} else {
+			if prov != nil {
+				ccfg.Prov = prov.NewGameLog(provenance.StageGame, -1)
+			}
 			out := collab.Run(in, phase1, ccfg)
 			rep.Solution = out.Solution
 			rep.Trace = out.Trace
@@ -493,6 +545,32 @@ func Run(in *model.Instance, cfg Config) (*Report, error) {
 	rep.Ratios = metrics.Ratios(in, rep.Solution)
 	rep.Unfairness = metrics.Unfairness(rep.Ratios)
 	rep.Transfers = len(rep.Solution.Transfers)
+	if prov != nil {
+		// Final sections and the certificate build OUTSIDE the phase timers:
+		// provenance-on Phase2Time stays comparable to a plain run, and the
+		// certificate's candidate sweep is an offline re-validation aid, not
+		// engine work.
+		if s := rep.Shard; s != nil {
+			prov.RecordShard(provenance.ShardInfo{
+				Shards:            s.Shards,
+				ShardOf:           s.ShardOf,
+				BoundaryWorkers:   s.BoundaryWorkers,
+				ExclusiveWorkers:  s.ExclusiveWorkers,
+				EmptyCut:          s.EmptyCut,
+				Components:        s.Components,
+				ExchangeIters:     s.ExchangeIterations,
+				ExchangeTransfers: s.ExchangeTransfers,
+			})
+		}
+		prov.RecordFinal(in, rep.Solution, rep.Unfairness)
+		// The certificate's exact sweep accelerations are proven for the
+		// Sequential assigner only; Opt runs (and w/o-C, which plays no
+		// game) ship without one.
+		if cfg.Method.Assigner == Seq && cfg.Method.Collab != WoC {
+			prov.Cert = provenance.BuildCertificate(in, rep.Solution, prov.Meta.Scope)
+		}
+		rep.Provenance = prov
+	}
 	if obs.Enabled(o) {
 		o.Event("phase2",
 			obs.F("iterations", rep.Iterations),

@@ -12,10 +12,11 @@ import (
 // JSONL is an Observer that serializes every event as one JSON object per
 // line, preserving field order:
 //
-//	{"seq":3,"t_ms":0.412,"event":"game_iter","iter":1,"phi":17.25,...}
+//	{"seq":3,"t_ms":0.412,"schema_version":2,"event":"game_iter","iter":1,...}
 //
 // seq is a per-stream sequence number, t_ms the elapsed milliseconds since
-// the stream was created. Writes are serialized by a mutex, so one JSONL may
+// the stream was created, schema_version the record-schema version readers
+// validate with CheckSchemaVersion. Writes are serialized by a mutex, so one JSONL may
 // receive events from many goroutines; the first write error is latched and
 // reported by Err.
 type JSONL struct {
@@ -58,6 +59,8 @@ func (j *JSONL) Event(name string, fields ...Field) {
 	j.buf.WriteString(`,"t_ms":`)
 	ms := float64(j.clock().Sub(j.start).Nanoseconds()) / 1e6
 	j.buf.WriteString(strconv.FormatFloat(ms, 'f', 3, 64))
+	j.buf.WriteString(`,"schema_version":`)
+	j.buf.WriteString(strconv.Itoa(SchemaVersion))
 	j.buf.WriteString(`,"event":`)
 	appendJSONValue(&j.buf, name)
 	appendFields(&j.buf, fields)

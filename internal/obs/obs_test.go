@@ -128,8 +128,8 @@ func TestJSONLGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	want := `{"seq":1,"t_ms":0.000,"event":"run_start","method":"Seq-BDC","centers":20,"parallel":true}
-{"seq":2,"t_ms":1.500,"event":"game_iter","iter":1,"phi":17.25,"rhos":[0.5,1]}
+	want := `{"seq":1,"t_ms":0.000,"schema_version":2,"event":"run_start","method":"Seq-BDC","centers":20,"parallel":true}
+{"seq":2,"t_ms":1.500,"schema_version":2,"event":"game_iter","iter":1,"phi":17.25,"rhos":[0.5,1]}
 `
 	if buf.String() != want {
 		t.Errorf("jsonl mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
@@ -227,4 +227,31 @@ func TestTimingGate(t *testing.T) {
 		t.Error("EnableTiming(true) not visible")
 	}
 	EnableTiming(false)
+}
+
+// TestSchemaVersionStampedAndChecked: every emitted record carries the
+// current schema_version, and CheckSchemaVersion rejects any other stream.
+func TestSchemaVersionStampedAndChecked(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Event("probe", F("k", 1))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rec[SchemaVersionKey].(float64)
+	if !ok {
+		t.Fatalf("record missing %q: %s", SchemaVersionKey, buf.String())
+	}
+	if int(v) != SchemaVersion {
+		t.Fatalf("record schema_version %v, build %d", v, SchemaVersion)
+	}
+	if err := CheckSchemaVersion(SchemaVersion); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	for _, bad := range []int{0, 1, SchemaVersion + 1} {
+		if err := CheckSchemaVersion(bad); err == nil {
+			t.Fatalf("version %d accepted by a version-%d reader", bad, SchemaVersion)
+		}
+	}
 }

@@ -110,6 +110,8 @@ func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
 		buf.WriteString(strconv.FormatUint(r.seq, 10))
 		buf.WriteString(`,"t_ms":`)
 		buf.WriteString(strconv.FormatFloat(float64(r.tNS)/1e6, 'f', 3, 64))
+		buf.WriteString(`,"schema_version":`)
+		buf.WriteString(strconv.Itoa(SchemaVersion))
 		buf.WriteString(`,"event":`)
 		appendJSONValue(&buf, r.name)
 		buf.WriteString(r.fields)

@@ -1,0 +1,38 @@
+package provenance
+
+import (
+	"hash/fnv"
+
+	"imtao/internal/model"
+)
+
+// SolutionFingerprint hashes every route and transfer of a solution, in
+// order, into one FNV-1a value. It is the determinism anchor shared by the
+// bench cross-checks, the ledger's Final record, and the Replay property:
+// two solutions fingerprint equal iff they list the same routes with the
+// same task orders and the same transfer log.
+func SolutionFingerprint(s *model.Solution) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(vs ...int64) {
+		for _, v := range vs {
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	for _, a := range s.PerCenter {
+		word(int64(a.Center), int64(len(a.Routes)))
+		for _, r := range a.Routes {
+			word(int64(r.Worker), int64(r.Center), int64(len(r.Tasks)))
+			for _, t := range r.Tasks {
+				word(int64(t))
+			}
+		}
+	}
+	for _, t := range s.Transfers {
+		word(int64(t.Src), int64(t.Dst), int64(t.Worker))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,53 @@
+// Integration test for the public provenance surface: WithProvenance fills a
+// ledger whose replay reconstructs the returned Report's solution exactly,
+// and whose certificate re-validates offline.
+package imtao
+
+import (
+	"bytes"
+	"testing"
+
+	"imtao/internal/provenance"
+	"imtao/internal/workload"
+)
+
+func TestWithProvenanceEndToEnd(t *testing.T) {
+	p := workload.ScaleParams(SYN, 2000)
+	raw, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Partition(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger()
+	rep, err := Run(in, SeqBDC, WithProvenance(led), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Provenance != led {
+		t.Fatal("Report.Provenance is not the attached ledger")
+	}
+	rr, err := provenance.Replay(led)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := provenance.SolutionFingerprint(rep.Solution)
+	if got := provenance.SolutionFingerprint(rr.Solution); got != want {
+		t.Fatalf("replay fingerprint %016x, live %016x", got, want)
+	}
+	if led.Cert == nil {
+		t.Fatal("Seq-BDC run produced no certificate")
+	}
+	if err := led.Cert.Verify(in, rep.Solution); err != nil {
+		t.Fatalf("certificate failed offline verification: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := led.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := provenance.ReadLedger(&buf); err != nil {
+		t.Fatalf("written ledger does not read back: %v", err)
+	}
+}
